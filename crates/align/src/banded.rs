@@ -1,0 +1,157 @@
+//! Banded `P_score`.
+//!
+//! When two region lists are near-collinear (the common case for true
+//! homologous sites — large rearrangements were already split into
+//! separate fragments upstream), the optimal alignment path stays close
+//! to the main diagonal and a band of half-width `k` suffices:
+//! `O(k·(n+m))` instead of `O(n·m)`.
+//!
+//! The banded score is a *lower bound* of the full `P_score` (it
+//! explores a subset of paths) and equals it whenever the optimum path
+//! stays inside the band — both properties are property-tested.
+
+use fragalign_model::{Score, ScoreTable, Sym};
+
+/// Banded `P_score` with half-width `band` around the rescaled
+/// diagonal. `band >= max(|u|, |v|)` degenerates to the exact DP.
+pub fn p_score_banded(sigma: &ScoreTable, u: &[Sym], v: &[Sym], band: usize) -> Score {
+    let n = u.len();
+    let m = v.len();
+    if n == 0 || m == 0 {
+        return 0;
+    }
+    // Center of row i: the rescaled diagonal j ≈ i·m/n.
+    let center = |i: usize| -> i64 { ((i as i64) * (m as i64)) / (n as i64).max(1) };
+    let b = band as i64;
+    let width = (2 * b + 1) as usize;
+    // window[i] covers columns center(i)-b ..= center(i)+b clamped to
+    // [0, m]; store flat rows of `width` cells plus a sentinel value
+    // for out-of-band reads.
+    const NEG: Score = Score::MIN / 4;
+    let mut prev = vec![NEG; width + 2];
+    let mut cur = vec![NEG; width + 2];
+    // Row 0: M[0][j] = 0 inside the window.
+    {
+        let c0 = center(0);
+        for (w, cell) in prev.iter_mut().enumerate().take(width) {
+            let j = c0 - b + w as i64;
+            if (0..=m as i64).contains(&j) {
+                *cell = 0;
+            }
+        }
+    }
+    for i in 1..=n {
+        let ci = center(i);
+        let cp = center(i - 1);
+        for cell in cur.iter_mut() {
+            *cell = NEG;
+        }
+        for w in 0..width {
+            let j = ci - b + w as i64;
+            if !(0..=m as i64).contains(&j) {
+                continue;
+            }
+            // Base column: M[i][0] = 0.
+            if j == 0 {
+                cur[w] = 0;
+                continue;
+            }
+            let read_prev = |jj: i64| -> Score {
+                let idx = jj - (cp - b);
+                if (0..width as i64).contains(&idx) {
+                    prev[idx as usize]
+                } else {
+                    NEG
+                }
+            };
+            let diag = read_prev(j - 1)
+                .saturating_add(sigma.score(u[i - 1], v[j as usize - 1]));
+            let up = read_prev(j);
+            let left = if w > 0 { cur[w - 1] } else { NEG };
+            let best = diag.max(up).max(left);
+            // Clamp to ≥ 0 only where a fresh start is legitimate: the
+            // full DP has M ≥ 0 everywhere because ⊥-only prefixes are
+            // free, and any cell can be reached by skipping.
+            cur[w] = best.max(0);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let last_idx = (m as i64) - (center(n) - b);
+    if (0..width as i64).contains(&last_idx) {
+        prev[last_idx as usize].max(0)
+    } else {
+        // The final cell fell outside the band; the best in-band value
+        // of the last row is still a valid lower bound (trailing
+        // symbols pair with ⊥).
+        prev.iter().copied().max().unwrap_or(0).max(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::p_score;
+    use fragalign_model::ScoreTable;
+
+    fn diag_table(n: u32) -> ScoreTable {
+        let mut t = ScoreTable::new();
+        for i in 0..n {
+            t.set(Sym::fwd(i), Sym::fwd(1000 + i), 5);
+        }
+        t
+    }
+
+    #[test]
+    fn wide_band_is_exact() {
+        let t = diag_table(16);
+        let u: Vec<Sym> = (0..12).map(Sym::fwd).collect();
+        let v: Vec<Sym> = (0..12).map(|i| Sym::fwd(1000 + i)).collect();
+        assert_eq!(p_score_banded(&t, &u, &v, 12), p_score(&t, &u, &v));
+    }
+
+    #[test]
+    fn collinear_paths_found_with_small_band() {
+        let t = diag_table(16);
+        let u: Vec<Sym> = (0..10).map(Sym::fwd).collect();
+        let v: Vec<Sym> = (0..10).map(|i| Sym::fwd(1000 + i)).collect();
+        assert_eq!(p_score_banded(&t, &u, &v, 1), 50);
+    }
+
+    #[test]
+    fn band_is_lower_bound() {
+        // An off-diagonal optimum: u's tail matches v's head.
+        let mut t = ScoreTable::new();
+        for i in 0..4u32 {
+            t.set(Sym::fwd(i), Sym::fwd(1000 + i), 7);
+        }
+        let mut u: Vec<Sym> = (10..18).map(Sym::fwd).collect(); // junk prefix
+        u.extend((0..4).map(Sym::fwd));
+        let mut v: Vec<Sym> = (0..4).map(|i| Sym::fwd(1000 + i)).collect();
+        v.extend((20..28).map(|i| Sym::fwd(1000 + i))); // junk suffix
+        let full = p_score(&t, &u, &v);
+        assert_eq!(full, 28);
+        for band in 0..=12 {
+            let banded = p_score_banded(&t, &u, &v, band);
+            assert!(banded <= full, "band {band}: {banded} > {full}");
+        }
+        // A generous band recovers the optimum.
+        assert_eq!(p_score_banded(&t, &u, &v, 12), full);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let t = diag_table(2);
+        assert_eq!(p_score_banded(&t, &[], &[], 3), 0);
+        assert_eq!(p_score_banded(&t, &[Sym::fwd(0)], &[], 3), 0);
+    }
+
+    #[test]
+    fn asymmetric_lengths() {
+        let t = diag_table(8);
+        let u: Vec<Sym> = (0..4).map(Sym::fwd).collect();
+        let v: Vec<Sym> = (0..8).map(|i| Sym::fwd(1000 + (i % 8))).collect();
+        let full = p_score(&t, &u, &v);
+        assert_eq!(p_score_banded(&t, &u, &v, 8), full);
+        assert!(p_score_banded(&t, &u, &v, 2) <= full);
+    }
+}

@@ -1,0 +1,166 @@
+//! Nucleotide-level alignment substrate.
+//!
+//! The paper assumes the region scores `σ(a, b)` are given — in
+//! practice they come from DNA local alignments between conserved
+//! regions (the paper's group used BLAST-like tools). To exercise that
+//! code path end to end, the simulator generates actual nucleotide
+//! sequences for regions and derives `σ` with this from-scratch
+//! Smith–Waterman aligner, searching both strands.
+
+use fragalign_model::{Orient, Score};
+
+/// A DNA base, stored as one of `b"ACGT"`.
+pub type Base = u8;
+
+/// Watson–Crick complement of one base; unknown bytes map to `N`.
+#[inline]
+pub fn complement(b: Base) -> Base {
+    match b {
+        b'A' => b'T',
+        b'T' => b'A',
+        b'C' => b'G',
+        b'G' => b'C',
+        other => other,
+    }
+}
+
+/// Reverse complement of a sequence.
+pub fn reverse_complement(seq: &[Base]) -> Vec<Base> {
+    seq.iter().rev().map(|&b| complement(b)).collect()
+}
+
+/// Scoring parameters for the local aligner.
+#[derive(Clone, Copy, Debug)]
+pub struct DnaParams {
+    /// Score for a matching column (> 0).
+    pub mat: Score,
+    /// Score for a mismatching column (< 0).
+    pub mis: Score,
+    /// Score for a gap column (< 0); linear gap model.
+    pub gap: Score,
+}
+
+impl Default for DnaParams {
+    fn default() -> Self {
+        // The classic +1/−1/−1 unit costs; match/mismatch ratios of
+        // real tools differ but only scale σ.
+        DnaParams { mat: 2, mis: -1, gap: -2 }
+    }
+}
+
+/// Smith–Waterman local alignment score (score only, rolling rows,
+/// `O(|a|·|b|)` time, `O(min)` memory).
+pub fn smith_waterman(a: &[Base], b: &[Base], p: DnaParams) -> Score {
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let (rows, cols, swapped) =
+        if b.len() <= a.len() { (a, b, false) } else { (b, a, true) };
+    let _ = swapped; // symmetric scoring: swap is free
+    let m = cols.len();
+    let mut prev = vec![0 as Score; m + 1];
+    let mut cur = vec![0 as Score; m + 1];
+    let mut best = 0;
+    for i in 1..=rows.len() {
+        let ri = rows[i - 1];
+        cur[0] = 0;
+        for j in 1..=m {
+            let sub = if ri == cols[j - 1] { p.mat } else { p.mis };
+            let val = (prev[j - 1] + sub)
+                .max(prev[j] + p.gap)
+                .max(cur[j - 1] + p.gap)
+                .max(0);
+            cur[j] = val;
+            if val > best {
+                best = val;
+            }
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    best
+}
+
+/// Best local alignment over both strands of `b`: the score and the
+/// orientation that achieved it (ties prefer `Same`).
+pub fn best_local_score(a: &[Base], b: &[Base], p: DnaParams) -> (Score, Orient) {
+    let fwd = smith_waterman(a, b, p);
+    let rc = reverse_complement(b);
+    let rev = smith_waterman(a, &rc, p);
+    if rev > fwd {
+        (rev, Orient::Reversed)
+    } else {
+        (fwd, Orient::Same)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complement_pairs() {
+        assert_eq!(complement(b'A'), b'T');
+        assert_eq!(complement(b'T'), b'A');
+        assert_eq!(complement(b'C'), b'G');
+        assert_eq!(complement(b'G'), b'C');
+        assert_eq!(complement(b'N'), b'N');
+    }
+
+    #[test]
+    fn reverse_complement_involution() {
+        let s = b"ACGTTGCA".to_vec();
+        assert_eq!(reverse_complement(&reverse_complement(&s)), s);
+        assert_eq!(reverse_complement(b"AACG"), b"CGTT".to_vec());
+    }
+
+    #[test]
+    fn identical_sequences_score_full_match() {
+        let p = DnaParams::default();
+        let s = b"ACGTACGT";
+        assert_eq!(smith_waterman(s, s, p), 8 * p.mat);
+    }
+
+    #[test]
+    fn local_alignment_ignores_flanks() {
+        let p = DnaParams::default();
+        // The common core "ACGTACGT" is embedded in unrelated flanks.
+        let a = b"TTTTTACGTACGTTTTTT";
+        let b = b"GGGGACGTACGTGGGG";
+        assert_eq!(smith_waterman(a, b, p), 8 * p.mat);
+    }
+
+    #[test]
+    fn mismatches_reduce_score() {
+        let p = DnaParams::default();
+        let a = b"ACGTACGT";
+        let b = b"ACGAACGT"; // one mismatch in the middle
+        let s = smith_waterman(a, b, p);
+        assert!(s >= 7 * p.mat + p.mis, "got {s}");
+        assert!(s < 8 * p.mat);
+    }
+
+    #[test]
+    fn score_never_negative() {
+        let p = DnaParams::default();
+        assert_eq!(smith_waterman(b"AAAA", b"TTTT", p), 0);
+        assert_eq!(smith_waterman(b"", b"ACGT", p), 0);
+    }
+
+    #[test]
+    fn reverse_strand_detected() {
+        let p = DnaParams::default();
+        let a = b"AAAACCCCGGGG".to_vec();
+        let b = reverse_complement(&a);
+        let (s, o) = best_local_score(&a, &b, p);
+        assert_eq!(o, Orient::Reversed);
+        assert_eq!(s, a.len() as Score * p.mat);
+    }
+
+    #[test]
+    fn swap_symmetry() {
+        let p = DnaParams::default();
+        let a = b"ACGTAGGCTA";
+        let b = b"CGTAGG";
+        assert_eq!(smith_waterman(a, b, p), smith_waterman(b, a, p));
+    }
+}

@@ -1,0 +1,323 @@
+//! The `P_score` dynamic program.
+//!
+//! `P_score(u, v) = max_{u' ∈ P_u, v' ∈ P_v} Score(u', v')` — the
+//! optimal alignment of two symbol lists where unmatched symbols pair
+//! with the free padding `⊥` (score 0) and a column of two symbols
+//! scores `σ`. The recurrence is the textbook one:
+//!
+//! ```text
+//! M[i][j] = max(M[i-1][j], M[i][j-1], M[i-1][j-1] + σ(u_i, v_j))
+//! ```
+//!
+//! with `M[0][·] = M[·][0] = 0`. All values are ≥ 0 and the matrix is
+//! monotone along both axes; negative `σ` entries are simply never
+//! chosen.
+
+use fragalign_model::{ScoreTable, Score, Sym};
+use fragalign_model::consistency::SiteAligner;
+
+/// A filled `P_score` DP matrix over two words. Row-major flat storage,
+/// `(|u|+1) × (|v|+1)`. Beyond the final score, the matrix exposes all
+/// prefix-vs-prefix scores, which the interval oracle and the
+/// staircase search reuse.
+#[derive(Clone, Debug)]
+pub struct DpMatrix {
+    cells: Vec<Score>,
+    rows: usize,
+    cols: usize,
+}
+
+impl DpMatrix {
+    /// Fill the matrix for `u` vs `v` under `sigma`.
+    pub fn fill(sigma: &ScoreTable, u: &[Sym], v: &[Sym]) -> Self {
+        let rows = u.len() + 1;
+        let cols = v.len() + 1;
+        let mut cells = vec![0 as Score; rows * cols];
+        for i in 1..rows {
+            let ui = u[i - 1];
+            let (prev_row, row) = {
+                // Split borrows: row i-1 is read, row i written.
+                let (a, b) = cells.split_at_mut(i * cols);
+                (&a[(i - 1) * cols..], &mut b[..cols])
+            };
+            for j in 1..cols {
+                let diag = prev_row[j - 1] + sigma.score(ui, v[j - 1]);
+                let up = prev_row[j];
+                let left = row[j - 1];
+                row[j] = diag.max(up).max(left);
+            }
+        }
+        DpMatrix { cells, rows, cols }
+    }
+
+    /// `P_score(u[..i], v[..j])`.
+    #[inline]
+    pub fn prefix_score(&self, i: usize, j: usize) -> Score {
+        self.cells[i * self.cols + j]
+    }
+
+    /// `P_score(u, v)`.
+    pub fn score(&self) -> Score {
+        self.cells[self.rows * self.cols - 1]
+    }
+
+    /// The final row: `P_score(u, v[..j])` for every `j`. Used by the
+    /// interval oracle to read off all end positions in one sweep.
+    pub fn last_row(&self) -> &[Score] {
+        &self.cells[(self.rows - 1) * self.cols..]
+    }
+
+    /// Trace back one optimal alignment as monotone column pairs
+    /// covering every symbol of both words; `None` marks a `⊥`.
+    pub fn traceback(
+        &self,
+        sigma: &ScoreTable,
+        u: &[Sym],
+        v: &[Sym],
+    ) -> Vec<(Option<usize>, Option<usize>)> {
+        let mut cols = Vec::with_capacity(u.len() + v.len());
+        let (mut i, mut j) = (u.len(), v.len());
+        while i > 0 || j > 0 {
+            let cur = self.prefix_score(i, j);
+            if i > 0 && j > 0 && cur == self.prefix_score(i - 1, j - 1) + sigma.score(u[i - 1], v[j - 1])
+            {
+                cols.push((Some(i - 1), Some(j - 1)));
+                i -= 1;
+                j -= 1;
+            } else if i > 0 && cur == self.prefix_score(i - 1, j) {
+                cols.push((Some(i - 1), None));
+                i -= 1;
+            } else {
+                debug_assert!(j > 0 && cur == self.prefix_score(i, j - 1));
+                cols.push((None, Some(j - 1)));
+                j -= 1;
+            }
+        }
+        cols.reverse();
+        cols
+    }
+}
+
+/// `P_score(u, v)` without keeping the matrix: two rolling rows,
+/// `O(min)` memory after choosing the shorter word as the column axis.
+pub fn p_score(sigma: &ScoreTable, u: &[Sym], v: &[Sym]) -> Score {
+    if u.is_empty() || v.is_empty() {
+        return 0;
+    }
+    // Keep the inner dimension the shorter word.
+    let (a, b, swapped) = if v.len() <= u.len() { (u, v, false) } else { (v, u, true) };
+    let cols = b.len() + 1;
+    let mut prev = vec![0 as Score; cols];
+    let mut cur = vec![0 as Score; cols];
+    for i in 1..=a.len() {
+        let ai = a[i - 1];
+        cur[0] = 0;
+        for j in 1..cols {
+            let bj = b[j - 1];
+            let s = if swapped { sigma.score(bj, ai) } else { sigma.score(ai, bj) };
+            cur[j] = (prev[j - 1] + s).max(prev[j]).max(cur[j - 1]);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[cols - 1]
+}
+
+/// Optimal alignment with traceback: `(score, columns)`.
+pub fn align_words(
+    sigma: &ScoreTable,
+    u: &[Sym],
+    v: &[Sym],
+) -> (Score, Vec<(Option<usize>, Option<usize>)>) {
+    let m = DpMatrix::fill(sigma, u, v);
+    let cols = m.traceback(sigma, u, v);
+    (m.score(), cols)
+}
+
+/// [`SiteAligner`] backed by the full DP: layouts built with it realise
+/// exactly the `P_score` optimum of every match.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DpAligner;
+
+impl SiteAligner for DpAligner {
+    fn align_words(
+        &self,
+        sigma: &ScoreTable,
+        u: &[Sym],
+        v: &[Sym],
+    ) -> (Score, Vec<(Option<usize>, Option<usize>)>) {
+        align_words(sigma, u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fragalign_model::Sym;
+
+    fn sigma_diag(pairs: &[(u32, u32, i64)]) -> ScoreTable {
+        let mut t = ScoreTable::new();
+        for &(a, b, s) in pairs {
+            t.set(Sym::fwd(a), Sym::fwd(b), s);
+        }
+        t
+    }
+
+    fn w(ids: &[u32]) -> Vec<Sym> {
+        ids.iter().map(|&i| Sym::fwd(i)).collect()
+    }
+
+    #[test]
+    fn empty_words_score_zero() {
+        let t = ScoreTable::new();
+        assert_eq!(p_score(&t, &[], &[]), 0);
+        assert_eq!(p_score(&t, &w(&[1]), &[]), 0);
+        assert_eq!(p_score(&t, &[], &w(&[1])), 0);
+        let (s, cols) = align_words(&t, &w(&[1, 2]), &[]);
+        assert_eq!(s, 0);
+        assert_eq!(cols.len(), 2);
+    }
+
+    #[test]
+    fn single_pair() {
+        let t = sigma_diag(&[(0, 10, 5)]);
+        assert_eq!(p_score(&t, &w(&[0]), &w(&[10])), 5);
+    }
+
+    #[test]
+    fn crossing_pairs_must_choose() {
+        // u = [a, b], v = [b', a'] where a~a' and b~b' both score:
+        // order forbids taking both (Fig. 3, second example).
+        let t = sigma_diag(&[(0, 10, 4), (1, 11, 3)]);
+        let u = w(&[0, 1]);
+        let v = w(&[11, 10]); // reversed order
+        assert_eq!(p_score(&t, &u, &v), 4, "only the better pair survives");
+    }
+
+    #[test]
+    fn skips_are_free() {
+        let t = sigma_diag(&[(0, 10, 4), (1, 11, 3)]);
+        let u = w(&[0, 5, 5, 5, 1]);
+        let v = w(&[10, 11]);
+        assert_eq!(p_score(&t, &u, &v), 7);
+    }
+
+    #[test]
+    fn negative_scores_never_forced() {
+        let mut t = sigma_diag(&[(0, 10, 4)]);
+        t.set(Sym::fwd(1), Sym::fwd(11), -5);
+        let u = w(&[0, 1]);
+        let v = w(&[10, 11]);
+        assert_eq!(p_score(&t, &u, &v), 4);
+    }
+
+    #[test]
+    fn traceback_covers_all_symbols_and_matches_score() {
+        let t = sigma_diag(&[(0, 10, 4), (1, 11, 3), (2, 12, 9)]);
+        let u = w(&[0, 7, 1, 2]);
+        let v = w(&[10, 11, 8, 12]);
+        let (score, cols) = align_words(&t, &u, &v);
+        assert_eq!(score, 16);
+        // Every u offset and v offset appears exactly once, monotone.
+        let us: Vec<usize> = cols.iter().filter_map(|c| c.0).collect();
+        let vs: Vec<usize> = cols.iter().filter_map(|c| c.1).collect();
+        assert_eq!(us, (0..u.len()).collect::<Vec<_>>());
+        assert_eq!(vs, (0..v.len()).collect::<Vec<_>>());
+        // Recomputing the column score reproduces the DP score.
+        let col_score: i64 = cols
+            .iter()
+            .filter_map(|&(a, b)| Some(t.score(u[a?], v[b?])))
+            .sum();
+        assert_eq!(col_score, score);
+    }
+
+    #[test]
+    fn prefix_scores_monotone() {
+        let t = sigma_diag(&[(0, 10, 4), (1, 11, 3)]);
+        let u = w(&[0, 1]);
+        let v = w(&[10, 11]);
+        let m = DpMatrix::fill(&t, &u, &v);
+        for i in 0..=u.len() {
+            for j in 1..=v.len() {
+                assert!(m.prefix_score(i, j) >= m.prefix_score(i, j - 1));
+            }
+        }
+        for j in 0..=v.len() {
+            for i in 1..=u.len() {
+                assert!(m.prefix_score(i, j) >= m.prefix_score(i - 1, j));
+            }
+        }
+        assert_eq!(m.last_row(), &[0, 4, 7]);
+    }
+
+    #[test]
+    fn p_score_agrees_with_matrix_on_swapped_args() {
+        // p_score internally swaps to keep the inner loop short; make
+        // sure σ is still applied as σ(h-side, m-side).
+        let mut t = ScoreTable::new();
+        t.set(Sym::fwd(0), Sym::fwd(10), 4); // σ(h=0, m=10) = 4
+        let u = w(&[0]);
+        let v = w(&[10, 11, 12]);
+        assert_eq!(p_score(&t, &u, &v), 4);
+        assert_eq!(p_score(&t, &v, &u), 0, "reversed roles find no σ entry");
+    }
+
+    /// Brute force: enumerate all monotone pairings of u and v.
+    fn brute(sigma: &ScoreTable, u: &[Sym], v: &[Sym]) -> Score {
+        fn rec(sigma: &ScoreTable, u: &[Sym], v: &[Sym], i: usize, j: usize) -> Score {
+            if i == u.len() || j == v.len() {
+                return 0;
+            }
+            let take = sigma.score(u[i], v[j]) + rec(sigma, u, v, i + 1, j + 1);
+            let skip_u = rec(sigma, u, v, i + 1, j);
+            let skip_v = rec(sigma, u, v, i, j + 1);
+            take.max(skip_u).max(skip_v)
+        }
+        rec(sigma, u, v, 0, 0)
+    }
+
+    #[test]
+    fn dp_equals_bruteforce_exhaustive_small() {
+        // All words of length ≤ 3 over a 3-symbol alphabet with a
+        // fixed random-ish score table.
+        let mut t = ScoreTable::new();
+        for a in 0..3u32 {
+            for b in 0..3u32 {
+                t.set(Sym::fwd(a), Sym::fwd(10 + b), ((a * 7 + b * 3) % 5) as i64);
+            }
+        }
+        let words: Vec<Vec<Sym>> = {
+            let mut ws = vec![vec![]];
+            for len in 1..=3 {
+                let mut cur = vec![vec![0u32; len]];
+                loop {
+                    let word = cur.last().unwrap().clone();
+                    ws.push(word.iter().map(|&i| Sym::fwd(i)).collect());
+                    let mut next = word;
+                    let mut k = 0;
+                    loop {
+                        if k == len {
+                            break;
+                        }
+                        next[k] += 1;
+                        if next[k] < 3 {
+                            break;
+                        }
+                        next[k] = 0;
+                        k += 1;
+                    }
+                    if k == len {
+                        break;
+                    }
+                    cur.push(next);
+                }
+            }
+            ws
+        };
+        for u in &words {
+            for v0 in &words {
+                let v: Vec<Sym> = v0.iter().map(|s| Sym::fwd(s.id + 10)).collect();
+                assert_eq!(p_score(&t, u, &v), brute(&t, u, &v), "u={u:?} v={v:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # fragalign-align
+//!
+//! Alignment substrate for the CSR problem.
+//!
+//! The paper's Definition 4 builds match scores `MS(h̄, m̄)` from
+//! `P_score(h̄, m̄)`: the maximum column score over all paddings of the
+//! two sites — the classic problem of aligning two lists of symbols
+//! where gaps are free and every column of two symbols scores `σ`.
+//! This crate provides:
+//!
+//! * the sequential dynamic program with traceback ([`dp`]),
+//! * match scores with orientation search ([`match_score`]),
+//! * an all-intervals oracle `MS(h, m(d, e))` with memoisation for the
+//!   1-CSR → ISP reduction and for TPA profits ([`oracle`]),
+//! * an anti-diagonal wavefront-parallel DP (rayon) for long region
+//!   lists ([`wavefront`]),
+//! * a from-scratch nucleotide Smith–Waterman aligner with reverse
+//!   complement search, used by the simulator to derive region scores
+//!   the way a sequencing pipeline would ([`dna`]).
+
+pub mod banded;
+pub mod dna;
+pub mod dp;
+pub mod match_score;
+pub mod oracle;
+pub mod wavefront;
+
+pub use banded::p_score_banded;
+pub use dp::{align_words, p_score, DpAligner, DpMatrix};
+pub use match_score::{ms_sites, ms_words, site_laid_word};
+pub use oracle::ScoreOracle;
+pub use wavefront::p_score_wavefront;

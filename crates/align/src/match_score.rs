@@ -1,0 +1,125 @@
+//! Match scores `MS(h̄, m̄)` (Definition 4, Figs. 7–8).
+//!
+//! For any pair of sites, `MS(h̄, m̄) = max(P_score(h̄, m̄),
+//! P_score(h̄, m̄^R))`: because `⊥` columns are free and the alignment
+//! is a maximum, the flush-end case analysis of Fig. 8 collapses to the
+//! same two orientation candidates as the full-site case of Fig. 7
+//! (see DESIGN.md, decision D5). We record *which* orientation won;
+//! the consistency layer uses it to check the staircase condition for
+//! border matches.
+
+use crate::dp::p_score;
+use fragalign_model::symbol::reverse_word;
+use fragalign_model::{Instance, Orient, Score, ScoreTable, Site, Sym};
+
+/// `MS` over explicit words: the best of the two relative orientations,
+/// with ties resolved to `Same` for determinism.
+pub fn ms_words(sigma: &ScoreTable, u: &[Sym], v: &[Sym]) -> (Score, Orient) {
+    let same = p_score(sigma, u, v);
+    let vr = reverse_word(v);
+    let rev = p_score(sigma, u, &vr);
+    if rev > same {
+        (rev, Orient::Reversed)
+    } else {
+        (same, Orient::Same)
+    }
+}
+
+/// `MS` over sites of an instance.
+pub fn ms_sites(inst: &Instance, h: Site, m: Site) -> (Score, Orient) {
+    ms_words(&inst.sigma, inst.site_word(h), inst.site_word(m))
+}
+
+/// The word a site spells when its fragment is laid with `rev`.
+pub fn site_laid_word(inst: &Instance, site: Site, rev: bool) -> Vec<Sym> {
+    let w = inst.site_word(site);
+    if rev {
+        reverse_word(w)
+    } else {
+        w.to_vec()
+    }
+}
+
+/// `P_score` under a fixed relative orientation (used when a match's
+/// orientation is already pinned by the surrounding island).
+pub fn p_score_oriented(sigma: &ScoreTable, u: &[Sym], v: &[Sym], orient: Orient) -> Score {
+    match orient {
+        Orient::Same => p_score(sigma, u, v),
+        Orient::Reversed => p_score(sigma, u, &reverse_word(v)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fragalign_model::instance::paper_example;
+    use fragalign_model::FragId;
+
+    #[test]
+    fn fig7_inner_site_vs_full_site() {
+        // Fig. 7: matching a full fragment against an inner site tries
+        // both orientations. h2 = ⟨d⟩ against m1's inner... m1 = ⟨s,t⟩;
+        // site ⟨t⟩: σ(d, t) = 2 forward.
+        let inst = paper_example();
+        let h2 = Site::full(FragId::h(1), 1);
+        let t_site = Site::new(FragId::m(0), 1, 2);
+        let (s, o) = ms_sites(&inst, h2, t_site);
+        assert_eq!((s, o), (2, Orient::Same));
+    }
+
+    #[test]
+    fn reversed_orientation_wins() {
+        // σ(d, v^R) = 2: matching ⟨d⟩ against site ⟨v⟩ must pick the
+        // reversed orientation.
+        let inst = paper_example();
+        let h2 = Site::full(FragId::h(1), 1);
+        let v_site = Site::new(FragId::m(1), 1, 2);
+        let (s, o) = ms_sites(&inst, h2, v_site);
+        assert_eq!((s, o), (2, Orient::Reversed));
+    }
+
+    #[test]
+    fn orientation_tie_prefers_same() {
+        let mut t = ScoreTable::new();
+        t.set(Sym::fwd(0), Sym::fwd(1), 3);
+        t.set(Sym::fwd(0), Sym::rev(1), 3);
+        let (s, o) = ms_words(&t, &[Sym::fwd(0)], &[Sym::fwd(1)]);
+        assert_eq!((s, o), (3, Orient::Same));
+    }
+
+    #[test]
+    fn ms_is_reversal_invariant_on_both() {
+        // MS(u, v) computed via (u^R, v^R) must agree: P(u,v)=P(u^R,v^R).
+        let inst = paper_example();
+        let u = inst.site_word(Site::full(FragId::h(0), 3)).to_vec();
+        let v = inst.site_word(Site::full(FragId::m(0), 2)).to_vec();
+        let (s1, _) = ms_words(&inst.sigma, &u, &v);
+        let (s2, _) = ms_words(&inst.sigma, &reverse_word(&u), &reverse_word(&v));
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn fig8_border_sites_reduce_to_orientation_max() {
+        // Border sites: suffix ⟨b,c⟩ of h1 against prefix ⟨s,t⟩ of m1.
+        // Forward finds nothing aligned in order except... σ(b,t^R)=3 is
+        // reversed-only, σ(c,u)=5 not present here, σ(a,s)=4 not in the
+        // sites. Forward: σ(b,s)=0, σ(b,t)=0, σ(c,s)=0, σ(c,t)=0 → 0.
+        // Reversed v = ⟨t^R, s^R⟩: σ(b, t^R) = 3 → 3.
+        let inst = paper_example();
+        let h_suffix = Site::new(FragId::h(0), 1, 3);
+        let m_prefix = Site::new(FragId::m(0), 0, 2);
+        let (s, o) = ms_sites(&inst, h_suffix, m_prefix);
+        assert_eq!((s, o), (3, Orient::Reversed));
+    }
+
+    #[test]
+    fn oriented_p_score_matches_ms_components() {
+        let inst = paper_example();
+        let u = inst.site_word(Site::full(FragId::h(0), 3));
+        let v = inst.site_word(Site::full(FragId::m(0), 2));
+        let same = p_score_oriented(&inst.sigma, u, v, Orient::Same);
+        let rev = p_score_oriented(&inst.sigma, u, v, Orient::Reversed);
+        let (best, _) = ms_words(&inst.sigma, u, v);
+        assert_eq!(best, same.max(rev));
+    }
+}

@@ -1,0 +1,325 @@
+//! Memoised match-score oracle.
+//!
+//! Match scores depend only on the instance, never on the current
+//! solution (DESIGN.md decision D2), so every DP result can be cached
+//! for the lifetime of a solver run. Two cache layers:
+//!
+//! * **interval tables** `MS(h, m(d, e))` for a whole fragment `h`
+//!   against *every* interval of a fragment `m` — the 1-CSR → ISP
+//!   reduction (§3.4) and the TPA subroutine (§4.2) consume profits in
+//!   exactly this shape, and one DP sweep per start position fills a
+//!   whole row of ends;
+//! * **site pairs** `MS(h̄, m̄)` for arbitrary site pairs, used by the
+//!   improvement methods.
+//!
+//! Reads take a shared lock; misses fill under a write lock. The
+//! oracle is `Sync` and shared across rayon workers.
+
+use crate::match_score::ms_sites;
+use fragalign_model::symbol::reverse_word;
+use fragalign_model::{FragId, Instance, Orient, Score, Site};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// `MS(h, m(d, e))` for all `0 ≤ d ≤ e ≤ |m|`, plus the winning
+/// orientation. Flat `(n+1)²` storage.
+#[derive(Clone, Debug)]
+pub struct IntervalTable {
+    n: usize,
+    score_same: Vec<Score>,
+    score_rev: Vec<Score>,
+}
+
+impl IntervalTable {
+    #[inline]
+    fn idx(&self, d: usize, e: usize) -> usize {
+        d * (self.n + 1) + e
+    }
+
+    /// Best score and orientation for the interval `[d, e)`.
+    #[inline]
+    pub fn get(&self, d: usize, e: usize) -> (Score, Orient) {
+        debug_assert!(d <= e && e <= self.n);
+        let s = self.score_same[self.idx(d, e)];
+        let r = self.score_rev[self.idx(d, e)];
+        if r > s {
+            (r, Orient::Reversed)
+        } else {
+            (s, Orient::Same)
+        }
+    }
+
+    /// Length of the indexed fragment.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false — tables exist for real fragments.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Cache statistics (for the `oracle` bench and EXPERIMENTS.md T9).
+#[derive(Debug, Default)]
+pub struct OracleStats {
+    /// Interval-table lookups served from cache.
+    pub table_hits: AtomicU64,
+    /// Interval tables computed.
+    pub table_misses: AtomicU64,
+    /// Site-pair lookups served from cache.
+    pub pair_hits: AtomicU64,
+    /// Site-pair scores computed.
+    pub pair_misses: AtomicU64,
+}
+
+/// Shared, thread-safe score oracle over one instance.
+pub struct ScoreOracle<'a> {
+    inst: &'a Instance,
+    tables: RwLock<HashMap<(FragId, FragId), Arc<IntervalTable>>>,
+    pairs: RwLock<HashMap<(Site, Site), (Score, Orient)>>,
+    oriented: RwLock<HashMap<(Site, Site, Orient), Score>>,
+    /// Hit/miss counters.
+    pub stats: OracleStats,
+}
+
+impl<'a> ScoreOracle<'a> {
+    /// Create an empty oracle for `inst`.
+    pub fn new(inst: &'a Instance) -> Self {
+        ScoreOracle {
+            inst,
+            tables: RwLock::new(HashMap::new()),
+            pairs: RwLock::new(HashMap::new()),
+            oriented: RwLock::new(HashMap::new()),
+            stats: OracleStats::default(),
+        }
+    }
+
+    /// The instance the oracle scores.
+    pub fn instance(&self) -> &'a Instance {
+        self.inst
+    }
+
+    /// The interval table of whole-fragment `plug` against intervals of
+    /// `container`. `plug` and `container` may be any two fragments of
+    /// opposite species (either order); scores are computed with σ
+    /// applied H-side-first.
+    pub fn interval_table(&self, plug: FragId, container: FragId) -> Arc<IntervalTable> {
+        if let Some(t) = self.tables.read().get(&(plug, container)) {
+            self.stats.table_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(t);
+        }
+        self.stats.table_misses.fetch_add(1, Ordering::Relaxed);
+        let table = Arc::new(self.build_table(plug, container));
+        self.tables.write().insert((plug, container), Arc::clone(&table));
+        table
+    }
+
+    fn build_table(&self, plug: FragId, container: FragId) -> IntervalTable {
+        let u_raw = &self.inst.fragment(plug).regions;
+        let w_raw = &self.inst.fragment(container).regions;
+        let n = w_raw.len();
+        let h_first = plug.species == fragalign_model::Species::H;
+
+        // score σ must see (H symbol, M symbol); build a closure-free
+        // shim by swapping words when the plug is the M fragment:
+        // P(u, w[d..e]) with σ(u_i, w_j) when h_first, else σ(w_j, u_i).
+        // DpMatrix applies σ(row, col), so put the H-side word on the
+        // row axis and transpose interval roles accordingly: intervals
+        // are always over `container`, which sits on the column axis
+        // when the plug is H, and on the row axis otherwise. To keep a
+        // single code path we compute with u on rows and re-key σ via a
+        // swapped score table when needed — instead, simpler: when the
+        // plug is the M side we swap arguments position-wise per cell
+        // using the reversed-keyed instance. The cheapest correct route:
+        // materialise σ' with swapped roles once per oracle would cost
+        // memory; we instead run the DP with `container` on columns and
+        // query σ in the right order through a small adapter.
+        let mut score_same = vec![0 as Score; (n + 1) * (n + 1)];
+        let mut score_rev = vec![0 as Score; (n + 1) * (n + 1)];
+
+        // Same orientation: for each start d, one DP sweep over w[d..].
+        let sigma = &self.inst.sigma;
+        let adapter = |a: fragalign_model::Sym, b: fragalign_model::Sym| {
+            if h_first {
+                sigma.score(a, b)
+            } else {
+                sigma.score(b, a)
+            }
+        };
+        // DpMatrix needs a ScoreTable; for the swapped case we run a
+        // local DP here instead of reusing DpMatrix.
+        let fill = |w: &[fragalign_model::Sym], out: &mut [Score]| {
+            for d in 0..=n {
+                // DP of u vs w[d..]: last row gives P(u, w[d..e]).
+                let v = &w[d.min(w.len())..];
+                let rows = u_raw.len() + 1;
+                let cols = v.len() + 1;
+                let mut prev = vec![0 as Score; cols];
+                let mut cur = vec![0 as Score; cols];
+                for i in 1..rows {
+                    cur[0] = 0;
+                    for j in 1..cols {
+                        let s = adapter(u_raw[i - 1], v[j - 1]);
+                        cur[j] = (prev[j - 1] + s).max(prev[j]).max(cur[j - 1]);
+                    }
+                    std::mem::swap(&mut prev, &mut cur);
+                }
+                // prev now holds the last filled row (or the zero row
+                // when u is empty).
+                for e in d..=n {
+                    out[d * (n + 1) + e] = prev[e - d];
+                }
+            }
+        };
+        fill(w_raw, &mut score_same);
+
+        // Reversed orientation: (w[d..e])^R = w^R[n-e..n-d]; fill a
+        // table over w^R and re-index.
+        let w_rev = reverse_word(w_raw);
+        let mut rev_table = vec![0 as Score; (n + 1) * (n + 1)];
+        fill(&w_rev, &mut rev_table);
+        for d in 0..=n {
+            for e in d..=n {
+                score_rev[d * (n + 1) + e] = rev_table[(n - e) * (n + 1) + n - d];
+            }
+        }
+
+        IntervalTable { n, score_same, score_rev }
+    }
+
+    /// `MS(h̄, m̄)` with memoisation. `h` must be an H-species site and
+    /// `m` an M-species site.
+    pub fn ms(&self, h: Site, m: Site) -> (Score, Orient) {
+        let key = (h, m);
+        if let Some(&v) = self.pairs.read().get(&key) {
+            self.stats.pair_hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        self.stats.pair_misses.fetch_add(1, Ordering::Relaxed);
+        let v = ms_sites(self.inst, h, m);
+        self.pairs.write().insert(key, v);
+        v
+    }
+
+    /// `MS(plug fragment, container(d, e))` through the interval table.
+    pub fn ms_full_vs_interval(
+        &self,
+        plug: FragId,
+        container: FragId,
+        d: usize,
+        e: usize,
+    ) -> (Score, Orient) {
+        self.interval_table(plug, container).get(d, e)
+    }
+
+    /// `P_score` under a pinned relative orientation, memoised. Border
+    /// matches need this: their orientation is forced by the staircase
+    /// end condition, not free to maximise.
+    pub fn ms_oriented(&self, h: Site, m: Site, orient: Orient) -> Score {
+        let key = (h, m, orient);
+        if let Some(&v) = self.oriented.read().get(&key) {
+            self.stats.pair_hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        self.stats.pair_misses.fetch_add(1, Ordering::Relaxed);
+        let v = crate::match_score::p_score_oriented(
+            &self.inst.sigma,
+            self.inst.site_word(h),
+            self.inst.site_word(m),
+            orient,
+        );
+        self.oriented.write().insert(key, v);
+        v
+    }
+
+    /// Drop all cached entries (used by the cache ablation bench).
+    pub fn clear(&self) {
+        self.tables.write().clear();
+        self.pairs.write().clear();
+        self.oriented.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::match_score::ms_words;
+    use fragalign_model::instance::paper_example;
+    use fragalign_model::{FragId, Site};
+
+    #[test]
+    fn interval_table_matches_direct_ms() {
+        let inst = paper_example();
+        let oracle = ScoreOracle::new(&inst);
+        for h in inst.frag_ids(fragalign_model::Species::H) {
+            for m in inst.frag_ids(fragalign_model::Species::M) {
+                let table = oracle.interval_table(h, m);
+                let n = inst.frag_len(m);
+                for d in 0..n {
+                    for e in (d + 1)..=n {
+                        let direct = ms_words(
+                            &inst.sigma,
+                            &inst.fragment(h).regions,
+                            inst.fragment(m).slice(d, e),
+                        );
+                        assert_eq!(table.get(d, e), direct, "h={h:?} m={m:?} [{d},{e})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interval_table_m_plug_swaps_sigma_roles() {
+        let inst = paper_example();
+        let oracle = ScoreOracle::new(&inst);
+        // plug = m2 = ⟨u, v⟩ into intervals of h1 = ⟨a, b, c⟩:
+        // σ(c, u) = 5 so interval ⟨c⟩ = [2,3) scores 5.
+        let t = oracle.interval_table(FragId::m(1), FragId::h(0));
+        assert_eq!(t.get(2, 3).0, 5);
+        assert_eq!(t.get(0, 3).0, 5);
+        assert_eq!(t.get(0, 2).0, 0);
+    }
+
+    #[test]
+    fn reversed_intervals_reindexed_correctly() {
+        let inst = paper_example();
+        let oracle = ScoreOracle::new(&inst);
+        // h2 = ⟨d⟩ vs m2 = ⟨u, v⟩: σ(d, v^R) = 2 ⇒ interval ⟨v⟩ = [1,2)
+        // scores 2 with Reversed orientation.
+        let t = oracle.interval_table(FragId::h(1), FragId::m(1));
+        assert_eq!(t.get(1, 2), (2, Orient::Reversed));
+        assert_eq!(t.get(0, 1), (0, Orient::Same));
+    }
+
+    #[test]
+    fn caches_hit_on_repeat() {
+        let inst = paper_example();
+        let oracle = ScoreOracle::new(&inst);
+        let _ = oracle.interval_table(FragId::h(0), FragId::m(0));
+        let _ = oracle.interval_table(FragId::h(0), FragId::m(0));
+        assert_eq!(oracle.stats.table_misses.load(Ordering::Relaxed), 1);
+        assert_eq!(oracle.stats.table_hits.load(Ordering::Relaxed), 1);
+        let s1 = oracle.ms(Site::new(FragId::h(0), 0, 2), Site::new(FragId::m(0), 0, 2));
+        let s2 = oracle.ms(Site::new(FragId::h(0), 0, 2), Site::new(FragId::m(0), 0, 2));
+        assert_eq!(s1, s2);
+        assert_eq!(oracle.stats.pair_misses.load(Ordering::Relaxed), 1);
+        assert_eq!(oracle.stats.pair_hits.load(Ordering::Relaxed), 1);
+        oracle.clear();
+        let _ = oracle.ms(Site::new(FragId::h(0), 0, 2), Site::new(FragId::m(0), 0, 2));
+        assert_eq!(oracle.stats.pair_misses.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn empty_interval_scores_zero() {
+        let inst = paper_example();
+        let oracle = ScoreOracle::new(&inst);
+        let t = oracle.interval_table(FragId::h(0), FragId::m(0));
+        for d in 0..=inst.frag_len(FragId::m(0)) {
+            assert_eq!(t.get(d, d).0, 0);
+        }
+    }
+}

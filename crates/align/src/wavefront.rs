@@ -1,0 +1,153 @@
+//! Wavefront-parallel `P_score`.
+//!
+//! Cells of an anti-diagonal of the DP matrix depend only on the two
+//! previous anti-diagonals, so each diagonal can be filled in parallel
+//! (the classic parallel-DP decomposition the paper's venue — IPPS —
+//! targets). Three rolling diagonal buffers keep memory at `O(|u|)`.
+//!
+//! The parallel result is bit-identical to [`crate::dp::p_score`]:
+//! scores are integers and max is associative, so there is no
+//! floating-point reassociation hazard.
+
+use fragalign_model::{Score, ScoreTable, Sym};
+use rayon::prelude::*;
+
+/// Below this many cells the sequential DP wins; chosen by the
+/// `align_dp` bench (see EXPERIMENTS.md T8). Fork/join overhead plus
+/// the σ hash lookups make fine-grained parallelism unprofitable until
+/// diagonals are long, so the cutoff is high.
+pub const WAVEFRONT_CUTOFF_CELLS: usize = 512 * 512;
+
+/// Minimum cells per rayon task along one diagonal; below this the
+/// scheduling overhead exceeds the work.
+pub const WAVEFRONT_MIN_CHUNK: usize = 512;
+
+/// `P_score(u, v)` filled diagonal-by-diagonal with rayon.
+///
+/// Falls back to the sequential kernel for small inputs where the
+/// fork/join overhead dominates.
+pub fn p_score_wavefront(sigma: &ScoreTable, u: &[Sym], v: &[Sym]) -> Score {
+    if u.is_empty() || v.is_empty() {
+        return 0;
+    }
+    if u.len() * v.len() < WAVEFRONT_CUTOFF_CELLS {
+        return crate::dp::p_score(sigma, u, v);
+    }
+    let n = u.len();
+    let m = v.len();
+    // Diagonal k holds cells (i, j) with i + j = k, 0 ≤ i ≤ n,
+    // 0 ≤ j ≤ m; buffers are indexed by i.
+    let mut prev2 = vec![0 as Score; n + 1]; // diagonal k-2
+    let mut prev1 = vec![0 as Score; n + 1]; // diagonal k-1
+    let mut cur = vec![0 as Score; n + 1];
+    for k in 2..=(n + m) {
+        let lo = k.saturating_sub(m).max(1);
+        let hi = (k - 1).min(n);
+        // Cells with i == 0 or j == 0 stay 0 (base row/column); for
+        // 2 ≤ k ≤ n + m the diagonal always has at least one interior
+        // cell.
+        debug_assert!(lo <= hi);
+        {
+            let prev1_ref = &prev1;
+            let prev2_ref = &prev2;
+            cur[lo..=hi]
+                .par_iter_mut()
+                .with_min_len(WAVEFRONT_MIN_CHUNK)
+                .enumerate()
+                .for_each(|(off, cell)| {
+                let i = lo + off;
+                let j = k - i;
+                let diag = prev2_ref[i - 1] + sigma.score(u[i - 1], v[j - 1]);
+                let up = prev1_ref[i - 1]; // (i-1, j) lives on diag k-1
+                let left = prev1_ref[i]; // (i, j-1) lives on diag k-1
+                *cell = diag.max(up).max(left);
+            });
+        }
+        // Keep boundary cells of the current diagonal zeroed.
+        if lo > 1 {
+            cur[lo - 1] = 0;
+        }
+        std::mem::swap(&mut prev2, &mut prev1);
+        std::mem::swap(&mut prev1, &mut cur);
+    }
+    // After the final swap the last diagonal (k = n + m), which contains
+    // only the cell (n, m), sits in prev1.
+    prev1[n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::p_score;
+    use fragalign_model::ScoreTable;
+
+    fn table(seed: u64, syms: u32) -> ScoreTable {
+        // Small deterministic pseudo-random score table.
+        let mut t = ScoreTable::new();
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for a in 0..syms {
+            for b in 0..syms {
+                let r = next() % 7;
+                if r > 2 {
+                    t.set(Sym::fwd(a), Sym::fwd(1000 + b), (r - 2) as i64);
+                }
+            }
+        }
+        t
+    }
+
+    fn word(seed: u64, len: usize, syms: u32, base: u32) -> Vec<Sym> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                Sym::fwd(base + (state % syms as u64) as u32)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn small_inputs_fall_back() {
+        let t = table(7, 4);
+        let u = word(1, 10, 4, 0);
+        let v = word(2, 12, 4, 1000);
+        assert_eq!(p_score_wavefront(&t, &u, &v), p_score(&t, &u, &v));
+    }
+
+    #[test]
+    fn wavefront_equals_sequential_beyond_cutoff() {
+        let t = table(42, 8);
+        for (lu, lv) in [(70, 70), (65, 200), (200, 65), (128, 131), (600, 600)] {
+            let u = word(3 + lu as u64, lu, 8, 0);
+            let v = word(5 + lv as u64, lv, 8, 1000);
+            assert_eq!(
+                p_score_wavefront(&t, &u, &v),
+                p_score(&t, &u, &v),
+                "sizes {lu}x{lv}"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_aspect_ratio() {
+        let t = table(11, 4);
+        let u = word(9, 2, 4, 0);
+        let v = word(10, 5000, 4, 1000);
+        assert_eq!(p_score_wavefront(&t, &u, &v), p_score(&t, &u, &v));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let t = table(1, 2);
+        assert_eq!(p_score_wavefront(&t, &[], &[]), 0);
+        assert_eq!(p_score_wavefront(&t, &word(1, 5, 2, 0), &[]), 0);
+    }
+}

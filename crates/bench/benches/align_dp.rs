@@ -1,0 +1,30 @@
+//! Bench: the P_score DP kernels (EXPERIMENTS.md T8).
+//!
+//! Regenerates the sequential-vs-wavefront crossover: below ~64×64
+//! cells the sequential kernel wins; beyond it the wavefront spreads
+//! diagonals across cores.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fragalign::align::{p_score, p_score_wavefront};
+use fragalign_bench::{table, word};
+use std::hint::black_box;
+
+fn bench_dp(c: &mut Criterion) {
+    let t = table(7, 16);
+    let mut group = c.benchmark_group("p_score");
+    for len in [64usize, 256, 1024] {
+        let u = word(1, len, 16, 0);
+        let v = word(2, len, 16, 1000);
+        group.throughput(Throughput::Elements((len * len) as u64));
+        group.bench_with_input(BenchmarkId::new("sequential", len), &len, |b, _| {
+            b.iter(|| p_score(black_box(&t), black_box(&u), black_box(&v)))
+        });
+        group.bench_with_input(BenchmarkId::new("wavefront", len), &len, |b, _| {
+            b.iter(|| p_score_wavefront(black_box(&t), black_box(&u), black_box(&v)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Bench: the §4 improvement algorithms (EXPERIMENTS.md T1/T9).
+//!
+//! Compares Full/Border/General improvement and the scaling ablation
+//! (D4) on a fixed simulated instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fragalign::prelude::*;
+use fragalign_bench::sim_instance;
+use std::hint::black_box;
+
+fn bench_improve(c: &mut Criterion) {
+    let inst = sim_instance(16, 3, 21);
+    let mut group = c.benchmark_group("improve");
+    group.sample_size(10);
+    group.bench_function("full", |b| b.iter(|| full_improve(black_box(&inst), false)));
+    group.bench_function("border", |b| b.iter(|| border_improve(black_box(&inst), false)));
+    group.bench_function("csr", |b| b.iter(|| csr_improve(black_box(&inst), false)));
+    group.bench_function("csr_scaled", |b| b.iter(|| csr_improve(black_box(&inst), true)));
+    group.bench_function("four_approx", |b| {
+        b.iter(|| solve_four_approx(black_box(&inst)))
+    });
+    group.bench_function("greedy", |b| b.iter(|| solve_greedy(black_box(&inst))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_improve);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Bench: Hungarian maximum-weight matching (Lemma 9 substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fragalign::matching::{max_weight_matching, WeightMatrix};
+use fragalign_bench::Stream;
+use std::hint::black_box;
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian");
+    for n in [16usize, 64, 128] {
+        let mut s = Stream(n as u64 | 1);
+        let mut w = WeightMatrix::new(n, n);
+        for r in 0..n {
+            for col in 0..n {
+                w.set(r, col, s.below(1000) as i64 - 100);
+            }
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| max_weight_matching(black_box(&w)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

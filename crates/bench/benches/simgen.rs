@@ -1,0 +1,27 @@
+//! Bench: instance generation, abstract vs DNA-derived σ.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fragalign::prelude::SimConfig;
+use fragalign::sim::{generate, DnaMode};
+use std::hint::black_box;
+
+fn bench_simgen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simgen");
+    let abstract_cfg =
+        SimConfig { regions: 64, h_frags: 8, m_frags: 8, seed: 1, ..SimConfig::default() };
+    group.bench_function("abstract_64", |b| b.iter(|| generate(black_box(&abstract_cfg))));
+    let dna_cfg = SimConfig {
+        regions: 32,
+        h_frags: 4,
+        m_frags: 4,
+        dna: Some(DnaMode::default()),
+        seed: 1,
+        ..SimConfig::default()
+    };
+    group.sample_size(10);
+    group.bench_function("dna_32", |b| b.iter(|| generate(black_box(&dna_cfg))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_simgen);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Experiment T4: the Berman–DasGupta two-phase algorithm's ratio-2
+//! guarantee and its runtime shape vs the greedy baseline.
+//!
+//! ```sh
+//! cargo run --release -p fragalign-bench --bin exp_isp
+//! ```
+
+use fragalign::isp::{solve_exact, solve_greedy, solve_tpa};
+use fragalign::isp::tpa::stack_total;
+use fragalign_bench::isp_instance;
+use std::time::Instant;
+
+fn main() {
+    // --- guarantee sweep (small instances vs exact) ------------------
+    let mut worst_tpa = 1.0f64;
+    let mut worst_greedy = 1.0f64;
+    let mut mean_tpa = 0.0;
+    let mut mean_greedy = 0.0;
+    let mut stack_violations = 0;
+    let cases = 200;
+    for seed in 0..cases {
+        let inst = isp_instance(seed as u64 + 1, 4, 14, 40);
+        let exact = solve_exact(&inst).profit();
+        if exact == 0 {
+            continue;
+        }
+        let tpa = solve_tpa(&inst);
+        let greedy = solve_greedy(&inst).profit();
+        let rt = exact as f64 / tpa.profit().max(1) as f64;
+        let rg = exact as f64 / greedy.max(1) as f64;
+        worst_tpa = worst_tpa.max(rt);
+        worst_greedy = worst_greedy.max(rg);
+        mean_tpa += rt;
+        mean_greedy += rg;
+        // The two-phase invariant: selection ≥ stack total.
+        if tpa.profit() < stack_total(&inst) {
+            stack_violations += 1;
+        }
+    }
+    println!("T4: ISP two-phase algorithm vs exact over {cases} instances");
+    println!("{:<10} {:>10} {:>10} {:>14}", "algorithm", "mean", "worst", "paper bound");
+    println!(
+        "{:<10} {:>10.3} {:>10.3} {:>14}",
+        "tpa",
+        mean_tpa / cases as f64,
+        worst_tpa,
+        "2"
+    );
+    println!(
+        "{:<10} {:>10.3} {:>10.3} {:>14}",
+        "greedy",
+        mean_greedy / cases as f64,
+        worst_greedy,
+        "none"
+    );
+    println!("phase-1 stack invariant violations: {stack_violations} (must be 0)");
+    assert_eq!(stack_violations, 0);
+    assert!(worst_tpa <= 2.0 + 1e-9, "ratio-2 guarantee violated: {worst_tpa}");
+
+    // --- runtime shape ------------------------------------------------
+    println!("\nruntime (n log n shape):");
+    println!("{:>10} {:>12} {:>12}", "candidates", "tpa (µs)", "greedy (µs)");
+    for cands in [1000usize, 4000, 16000, 64000] {
+        let inst = isp_instance(99, cands / 10, cands, (cands * 4) as i64);
+        let t0 = Instant::now();
+        let tpa = solve_tpa(&inst);
+        let t_tpa = t0.elapsed();
+        let t0 = Instant::now();
+        let greedy = solve_greedy(&inst);
+        let t_greedy = t0.elapsed();
+        println!(
+            "{cands:>10} {:>12.0} {:>12.0}   (profits {} vs {})",
+            t_tpa.as_secs_f64() * 1e6,
+            t_greedy.as_secs_f64() * 1e6,
+            tpa.profit(),
+            greedy.profit()
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Experiment T8: runtime scaling and parallel speedup.
+//!
+//! ```sh
+//! cargo run --release -p fragalign-bench --bin exp_speedup
+//! ```
+//!
+//! Part 1: solver wall-clock vs instance size (the quadratic site
+//! enumeration dominating CSR_Improve; the concatenation DP dominating
+//! the factor-4 algorithm). Part 2: wavefront DP and parallel
+//! attempt-evaluation speedup over thread counts (IPPS context).
+
+use fragalign::align::{p_score, p_score_wavefront};
+use fragalign::par::{speedup_sweep, with_threads};
+use fragalign::prelude::*;
+use fragalign_bench::{sim_instance, table, word};
+use std::time::Instant;
+
+fn main() {
+    println!("T8a: runtime vs instance size (single pool)");
+    println!(
+        "{:>8} {:>6} {:>12} {:>12} {:>12}",
+        "regions", "frags", "greedy (ms)", "four (ms)", "csr (ms)"
+    );
+    for (regions, frags) in [(12usize, 3usize), (24, 4), (36, 5), (48, 6)] {
+        let inst = sim_instance(regions, frags, 77);
+        let t0 = Instant::now();
+        let _ = solve_greedy(&inst);
+        let t_greedy = t0.elapsed();
+        let t0 = Instant::now();
+        let _ = solve_four_approx(&inst);
+        let t_four = t0.elapsed();
+        let t0 = Instant::now();
+        let _ = csr_improve(&inst, false);
+        let t_csr = t0.elapsed();
+        println!(
+            "{regions:>8} {frags:>6} {:>12.1} {:>12.1} {:>12.1}",
+            t_greedy.as_secs_f64() * 1e3,
+            t_four.as_secs_f64() * 1e3,
+            t_csr.as_secs_f64() * 1e3
+        );
+    }
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    println!("\nT8b: wavefront P_score speedup ({} cores available)", cores);
+    let t = table(5, 32);
+    let u = word(1, 2000, 32, 0);
+    let v = word(2, 2000, 32, 1000);
+    let seq = p_score(&t, &u, &v);
+    println!("{:>8} {:>10} {:>8}", "threads", "time (ms)", "speedup");
+    for p in speedup_sweep(cores, || p_score_wavefront(&t, &u, &v)) {
+        println!("{:>8} {:>10.1} {:>8.2}", p.threads, p.elapsed.as_secs_f64() * 1e3, p.speedup);
+    }
+    let (par, _) = with_threads(cores, || p_score_wavefront(&t, &u, &v));
+    assert_eq!(par, seq, "parallel DP is exact");
+
+    println!("\nT8c: CSR_Improve attempt-evaluation speedup");
+    let inst = sim_instance(28, 4, 13);
+    println!("{:>8} {:>10} {:>8}", "threads", "time (ms)", "score");
+    let mut t_count = 1;
+    let mut scores = Vec::new();
+    while t_count <= cores {
+        let inst2 = inst.clone();
+        let (score, elapsed) = with_threads(t_count, move || csr_improve(&inst2, false).score);
+        println!("{:>8} {:>10.1} {:>8}", t_count, elapsed.as_secs_f64() * 1e3, score);
+        scores.push(score);
+        t_count *= 2;
+    }
+    assert!(scores.windows(2).all(|w| w[0] == w[1]), "deterministic across pools");
+}

@@ -1,0 +1,182 @@
+//! `fragalign` — solve CSR instances from the command line.
+//!
+//! ```text
+//! fragalign solve  [--algo csr|full|border|four|greedy|matching|exact] [--scaling] <instance.json>
+//! fragalign gen    [--regions N] [--h-frags N] [--m-frags N] [--seed S] [--noise X]
+//! fragalign demo
+//! ```
+//!
+//! * `solve` reads an instance (JSON), runs the chosen solver and
+//!   prints the score, the matches and the two-row layout.
+//! * `gen` emits a synthetic instance as JSON (pipe into `solve`).
+//! * `demo` runs the paper's Fig. 2 example end to end.
+
+use fragalign_align::DpAligner;
+use fragalign_core as core;
+use fragalign_model::{Instance, LayoutBuilder, MatchSet};
+use fragalign_sim::{generate, SimConfig};
+use std::io::Read;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  fragalign solve [--algo csr|full|border|four|greedy|matching|exact] [--scaling] <instance.json|->\n  fragalign gen [--regions N] [--h-frags N] [--m-frags N] [--seed S] [--noise X]\n  fragalign demo"
+    );
+    ExitCode::from(2)
+}
+
+fn read_instance(path: &str) -> Result<Instance, String> {
+    let data = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf).map_err(|e| e.to_string())?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+    };
+    let mut inst: Instance = serde_json::from_str(&data).map_err(|e| e.to_string())?;
+    inst.alphabet.rebuild_index();
+    inst.validate()?;
+    Ok(inst)
+}
+
+fn solve(algo: &str, scaling: bool, inst: &Instance) -> Result<MatchSet, String> {
+    Ok(match algo {
+        "csr" => core::csr_improve(inst, scaling).matches,
+        "full" => core::full_improve(inst, scaling).matches,
+        "border" => core::border_improve(inst, scaling).matches,
+        "four" => core::solve_four_approx(inst),
+        "greedy" => core::solve_greedy(inst),
+        "matching" => core::border_matching_2approx(inst),
+        "exact" => {
+            let limits = core::ExactLimits::default();
+            let sol = core::solve_exact(inst, limits);
+            eprintln!("exact score: {} (arrangement only; showing csr matches)", sol.score);
+            core::csr_improve(inst, scaling).matches
+        }
+        other => return Err(format!("unknown algorithm '{other}'")),
+    })
+}
+
+fn report(inst: &Instance, matches: &MatchSet) {
+    match core::solution_stats(inst, matches) {
+        Ok(stats) => print!("{stats}"),
+        Err(e) => println!("inconsistent solution: {e}"),
+    }
+    for (id, m) in matches.iter() {
+        println!(
+            "  #{id}: {:?} ~ {:?} ({:?}, score {})",
+            m.h, m.m, m.orient, m.score
+        );
+    }
+    match LayoutBuilder::new(inst, &DpAligner).layout(matches) {
+        Ok(pair) => {
+            println!("layout (H over M):\n{}", pair.render(inst));
+        }
+        Err(e) => println!("layout failed: {e}"),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { return usage() };
+    match cmd.as_str() {
+        "demo" => {
+            let inst = fragalign_model::instance::paper_example();
+            println!("instance: the paper's Fig. 2 example");
+            let result = core::csr_improve(&inst, false);
+            report(&inst, &result.matches);
+            ExitCode::SUCCESS
+        }
+        "solve" => {
+            let mut algo = "csr".to_owned();
+            let mut scaling = false;
+            let mut path: Option<String> = None;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--algo" => match it.next() {
+                        Some(v) => algo = v.clone(),
+                        None => return usage(),
+                    },
+                    "--scaling" => scaling = true,
+                    other => path = Some(other.to_owned()),
+                }
+            }
+            let Some(path) = path else { return usage() };
+            let inst = match read_instance(&path) {
+                Ok(i) => i,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match solve(&algo, scaling, &inst) {
+                Ok(matches) => {
+                    report(&inst, &matches);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "gen" => {
+            let mut cfg = SimConfig::default();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                let mut next_usize = |target: &mut usize| -> Result<(), ExitCode> {
+                    match it.next().and_then(|v| v.parse().ok()) {
+                        Some(v) => {
+                            *target = v;
+                            Ok(())
+                        }
+                        None => Err(usage()),
+                    }
+                };
+                match a.as_str() {
+                    "--regions" => {
+                        if let Err(e) = next_usize(&mut cfg.regions) {
+                            return e;
+                        }
+                    }
+                    "--h-frags" => {
+                        if let Err(e) = next_usize(&mut cfg.h_frags) {
+                            return e;
+                        }
+                    }
+                    "--m-frags" => {
+                        if let Err(e) = next_usize(&mut cfg.m_frags) {
+                            return e;
+                        }
+                    }
+                    "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                        Some(v) => cfg.seed = v,
+                        None => return usage(),
+                    },
+                    "--noise" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                        Some(v) => {
+                            cfg.loss_rate = v;
+                            cfg.spurious = (v * 20.0) as usize;
+                            cfg.shuffles = (v * 10.0) as usize;
+                        }
+                        None => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            let sim = generate(&cfg);
+            match serde_json::to_string_pretty(&sim.instance) {
+                Ok(s) => {
+                    println!("{s}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,364 @@
+//! Consistent Subsets of Pairs (CSoP) and the Theorem 2 hardness
+//! reduction.
+//!
+//! CSoP is the restriction of UCSR where `M = ⟨a₁ … a₂ₙ⟩` and `H`
+//! consists of 2-letter fragments whose index pairs partition
+//! `[1, 2n]`. A feasible solution is `U ⊆ [1, 2n]` such that whenever
+//! both elements of a pair are chosen, no other chosen element lies
+//! strictly between them (the pair's letters must stay adjacent in the
+//! common subsequence); the goal is to maximise `|U|`.
+//!
+//! Theorem 2 reduces 3-MIS to CSoP: a 3-regular graph on `2n` nodes
+//! (with no edge between consecutively numbered nodes) maps to a CSoP
+//! instance over `10n` elements whose optimum is exactly `5n + |W*|`,
+//! `W*` a maximum independent set. Both instance translation and the
+//! solution maps are implemented and verified.
+
+use fragalign_graph::Graph;
+
+/// A CSoP instance: pairs `(i, j)` with `i < j` partitioning
+/// `0..2·pairs.len()` (0-based internally).
+#[derive(Clone, Debug)]
+pub struct CsopInstance {
+    /// The element pairs; a partition of `0..universe()`.
+    pub pairs: Vec<(usize, usize)>,
+}
+
+impl CsopInstance {
+    /// Number of elements.
+    pub fn universe(&self) -> usize {
+        2 * self.pairs.len()
+    }
+
+    /// Check the partition property.
+    pub fn validate_instance(&self) -> Result<(), String> {
+        let n = self.universe();
+        let mut seen = vec![false; n];
+        for &(i, j) in &self.pairs {
+            if i >= j {
+                return Err(format!("pair ({i}, {j}) not increasing"));
+            }
+            for x in [i, j] {
+                if x >= n {
+                    return Err(format!("element {x} out of range"));
+                }
+                if seen[x] {
+                    return Err(format!("element {x} in two pairs"));
+                }
+                seen[x] = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether `U` (sorted or not) is feasible: pairs fully inside `U`
+    /// have no chosen element strictly between them.
+    pub fn is_feasible(&self, u: &[usize]) -> bool {
+        let mut chosen = vec![false; self.universe()];
+        for &x in u {
+            if x >= self.universe() || chosen[x] {
+                return false;
+            }
+            chosen[x] = true;
+        }
+        for &(i, j) in &self.pairs {
+            if chosen[i] && chosen[j] && (i + 1..j).any(|l| chosen[l]) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Exact maximum-cardinality feasible subset.
+    ///
+    /// Structure: in any feasible `U`, the pairs with *both* elements
+    /// chosen ("D-pairs") span pairwise disjoint intervals with no
+    /// other chosen element inside; any other pair contributes at most
+    /// one element, and exactly one whenever one of its elements lies
+    /// outside every D-interval. So the optimum is
+    ///
+    /// ```text
+    /// max over antichains D of disjoint pair-intervals:
+    ///     2|D| + |{k ∉ D : i_k or j_k outside every D-interior}|
+    /// ```
+    ///
+    /// and it suffices to search over antichains (DFS over pairs
+    /// sorted by left endpoint), evaluating each leaf in `O(pairs)`.
+    /// This makes Theorem 2 verification on small cubic graphs
+    /// practical where naive per-element branching is not.
+    pub fn solve_exact(&self) -> Vec<usize> {
+        let n = self.universe();
+        assert!(n <= 1 << 16, "exact CSoP capped at 2^16 elements, got {n}");
+        let mut order: Vec<(usize, usize)> = self.pairs.clone();
+        order.sort_unstable();
+
+        struct Ctx<'a> {
+            all: &'a [(usize, usize)],
+            order: &'a [(usize, usize)],
+            best_value: usize,
+            best_d: Vec<(usize, usize)>,
+        }
+        fn evaluate(all: &[(usize, usize)], d: &[(usize, usize)]) -> usize {
+            // d is sorted by left endpoint and disjoint.
+            let inside = |x: usize| {
+                d.iter().any(|&(a, b)| a < x && x < b)
+            };
+            let mut value = 2 * d.len();
+            for &(i, j) in all {
+                if d.contains(&(i, j)) {
+                    continue;
+                }
+                if !inside(i) || !inside(j) {
+                    value += 1;
+                }
+            }
+            value
+        }
+        fn rec(ctx: &mut Ctx<'_>, k: usize, d: &mut Vec<(usize, usize)>, last_end: usize) {
+            // Evaluate the current antichain (every prefix is a leaf).
+            let value = evaluate(ctx.all, d);
+            if value > ctx.best_value {
+                ctx.best_value = value;
+                ctx.best_d = d.clone();
+            }
+            for next in k..ctx.order.len() {
+                let (i, j) = ctx.order[next];
+                if !d.is_empty() && i <= last_end {
+                    continue; // closed intervals must be disjoint
+                }
+                d.push((i, j));
+                rec(ctx, next + 1, d, j);
+                d.pop();
+            }
+        }
+        let mut ctx =
+            Ctx { all: &self.pairs, order: &order, best_value: 0, best_d: Vec::new() };
+        rec(&mut ctx, 0, &mut Vec::new(), 0);
+
+        // Materialise U from the winning D: both elements of D-pairs,
+        // plus one free element of every other pair when available.
+        let d = ctx.best_d;
+        let inside = |x: usize| d.iter().any(|&(a, b)| a < x && x < b);
+        let mut u = Vec::new();
+        for &(i, j) in &d {
+            u.push(i);
+            u.push(j);
+        }
+        for &(i, j) in &self.pairs {
+            if d.contains(&(i, j)) {
+                continue;
+            }
+            if !inside(i) {
+                u.push(i);
+            } else if !inside(j) {
+                u.push(j);
+            }
+        }
+        u.sort_unstable();
+        debug_assert_eq!(u.len(), ctx.best_value);
+        debug_assert!(self.is_feasible(&u));
+        u
+    }
+
+    /// Normalise a solution (proof of Theorem 2): every feasible `U`
+    /// converts into an equally large `U'` intersecting every pair.
+    pub fn normalize(&self, u: &[usize]) -> Vec<usize> {
+        let mut chosen = vec![false; self.universe()];
+        for &x in u {
+            chosen[x] = true;
+        }
+        loop {
+            let missing = self
+                .pairs
+                .iter()
+                .enumerate()
+                .find(|(_, &(i, j))| !chosen[i] && !chosen[j]);
+            let Some((_, &(i, _j))) = missing else { break };
+            // Try to insert i; if a fully chosen pair (i', j') spans i,
+            // swap i for its left endpoint (the proof's exchange).
+            let spanning = self
+                .pairs
+                .iter()
+                .find(|&&(a, b)| chosen[a] && chosen[b] && a < i && i < b)
+                .copied();
+            match spanning {
+                None => chosen[i] = true,
+                Some((a, _)) => {
+                    chosen[a] = false;
+                    chosen[i] = true;
+                }
+            }
+        }
+        let out: Vec<usize> = (0..self.universe()).filter(|&x| chosen[x]).collect();
+        debug_assert!(self.is_feasible(&out));
+        debug_assert!(out.len() >= u.len());
+        out
+    }
+}
+
+/// The Theorem 2 instance translation: a 3-regular graph on `2n` nodes
+/// (node labels 0-based; no edge `{i, i+1}`) becomes a CSoP instance
+/// over `10n` elements. Node `i` (1-based `i'`) owns elements
+/// `5i'−5 … 5i'−1` (0-based); the node pair is `(5i'−5, 5i'−1)` and
+/// each edge `{i', j'}` with `A[i', b] = j'`, `A[j', c] = i'` becomes
+/// the pair `(5i'−b−1, 5j'−c−1)` in 0-based terms.
+pub fn reduce_mis_to_csop(g: &Graph) -> CsopInstance {
+    assert!(g.len() % 2 == 0, "Theorem 2 graphs have an even node count");
+    for i in 0..g.len().saturating_sub(1) {
+        assert!(
+            !g.has_edge(i, i + 1),
+            "reduction requires no consecutive edge (apply dirac_relabel first)"
+        );
+    }
+    let a = g.adjacency_matrix_3reg();
+    let mut pairs = Vec::new();
+    // Node pairs.
+    for i in 1..=g.len() {
+        pairs.push((5 * i - 5, 5 * i - 1));
+    }
+    // Edge pairs: b = 1-based column of j in A[i].
+    for i in 1..=g.len() {
+        for (col, &nb) in a[i - 1].iter().enumerate() {
+            let j = nb + 1; // 1-based
+            if j <= i {
+                continue;
+            }
+            let b = col + 1;
+            let c = a[j - 1]
+                .iter()
+                .position(|&x| x + 1 == i)
+                .expect("edge is symmetric")
+                + 1;
+            pairs.push((5 * i - b - 1, 5 * j - c - 1));
+        }
+    }
+    let inst = CsopInstance { pairs };
+    inst.validate_instance().expect("reduction emits a partition");
+    inst
+}
+
+/// Map an independent set `W` to a feasible CSoP solution of size
+/// `5n + |W|` (the constructive direction of the Theorem 2 proof).
+pub fn mis_to_csop_solution(g: &Graph, w: &[usize]) -> Vec<usize> {
+    let a = g.adjacency_matrix_3reg();
+    let in_w = {
+        let mut v = vec![false; g.len()];
+        for &x in w {
+            v[x] = true;
+        }
+        v
+    };
+    let mut out = Vec::new();
+    // {5i : i node} (0-based: 5i'−1).
+    for i in 1..=g.len() {
+        out.push(5 * i - 1);
+    }
+    // {5·i(e) − b(e) : e edge}, i(e) an endpoint in W when possible.
+    for i in 1..=g.len() {
+        for (col, &nb) in a[i - 1].iter().enumerate() {
+            let j = nb + 1;
+            if j <= i {
+                continue;
+            }
+            // The edge element must sit at an endpoint NOT in W:
+            // for i ∈ W both node-pair elements {5i−5, 5i−1} are
+            // chosen and an edge element 5i−b−1 would lie strictly
+            // between them. W is independent, so some endpoint is
+            // outside W.
+            let (pi, pcol) = if !in_w[i - 1] {
+                (i, col + 1)
+            } else {
+                debug_assert!(!in_w[j - 1], "W must be independent");
+                let c = a[j - 1].iter().position(|&x| x + 1 == i).unwrap() + 1;
+                (j, c)
+            };
+            out.push(5 * pi - pcol - 1);
+        }
+    }
+    // {5i − 4 : i ∈ W} (0-based: 5i'−5).
+    for i in 1..=g.len() {
+        if in_w[i - 1] {
+            out.push(5 * i - 5);
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Extract an independent set from a *normal* CSoP solution:
+/// `W = {i : both node-pair elements of i chosen}`.
+pub fn csop_solution_to_mis(g: &Graph, u: &[usize]) -> Vec<usize> {
+    let chosen: std::collections::HashSet<usize> = u.iter().copied().collect();
+    (1..=g.len())
+        .filter(|&i| chosen.contains(&(5 * i - 5)) && chosen.contains(&(5 * i - 1)))
+        .map(|i| i - 1)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fragalign_graph::{dirac_relabel, is_independent_set, max_independent_set, random_regular};
+
+    #[test]
+    fn feasibility_semantics() {
+        // pairs (0,3), (1,2): choosing {0,1,3} puts 1 inside (0,3).
+        let inst = CsopInstance { pairs: vec![(0, 3), (1, 2)] };
+        inst.validate_instance().unwrap();
+        assert!(inst.is_feasible(&[0, 3]));
+        assert!(inst.is_feasible(&[0, 1, 2]));
+        assert!(!inst.is_feasible(&[0, 1, 3]));
+        assert!(inst.is_feasible(&[1, 2]));
+        // Both pairs fully chosen: (1,2) nests inside (0,3) — the
+        // elements 1, 2 lie strictly between 0 and 3.
+        assert!(!inst.is_feasible(&[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn exact_solver_on_tiny_instance() {
+        let inst = CsopInstance { pairs: vec![(0, 3), (1, 2)] };
+        let u = inst.solve_exact();
+        assert_eq!(u.len(), 3); // e.g. {0,1,2} or {1,2,3}
+        assert!(inst.is_feasible(&u));
+    }
+
+    #[test]
+    fn normalization_grows_or_keeps_size() {
+        let inst = CsopInstance { pairs: vec![(0, 3), (1, 2), (4, 5)] };
+        let norm = inst.normalize(&[]);
+        // normal solutions intersect every pair
+        for &(i, j) in &inst.pairs {
+            assert!(norm.contains(&i) || norm.contains(&j));
+        }
+    }
+
+    #[test]
+    fn theorem2_correspondence_on_random_cubic_graphs() {
+        for seed in 0..3u64 {
+            let g0 = random_regular(10, 3, seed);
+            let (g, _) = dirac_relabel(&g0, seed);
+            let inst = reduce_mis_to_csop(&g);
+            assert_eq!(inst.universe(), 5 * g.len());
+            let w = max_independent_set(&g);
+            let n = g.len() / 2;
+
+            // Forward: W → feasible CSoP solution of size 5n + |W|.
+            let u = mis_to_csop_solution(&g, &w);
+            assert!(inst.is_feasible(&u), "seed {seed}");
+            assert_eq!(u.len(), 5 * n + w.len(), "seed {seed}");
+
+            // Exact CSoP equals 5n + |W*| (|U*| cannot exceed it).
+            let u_star = inst.solve_exact();
+            assert_eq!(u_star.len(), 5 * n + w.len(), "seed {seed}");
+
+            // Backward: normalised optimum yields an independent set of
+            // matching size.
+            let norm = inst.normalize(&u_star);
+            let w_back = csop_solution_to_mis(&g, &norm);
+            assert!(is_independent_set(&g, &w_back), "seed {seed}");
+            assert_eq!(norm.len(), 5 * n + w_back.len(), "seed {seed}");
+            assert_eq!(w_back.len(), w.len(), "seed {seed}");
+        }
+    }
+}

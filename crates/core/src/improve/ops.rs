@@ -1,0 +1,383 @@
+//! Primitive solution operations: site preparation, plugging,
+//! detaching, and the TPA(B, S) subroutine of §4.2.
+
+use fragalign_align::ScoreOracle;
+use fragalign_isp::{solve_tpa, Interval, IspInstance};
+use fragalign_model::{
+    FragId, Match, MatchSet, Orient, Score, Site, SiteClass, Species,
+};
+use std::collections::HashSet;
+
+/// A site could not be prepared because it is hidden by a matched site
+/// (Definition 5: only non-hidden sites are preparable).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CannotPrepare {
+    /// The site that could not be prepared.
+    pub site: Site,
+}
+
+impl std::fmt::Display for CannotPrepare {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "site {:?} is hidden by the current solution", self.site)
+    }
+}
+
+impl std::error::Error for CannotPrepare {}
+
+/// Truncate a score to a multiple of `quantum` (§4.1 scaling); a
+/// quantum of 1 (or 0) is the identity.
+#[inline]
+pub fn trunc(score: Score, quantum: Score) -> Score {
+    if quantum <= 1 {
+        score
+    } else {
+        score.div_euclid(quantum) * quantum
+    }
+}
+
+/// Truncated total score of a match set.
+pub fn trunc_total(set: &MatchSet, quantum: Score) -> Score {
+    set.iter().map(|(_, m)| trunc(m.score, quantum)).sum()
+}
+
+/// Truncated contribution `Cb(f, S)`.
+pub fn cb_trunc(set: &MatchSet, frag: FragId, quantum: Score) -> Score {
+    set.iter()
+        .filter(|(_, m)| m.site_on(frag).is_some())
+        .map(|(_, m)| trunc(m.score, quantum))
+        .sum()
+}
+
+/// Order two opposite-species sites as (H site, M site).
+fn hm(a: Site, b: Site) -> (Site, Site) {
+    debug_assert_ne!(a.frag.species, b.frag.species);
+    if a.frag.species == Species::H {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Shrink one side of a match to `piece` (the part surviving a
+/// preparation cut), rescoring through the oracle. Returns `None` when
+/// the shrunken match is no longer structurally realisable, in which
+/// case the caller removes it entirely (the paper's Fig. 9(b)
+/// "preparation detaches g from f1" case).
+fn try_shrink(
+    oracle: &ScoreOracle<'_>,
+    mat: &Match,
+    on: FragId,
+    piece: Site,
+) -> Option<Match> {
+    let inst = oracle.instance();
+    let (h, m) = if mat.h.frag == on { (piece, mat.m) } else { (mat.h, piece) };
+    let candidate_kind =
+        Match { h, m, orient: mat.orient, score: 0 }.kind(inst.frag_len(h.frag), inst.frag_len(m.frag))?;
+    match candidate_kind {
+        fragalign_model::MatchKind::Full { .. } => {
+            let (score, orient) = oracle.ms(h, m);
+            Some(Match::new(h, m, orient, score))
+        }
+        fragalign_model::MatchKind::Border { h_end, m_end } => {
+            // Staircase condition forces the orientation.
+            let orient = if h_end != m_end { Orient::Same } else { Orient::Reversed };
+            let score = oracle.ms_oriented(h, m, orient);
+            Some(Match::new(h, m, orient, score))
+        }
+    }
+}
+
+/// Prepare a site (§4.2): make `site` free of matches so something can
+/// be plugged there. Matches whose site on the fragment is contained
+/// in `site` are removed; partially overlapping matches are restricted
+/// to the surviving piece and rescored, or removed when the restricted
+/// match would be structurally invalid. Fails iff `site` is hidden.
+///
+/// Returns the sites freed on *other* fragments by removed matches
+/// (excluding freed full sites — the corresponding fragments are
+/// simply unmatched now and re-enter TPA as jobs).
+pub fn prepare_site(
+    set: &mut MatchSet,
+    site: Site,
+    oracle: &ScoreOracle<'_>,
+) -> Result<Vec<Site>, CannotPrepare> {
+    let inst = oracle.instance();
+    let mut removals: Vec<usize> = Vec::new();
+    let mut rewrites: Vec<(usize, Match)> = Vec::new();
+    let mut freed: Vec<Site> = Vec::new();
+    for (id, m) in set.iter() {
+        let Some(my) = m.site_on(site.frag) else { continue };
+        if !my.overlaps(&site) {
+            continue;
+        }
+        if site.hidden_by(&my) {
+            return Err(CannotPrepare { site });
+        }
+        let other = m.other_site(site.frag).expect("cross-species match");
+        if my.contained_in(&site) {
+            removals.push(id);
+            if !other.is_full(inst.frag_len(other.frag)) {
+                freed.push(other);
+            }
+            continue;
+        }
+        let pieces = my.minus(&site);
+        debug_assert_eq!(pieces.len(), 1, "non-hidden overlap leaves one piece");
+        match try_shrink(oracle, m, site.frag, pieces[0]) {
+            Some(new_match) => rewrites.push((id, new_match)),
+            None => {
+                removals.push(id);
+                if !other.is_full(inst.frag_len(other.frag)) {
+                    freed.push(other);
+                }
+            }
+        }
+    }
+    for (id, new_match) in rewrites {
+        *set.get_mut(id).expect("id valid") = new_match;
+    }
+    set.remove_many(&removals);
+    Ok(freed)
+}
+
+/// Remove every match touching `frag`, returning the sites freed on
+/// other fragments (non-full sites only, as in [`prepare_site`]).
+pub fn detach_fragment(set: &mut MatchSet, frag: FragId, oracle: &ScoreOracle<'_>) -> Vec<Site> {
+    let inst = oracle.instance();
+    let ids = set.matches_on(frag);
+    let mut freed = Vec::new();
+    for &id in &ids {
+        let m = &set.as_slice()[id];
+        let other = m.other_site(frag).expect("cross-species match");
+        if !other.is_full(inst.frag_len(other.frag)) {
+            freed.push(other);
+        }
+    }
+    set.remove_many(&ids);
+    freed
+}
+
+/// Create the full match plugging `plug` (whole fragment) into
+/// `container_site`, scored by the oracle with free orientation.
+pub fn plug_full(set: &mut MatchSet, plug: FragId, container_site: Site, oracle: &ScoreOracle<'_>) {
+    let inst = oracle.instance();
+    let full = Site::full(plug, inst.frag_len(plug));
+    let (h, m) = hm(full, container_site);
+    let (score, orient) = oracle.ms(h, m);
+    set.push(Match::new(h, m, orient, score));
+}
+
+/// Create a border (staircase) match between two border sites; the
+/// orientation is forced by the ends.
+pub fn make_border(set: &mut MatchSet, a: Site, b: Site, oracle: &ScoreOracle<'_>) {
+    let inst = oracle.instance();
+    let (h, m) = hm(a, b);
+    let h_end = match h.classify(inst.frag_len(h.frag)) {
+        SiteClass::Border(e) => e,
+        c => panic!("make_border on non-border H site ({c:?})"),
+    };
+    let m_end = match m.classify(inst.frag_len(m.frag)) {
+        SiteClass::Border(e) => e,
+        c => panic!("make_border on non-border M site ({c:?})"),
+    };
+    let orient = if h_end != m_end { Orient::Same } else { Orient::Reversed };
+    let score = oracle.ms_oriented(h, m, orient);
+    set.push(Match::new(h, m, orient, score));
+}
+
+/// The TPA(B, S) subroutine of §4.2: refill the free `zones` with full
+/// matches chosen by the two-phase interval-selection algorithm.
+///
+/// * `zones` — disjoint sites, all on fragments of one species; they
+///   are sanitised against the current solution (portions already
+///   matched are subtracted) so callers can pass freed sites
+///   optimistically.
+/// * `exclude` — fragments that must not be used as plugs (e.g. the
+///   fragment just plugged by the surrounding improvement attempt).
+/// * profits are `MS(f, zone interval) − Cb(f, S)` (both truncated
+///   under `quantum`), exactly the profit function of §4.2.
+///
+/// Selected candidates detach their fragment from its old matches and
+/// plug it into the chosen interval.
+pub fn tpa_fill(
+    set: &mut MatchSet,
+    zones: &[Site],
+    exclude: &HashSet<FragId>,
+    oracle: &ScoreOracle<'_>,
+    quantum: Score,
+) {
+    let inst = oracle.instance();
+    if zones.is_empty() {
+        return;
+    }
+    let zone_species = zones[0].frag.species;
+    debug_assert!(zones.iter().all(|z| z.frag.species == zone_species));
+
+    // Sanitise: subtract currently matched sites from each zone.
+    let by_frag = set.sites_by_fragment();
+    let mut clean: Vec<Site> = Vec::new();
+    for &z in zones {
+        let mut pieces = vec![z];
+        if let Some(sites) = by_frag.get(&z.frag) {
+            for &(_, s) in sites {
+                let mut next = Vec::new();
+                for p in pieces {
+                    next.extend(p.minus(&s));
+                }
+                pieces = next;
+            }
+        }
+        clean.extend(pieces);
+    }
+    // Merge duplicates/overlaps between passed zones defensively.
+    clean.sort_by_key(|s| (s.frag, s.lo, s.hi));
+    clean.dedup();
+    if clean.is_empty() {
+        return;
+    }
+
+    let plug_species = zone_species.other();
+    let jobs: Vec<FragId> =
+        inst.frag_ids(plug_species).filter(|f| !exclude.contains(f)).collect();
+    if jobs.is_empty() {
+        return;
+    }
+
+    // ISP instance: zone k occupies coordinates [base_k, base_k + len).
+    let mut bases = Vec::with_capacity(clean.len());
+    let mut cursor: i64 = 0;
+    for z in &clean {
+        bases.push(cursor);
+        cursor += z.len() as i64 + 1; // +1 gap: intervals cannot span zones
+    }
+    let mut isp = IspInstance::new(jobs.len());
+    // tag encodes (zone index, d, e) densely.
+    let mut tags: Vec<(usize, usize, usize)> = Vec::new();
+    for (ji, &f) in jobs.iter().enumerate() {
+        let cb = cb_trunc(set, f, quantum);
+        for (zi, z) in clean.iter().enumerate() {
+            let table = oracle.interval_table(f, z.frag);
+            for d in z.lo..z.hi {
+                for e in (d + 1)..=z.hi {
+                    let (ms, _) = table.get(d, e);
+                    let profit = trunc(ms, quantum) - cb;
+                    if profit > 0 {
+                        let tag = tags.len();
+                        tags.push((zi, d, e));
+                        isp.push(
+                            ji,
+                            Interval::new(
+                                bases[zi] + (d - z.lo) as i64,
+                                bases[zi] + (e - z.lo) as i64,
+                            ),
+                            profit,
+                            tag,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    let selection = solve_tpa(&isp);
+    for c in &selection.chosen {
+        let (zi, d, e) = tags[c.tag];
+        let f = jobs[c.job];
+        detach_fragment(set, f, oracle);
+        plug_full(set, f, Site::new(clean[zi].frag, d, e), oracle);
+    }
+}
+
+/// Collect freed sites into per-species zone lists.
+pub fn split_freed_by_species(freed: &[Site]) -> (Vec<Site>, Vec<Site>) {
+    let mut h = Vec::new();
+    let mut m = Vec::new();
+    for &s in freed {
+        match s.frag.species {
+            Species::H => h.push(s),
+            Species::M => m.push(s),
+        }
+    }
+    (h, m)
+}
+
+/// Apply one improvement attempt to `set`. On success `set` holds the
+/// attempt's result; the caller decides whether to commit by comparing
+/// (truncated) total scores. Errors leave `set` in an unspecified
+/// state — always apply to a clone.
+pub fn apply_attempt(
+    set: &mut MatchSet,
+    attempt: &super::Attempt,
+    oracle: &ScoreOracle<'_>,
+    quantum: Score,
+) -> Result<(), CannotPrepare> {
+    use super::Attempt;
+    match attempt {
+        Attempt::I1 { plug, target, container } => {
+            let freed1 = prepare_site(set, *container, oracle)?;
+            let freed2 = detach_fragment(set, *plug, oracle);
+            plug_full(set, *plug, *target, oracle);
+            let exclude: HashSet<FragId> = [*plug].into_iter().collect();
+            // Step 3: TPA on the container leftovers.
+            tpa_fill(set, &container.minus(target), &exclude, oracle, quantum);
+            // Step 4 (+D6 extension): TPA on sites freed by preparation
+            // and by detaching the plug, grouped per species.
+            let (zh, zm) = split_freed_by_species(
+                &freed1.iter().chain(freed2.iter()).copied().collect::<Vec<_>>(),
+            );
+            tpa_fill(set, &zm, &exclude, oracle, quantum);
+            tpa_fill(set, &zh, &exclude, oracle, quantum);
+            Ok(())
+        }
+        Attempt::I2 { h_site, m_site, h_container, m_container } => {
+            let freed_h = prepare_site(set, *h_container, oracle)?;
+            let freed_m = prepare_site(set, *m_container, oracle)?;
+            make_border(set, *h_site, *m_site, oracle);
+            let exclude: HashSet<FragId> =
+                [h_site.frag, m_site.frag].into_iter().collect();
+            // M-side zones: container leftovers on the M fragment plus
+            // freed M sites; then symmetrically for H.
+            let (fh, fm) = split_freed_by_species(
+                &freed_h.iter().chain(freed_m.iter()).copied().collect::<Vec<_>>(),
+            );
+            let mut zones_m = m_container.minus(m_site);
+            zones_m.extend(fm);
+            tpa_fill(set, &zones_m, &exclude, oracle, quantum);
+            let mut zones_h = h_container.minus(h_site);
+            zones_h.extend(fh);
+            tpa_fill(set, &zones_h, &exclude, oracle, quantum);
+            Ok(())
+        }
+        Attempt::I3 { first, second } => {
+            // Two coordinated I2 bundles (break a 2-island, re-match
+            // both multiple fragments to new partners).
+            let mut freed_all: Vec<Site> = Vec::new();
+            for b in [first, second] {
+                freed_all.extend(prepare_site(set, b.h_container, oracle)?);
+                freed_all.extend(prepare_site(set, b.m_container, oracle)?);
+            }
+            for b in [first, second] {
+                make_border(set, b.h_site, b.m_site, oracle);
+            }
+            let exclude: HashSet<FragId> = [
+                first.h_site.frag,
+                first.m_site.frag,
+                second.h_site.frag,
+                second.m_site.frag,
+            ]
+            .into_iter()
+            .collect();
+            let (fh, fm) = split_freed_by_species(&freed_all);
+            let mut zones_m: Vec<Site> = Vec::new();
+            let mut zones_h: Vec<Site> = Vec::new();
+            for b in [first, second] {
+                zones_m.extend(b.m_container.minus(&b.m_site));
+                zones_h.extend(b.h_container.minus(&b.h_site));
+            }
+            zones_m.extend(fm);
+            zones_h.extend(fh);
+            tpa_fill(set, &zones_m, &exclude, oracle, quantum);
+            tpa_fill(set, &zones_h, &exclude, oracle, quantum);
+            Ok(())
+        }
+    }
+}

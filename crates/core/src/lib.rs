@@ -1,0 +1,39 @@
+//! # fragalign-core
+//!
+//! The paper's contribution: solvers for the *Consensus Sequence
+//! Reconstruction* (CSR) problem.
+//!
+//! | module | paper artifact |
+//! |--------|----------------|
+//! | [`greedy`] | the greedy heuristic the introduction warns about |
+//! | [`one_csr`] | 1-CSR → ISP reduction (§3.4) solved with TPA |
+//! | [`four_approx`] | Theorem 3 + Corollary 1: the factor-4 algorithm |
+//! | [`improve`] | §4: Full/Border/General iterative improvement, 3+ε |
+//! | [`border_matching`] | Lemma 9: Border CSR 2-approx via matching |
+//! | [`exact`] | exhaustive optimum for small instances (ratio measurements) |
+//! | [`ucsr`] | Lemma 1 / Theorem 1: the UCSR reduction φ₀, φ₁ |
+//! | [`csop`] | Theorem 2: CSoP and the 3-MIS hardness reduction |
+//!
+//! All solvers return consistent [`fragalign_model::MatchSet`]s; every
+//! solution can be turned into an explicit two-row layout with
+//! [`fragalign_model::LayoutBuilder`] and the DP aligner.
+
+pub mod border_matching;
+pub mod csop;
+pub mod exact;
+pub mod four_approx;
+pub mod greedy;
+pub mod improve;
+pub mod one_csr;
+pub mod stats;
+pub mod ucsr;
+
+pub use border_matching::border_matching_2approx;
+pub use exact::{solve_exact, ExactLimits};
+pub use four_approx::solve_four_approx;
+pub use greedy::solve_greedy;
+pub use improve::{
+    border_improve, csr_improve, full_improve, ImproveConfig, ImproveResult, MethodSet,
+};
+pub use one_csr::solve_one_csr;
+pub use stats::{solution_stats, SolutionStats};

@@ -1,0 +1,715 @@
+//! Unambiguous CSR (§3.1) and the Lemma 1 reduction.
+//!
+//! UCSR restricts CSR so that `σ(a, b) = 0` for `a ≠ b` and every
+//! letter occurs exactly once on each side; a solution is then a single
+//! word `f ∈ Conj(H) ∩ Conj(M)` (built from *subsequences* of the
+//! fragments) scoring `Σ σ'(letter)`.
+//!
+//! Lemma 1 gives polynomial maps `φ₀` (CSR instance → UCSR instance)
+//! and `φ₁` (UCSR solution → CSR solution) such that solutions map
+//! forward score-preservingly and backward losing at most a factor
+//! `1 − ε`. Theorem 1 concludes that approximating UCSR is as hard as
+//! approximating CSR.
+//!
+//! Integrality note: the proof scores replacement letters `σ(aᵢ, aⱼ)/s`;
+//! we keep integer arithmetic by storing weights ×s, so the forward map
+//! satisfies `Score_UCSR(φ(sol)) = s · Score_CSR(sol)` exactly.
+
+use fragalign_model::symbol::reverse_word;
+use fragalign_model::{Instance, RegionId, Score, Species, Sym};
+use std::collections::HashMap;
+
+/// A UCSR instance: fragments over a letter alphabet where each letter
+/// occurs exactly once per side, plus the per-letter weight `σ'`.
+#[derive(Clone, Debug, Default)]
+pub struct UcsrInstance {
+    /// H-side fragments.
+    pub h: Vec<Vec<Sym>>,
+    /// M-side fragments.
+    pub m: Vec<Vec<Sym>>,
+    /// Letter weights (×s in reduced instances; see module docs).
+    pub weight: HashMap<RegionId, Score>,
+}
+
+impl UcsrInstance {
+    /// Weight of one letter.
+    pub fn w(&self, sym: Sym) -> Score {
+        self.weight.get(&sym.id).copied().unwrap_or(0)
+    }
+
+    /// Validate that `f` is a common conjecture (a word obtainable from
+    /// both sides by reversing fragments, taking subsequences and
+    /// concatenating in some order) and return its score.
+    pub fn validate(&self, f: &[Sym]) -> Result<Score, String> {
+        // Letters must be distinct.
+        let mut seen = std::collections::HashSet::new();
+        for s in f {
+            if !seen.insert(s.id) {
+                return Err(format!("letter {} used twice", s.id));
+            }
+        }
+        for (side, frags) in [("H", &self.h), ("M", &self.m)] {
+            // Locate each region: fragment, position, stored orientation.
+            let mut home: HashMap<RegionId, (usize, usize, bool)> = HashMap::new();
+            for (fi, frag) in frags.iter().enumerate() {
+                for (pos, s) in frag.iter().enumerate() {
+                    if home.insert(s.id, (fi, pos, s.rev)).is_some() {
+                        return Err(format!("{side}: region {} occurs twice", s.id));
+                    }
+                }
+            }
+            // Letters of f must group into contiguous runs per fragment,
+            // each run monotone (a subsequence of the fragment or of its
+            // reversal).
+            let mut run_of: Vec<(usize, usize, bool)> = Vec::new(); // (frag, pos, rev rel. to stored)
+            for s in f {
+                let Some(&(fi, pos, stored_rev)) = home.get(&s.id) else {
+                    return Err(format!("{side}: letter {} unknown", s.id));
+                };
+                run_of.push((fi, pos, s.rev != stored_rev));
+            }
+            let mut used: std::collections::HashSet<usize> = std::collections::HashSet::new();
+            let mut idx = 0;
+            while idx < run_of.len() {
+                let (fi, _, _) = run_of[idx];
+                if !used.insert(fi) {
+                    return Err(format!("{side}: fragment {fi} split into two runs"));
+                }
+                let mut end = idx + 1;
+                while end < run_of.len() && run_of[end].0 == fi {
+                    end += 1;
+                }
+                let run = &run_of[idx..end];
+                let fwd = run.windows(2).all(|w| w[0].1 < w[1].1)
+                    && run.iter().all(|&(_, _, r)| !r);
+                let rev = run.windows(2).all(|w| w[0].1 > w[1].1)
+                    && run.iter().all(|&(_, _, r)| r);
+                if !(fwd || rev) {
+                    return Err(format!("{side}: fragment {fi} letters out of order"));
+                }
+                idx = end;
+            }
+        }
+        Ok(f.iter().map(|&s| self.w(s)).sum())
+    }
+}
+
+/// The Lemma 1 reduction `φ₀` with the bookkeeping needed for the
+/// solution maps.
+#[derive(Clone, Debug)]
+pub struct UcsrReduction {
+    /// The reduced instance.
+    pub ucsr: UcsrInstance,
+    /// The replication factor `s = 2pK`, `p = ⌈1/ε⌉`.
+    pub s: usize,
+    /// Number of original letters `K`.
+    pub k: usize,
+    /// Original letters in index order (species, symbol as it occurs).
+    pub letters: Vec<(Species, Sym)>,
+    letter_index: HashMap<RegionId, usize>,
+    /// Letter ids: `a_ids[(i, j, l)]` / `b_ids[...]` of the reduced
+    /// alphabet (canonical `i ≤ j`).
+    a_ids: HashMap<(usize, usize, usize), RegionId>,
+    b_ids: HashMap<(usize, usize, usize), RegionId>,
+}
+
+impl UcsrReduction {
+    /// Canonical key of a letter pair: the proof identifies
+    /// `a^i_{j,l}` with `a^j_{i,l}` so that the letter occurs once in
+    /// `H′` (inside `x^i`) and once in `M′` (inside `x^j`). The
+    /// identification is therefore only meaningful for *cross-species*
+    /// pairs; same-species pairs keep distinct (weight-0) letters, or
+    /// the letter would occur twice on one side.
+    fn key(&self, i: usize, j: usize) -> (usize, usize) {
+        if self.letters[i].0 != self.letters[j].0 {
+            (i.min(j), i.max(j))
+        } else {
+            (i, j)
+        }
+    }
+
+    /// Reduced letter `a^i_{j,l}` (same-orientation pair letter).
+    pub fn a(&self, i: usize, j: usize, l: usize) -> Sym {
+        let (x, y) = self.key(i, j);
+        Sym::fwd(self.a_ids[&(x, y, l)])
+    }
+
+    /// Reduced letter `b^i_{j,l}` (opposite-orientation pair letter).
+    pub fn b(&self, i: usize, j: usize, l: usize) -> Sym {
+        let (x, y) = self.key(i, j);
+        Sym::fwd(self.b_ids[&(x, y, l)])
+    }
+
+    /// Index of an original region in the letter table.
+    pub fn letter_of(&self, region: RegionId) -> Option<usize> {
+        self.letter_index.get(&region).copied()
+    }
+}
+
+/// σ evaluated on an (H letter, M letter) occurrence pair regardless of
+/// argument order.
+fn sigma_pair(inst: &Instance, x: (Species, Sym), y: (Species, Sym)) -> Score {
+    match (x.0, y.0) {
+        (Species::H, Species::M) => inst.sigma.score(x.1, y.1),
+        (Species::M, Species::H) => inst.sigma.score(y.1, x.1),
+        _ => 0, // same-species pairs never score
+    }
+}
+
+/// `φ₀`: reduce a CSR instance to UCSR (Lemma 1). Requires every
+/// region to occur exactly once across the instance (replicate
+/// beforehand otherwise — our generators already satisfy this).
+pub fn reduce_to_ucsr(inst: &Instance, eps: f64) -> UcsrReduction {
+    assert!(eps > 0.0, "ε must be positive");
+    // Letters: every occurrence of a region, tagged with its species.
+    let mut letters: Vec<(Species, Sym)> = Vec::new();
+    let mut letter_index = HashMap::new();
+    for species in [Species::H, Species::M] {
+        let frags = match species {
+            Species::H => &inst.h,
+            Species::M => &inst.m,
+        };
+        for f in frags {
+            for &sym in &f.regions {
+                let base = Sym::fwd(sym.id);
+                assert!(
+                    !letter_index.contains_key(&sym.id),
+                    "reduction requires unique region occurrences"
+                );
+                letter_index.insert(sym.id, letters.len());
+                letters.push((species, base));
+            }
+        }
+    }
+    let k = letters.len();
+    let p = (1.0 / eps).ceil() as usize;
+    let s = 2 * p * k.max(1);
+
+    // Allocate reduced letter ids: cross-species pairs are identified
+    // (one letter for {i, j}); same-species pairs get one letter per
+    // ordered pair (see UcsrReduction::key).
+    let mut next: RegionId = 0;
+    let mut a_ids = HashMap::new();
+    let mut b_ids = HashMap::new();
+    let mut weight = HashMap::new();
+    for i in 0..k {
+        for j in 0..k {
+            let key = if letters[i].0 != letters[j].0 {
+                (i.min(j), i.max(j))
+            } else {
+                (i, j)
+            };
+            if a_ids.contains_key(&(key.0, key.1, 1)) {
+                continue;
+            }
+            for l in 1..=s {
+                let wa = sigma_pair(inst, letters[key.0], letters[key.1]);
+                let wb = sigma_pair(
+                    inst,
+                    letters[key.0],
+                    (letters[key.1].0, letters[key.1].1.reversed()),
+                );
+                a_ids.insert((key.0, key.1, l), next);
+                weight.insert(next, wa);
+                next += 1;
+                b_ids.insert((key.0, key.1, l), next);
+                weight.insert(next, wb);
+                next += 1;
+            }
+        }
+    }
+    let red = UcsrReduction {
+        ucsr: UcsrInstance::default(),
+        s,
+        k,
+        letters,
+        letter_index,
+        a_ids,
+        b_ids,
+    };
+
+    // x^i = w^i_1 … w^i_s with w^i_l = u^i_l v^i_l (a_i ∈ H) or
+    // u^i_l (v^i_{s+1-l})^R (a_i ∈ M).
+    let x_word = |i: usize| -> Vec<Sym> {
+        let mut x = Vec::with_capacity(2 * red.k * red.s);
+        for l in 1..=red.s {
+            let u: Vec<Sym> = (0..red.k).map(|j| red.a(i, j, l)).collect();
+            x.extend_from_slice(&u);
+            match red.letters[i].0 {
+                Species::H => {
+                    let v: Vec<Sym> = (0..red.k).map(|j| red.b(i, j, l)).collect();
+                    x.extend_from_slice(&v);
+                }
+                Species::M => {
+                    let v: Vec<Sym> =
+                        (0..red.k).map(|j| red.b(i, j, red.s + 1 - l)).collect();
+                    x.extend(reverse_word(&v));
+                }
+            }
+        }
+        x
+    };
+
+    // H' and M': replace each region occurrence with x^i (reversed when
+    // the occurrence was reversed).
+    let mut ucsr = UcsrInstance { weight, ..Default::default() };
+    for species in [Species::H, Species::M] {
+        let frags = match species {
+            Species::H => &inst.h,
+            Species::M => &inst.m,
+        };
+        let out = match species {
+            Species::H => &mut ucsr.h,
+            Species::M => &mut ucsr.m,
+        };
+        for f in frags {
+            let mut word = Vec::new();
+            for &sym in &f.regions {
+                let i = red.letter_index[&sym.id];
+                let x = x_word(i);
+                if sym.rev {
+                    word.extend(reverse_word(&x));
+                } else {
+                    word.extend(x);
+                }
+            }
+            out.push(word);
+        }
+    }
+    UcsrReduction { ucsr, ..red }
+}
+
+/// The forward solution map of Property 2: turn aligned CSR column
+/// pairs `(c_t, d_t)` (H occurrence, M occurrence) into a UCSR word
+/// `κ(c_1, d_1) … κ(c_L, d_L)` with
+/// `Score_UCSR = s · Σ σ(c_t, d_t)`.
+pub fn map_solution_forward(red: &UcsrReduction, pairs: &[(Sym, Sym)]) -> Vec<Sym> {
+    let mut f = Vec::new();
+    for &(c, d) in pairs {
+        let i = red.letter_index[&c.id];
+        let j = red.letter_index[&d.id];
+        // κ(c, d) per the four orientation cases of the proof.
+        let word: Vec<Sym> = match (c.rev, d.rev) {
+            (false, false) => (1..=red.s).map(|l| red.a(i, j, l)).collect(),
+            (true, true) => reverse_word(
+                &(1..=red.s).map(|l| red.a(i, j, l)).collect::<Vec<_>>(),
+            ),
+            (false, true) => (1..=red.s).map(|l| red.b(i, j, l)).collect(),
+            (true, false) => reverse_word(
+                &(1..=red.s).map(|l| red.b(i, j, l)).collect::<Vec<_>>(),
+            ),
+        };
+        f.extend(word);
+    }
+    f
+}
+
+/// The backward map `φ₁` of Property 3: extract, for every original
+/// H-side letter run `yᵢ` of the UCSR solution, the heaviest reduced
+/// letter and emit the corresponding original pair. Conflicting pairs
+/// (an M letter claimed twice) are resolved by keeping the heavier —
+/// the proof's normal-form argument guarantees the surviving score is
+/// at least `(1 − ε) · Score_UCSR / s`.
+pub fn map_solution_back(
+    red: &UcsrReduction,
+    inst: &Instance,
+    f: &[Sym],
+) -> Vec<(Sym, Sym)> {
+    // Group f into runs per H'-home fragment... each reduced letter
+    // A/B{i,j,l} belongs to original letters i and j; its H-side home
+    // is whichever of i, j is an H letter.
+    let mut decode: HashMap<RegionId, (usize, usize, bool)> = HashMap::new();
+    for (&(i, j, l), &id) in &red.a_ids {
+        let _ = l;
+        decode.insert(id, (i, j, false));
+    }
+    for (&(i, j, l), &id) in &red.b_ids {
+        let _ = l;
+        decode.insert(id, (i, j, true));
+    }
+    // Best (weight, j, flip) per H letter i.
+    let mut best: HashMap<usize, (Score, usize, bool, bool)> = HashMap::new();
+    let mut order: Vec<usize> = Vec::new();
+    for sym in f {
+        let Some(&(x, y, is_b)) = decode.get(&sym.id) else { continue };
+        let (i, j) = if red.letters[x].0 == Species::H { (x, y) } else { (y, x) };
+        if red.letters[i].0 != Species::H || red.letters[j].0 != Species::M {
+            continue; // same-species letter, weight 0
+        }
+        let w = red.ucsr.w(*sym);
+        if w <= 0 {
+            continue;
+        }
+        if !best.contains_key(&i) {
+            order.push(i);
+        }
+        let e = best.entry(i).or_insert((Score::MIN, 0, false, false));
+        if w > e.0 {
+            *e = (w, j, is_b, sym.rev);
+        }
+    }
+    // Emit pairs, resolving M-letter conflicts by weight.
+    let mut claimed: HashMap<usize, (Score, usize)> = HashMap::new(); // j -> (w, i)
+    for &i in &order {
+        let (w, j, _, _) = best[&i];
+        match claimed.get(&j) {
+            Some(&(cw, _)) if cw >= w => {}
+            _ => {
+                claimed.insert(j, (w, i));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for &i in &order {
+        let (w, j, is_b, rev) = best[&i];
+        if claimed.get(&j) != Some(&(w, i)) {
+            continue;
+        }
+        let c = if rev { red.letters[i].1.reversed() } else { red.letters[i].1 };
+        // Orientation of d: a-letters pair same orientation, b-letters
+        // opposite (relative to c).
+        let d_base = red.letters[j].1;
+        let d = match (is_b, rev) {
+            (false, r) => {
+                if r {
+                    d_base.reversed()
+                } else {
+                    d_base
+                }
+            }
+            (true, r) => {
+                if r {
+                    d_base
+                } else {
+                    d_base.reversed()
+                }
+            }
+        };
+        debug_assert!(sigma_pair(inst, (Species::H, c), (Species::M, d)) >= 0);
+        out.push((c, d));
+    }
+    out
+}
+
+/// CSR score of a pair list.
+pub fn pairs_score(inst: &Instance, pairs: &[(Sym, Sym)]) -> Score {
+    pairs.iter().map(|&(c, d)| inst.sigma.score(c, d)).sum()
+}
+
+/// Exact UCSR solver for *tiny* instances, by branch and bound over
+/// the common word `f` built left to right. At each step the candidate
+/// next letters are those that can extend the current per-side run
+/// structure (contiguous runs per fragment, monotone within a run).
+/// Used to close the Theorem 1 loop in tests: solving the reduced UCSR
+/// instance exactly and mapping back must recover the CSR optimum
+/// within `1 − ε`.
+pub fn solve_ucsr_exact(inst: &UcsrInstance, cap: usize) -> Vec<Sym> {
+    // Letter homes per side.
+    #[derive(Clone, Copy)]
+    struct Home {
+        frag: usize,
+        pos: usize,
+        rev: bool,
+    }
+    let index_side = |frags: &[Vec<Sym>]| -> HashMap<RegionId, Home> {
+        let mut map = HashMap::new();
+        for (fi, frag) in frags.iter().enumerate() {
+            for (pos, s) in frag.iter().enumerate() {
+                map.insert(s.id, Home { frag: fi, pos, rev: s.rev });
+            }
+        }
+        map
+    };
+    let h_home = index_side(&inst.h);
+    let m_home = index_side(&inst.m);
+    // Candidate letters: those present on both sides with positive
+    // weight (zero-weight letters never help a maximal solution; they
+    // only constrain it).
+    let mut letters: Vec<RegionId> = inst
+        .weight
+        .iter()
+        .filter(|&(id, &w)| w > 0 && h_home.contains_key(id) && m_home.contains_key(id))
+        .map(|(&id, _)| id)
+        .collect();
+    letters.sort_unstable();
+    assert!(letters.len() <= cap, "UCSR exact capped at {cap} letters, got {}", letters.len());
+
+    // Per-side run state: sequence of (frag, last pos, direction) and
+    // a closed-fragment set.
+    #[derive(Clone, Default)]
+    struct SideState {
+        current: Option<(usize, usize, Option<bool>)>, // frag, last pos, dir (None = single)
+        closed: Vec<usize>,
+    }
+    fn can_extend(st: &SideState, home: Home, flip: bool) -> Option<SideState> {
+        // letter used with orientation flip relative to stored: the
+        // run direction must be consistent (fwd run uses stored
+        // orientation, rev run flips).
+        let mut next = st.clone();
+        match st.current {
+            Some((f, last, dir)) if f == home.frag => {
+                let fwd = home.pos > last;
+                let needed_dir = fwd;
+                if let Some(d) = dir {
+                    if d != needed_dir {
+                        return None;
+                    }
+                }
+                // Orientation: fwd run requires flip == false; rev run
+                // requires flip == true.
+                if fwd == flip {
+                    return None;
+                }
+                next.current = Some((f, home.pos, Some(needed_dir)));
+                Some(next)
+            }
+            _ => {
+                if st.closed.contains(&home.frag) {
+                    return None;
+                }
+                if let Some((f, _, _)) = st.current {
+                    next.closed.push(f);
+                }
+                // First letter of a run fixes nothing yet except the
+                // orientation consistency below (flip free for singles
+                // — direction decided by the next letter; we encode
+                // "single so far" with dir None and remember flip by
+                // requiring the next letter to agree, which the fwd ==
+                // flip check above does via positions).
+                let dir = None;
+                // For a single letter, flip must still be recorded:
+                // approximate by storing pos and accepting both dirs,
+                // but a flipped single letter can only be extended by a
+                // descending continuation. We conservatively re-check
+                // at extension time, so accept here.
+                let _ = flip;
+                next.current = Some((home.frag, home.pos, dir));
+                Some(next)
+            }
+        }
+    }
+
+    struct Ctx<'a> {
+        inst: &'a UcsrInstance,
+        letters: &'a [RegionId],
+        h_home: &'a HashMap<RegionId, Home>,
+        m_home: &'a HashMap<RegionId, Home>,
+        best: (Score, Vec<Sym>),
+    }
+    fn rec(
+        ctx: &mut Ctx<'_>,
+        used: &mut Vec<bool>,
+        f: &mut Vec<Sym>,
+        score: Score,
+        h_st: &SideState,
+        m_st: &SideState,
+        remaining: Score,
+    ) {
+        if score > ctx.best.0 {
+            // Final validation guards the conservative run encoding.
+            if ctx.inst.validate(f).is_ok() {
+                ctx.best = (score, f.clone());
+            }
+        }
+        if score + remaining <= ctx.best.0 {
+            return;
+        }
+        for (i, &id) in ctx.letters.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let w = ctx.inst.weight[&id];
+            let (hh, mh) = (ctx.h_home[&id], ctx.m_home[&id]);
+            for flip in [false, true] {
+                let Some(h2) = can_extend(h_st, hh, flip != hh.rev) else { continue };
+                let Some(m2) = can_extend(m_st, mh, flip != mh.rev) else { continue };
+                used[i] = true;
+                f.push(Sym { id, rev: flip });
+                rec(ctx, used, f, score + w, &h2, &m2, remaining - w);
+                f.pop();
+                used[i] = false;
+            }
+        }
+    }
+    let total: Score = letters.iter().map(|id| inst.weight[id]).sum();
+    let mut ctx = Ctx {
+        inst,
+        letters: &letters,
+        h_home: &h_home,
+        m_home: &m_home,
+        best: (0, Vec::new()),
+    };
+    let n = letters.len();
+    rec(
+        &mut ctx,
+        &mut vec![false; n],
+        &mut Vec::new(),
+        0,
+        &SideState::default(),
+        &SideState::default(),
+        total,
+    );
+    ctx.best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fragalign_model::instance::paper_example;
+
+    #[test]
+    fn reduction_shapes() {
+        let inst = paper_example();
+        let red = reduce_to_ucsr(&inst, 1.0);
+        assert_eq!(red.k, 8); // a,b,c,d,s,t,u,v
+        assert_eq!(red.s, 2 * red.k); // p = 1
+        assert_eq!(red.ucsr.h.len(), 2);
+        assert_eq!(red.ucsr.m.len(), 2);
+        // each fragment letter expands to 2Ks reduced letters
+        assert_eq!(red.ucsr.h[0].len(), 3 * 2 * red.k * red.s);
+    }
+
+    #[test]
+    fn forward_map_preserves_score_times_s() {
+        let inst = paper_example();
+        let red = reduce_to_ucsr(&inst, 1.0);
+        // The optimum solution's aligned pairs (Fig. 4): (a,s), (c,u), (dR,v).
+        let al = &inst.alphabet;
+        let sym = |n: &str| Sym::fwd(al.get(n).unwrap());
+        let pairs = vec![
+            (sym("a"), sym("s")),
+            (sym("c"), sym("u")),
+            (sym("d").reversed(), sym("v")),
+        ];
+        assert_eq!(pairs_score(&inst, &pairs), 11);
+        let f = map_solution_forward(&red, &pairs);
+        let score = red.ucsr.validate(&f).expect("forward map is a valid UCSR solution");
+        assert_eq!(score, 11 * red.s as Score);
+    }
+
+    #[test]
+    fn backward_map_recovers_pairs() {
+        let inst = paper_example();
+        let red = reduce_to_ucsr(&inst, 1.0);
+        let al = &inst.alphabet;
+        let sym = |n: &str| Sym::fwd(al.get(n).unwrap());
+        let pairs = vec![
+            (sym("a"), sym("s")),
+            (sym("c"), sym("u")),
+            (sym("d").reversed(), sym("v")),
+        ];
+        let f = map_solution_forward(&red, &pairs);
+        let back = map_solution_back(&red, &inst, &f);
+        let score = pairs_score(&inst, &back);
+        // Property 3 with ε = 1 still recovers the full score here
+        // because the runs are pure.
+        assert_eq!(score, 11, "recovered pairs: {back:?}");
+    }
+
+    #[test]
+    fn validate_rejects_split_runs() {
+        let inst = paper_example();
+        let red = reduce_to_ucsr(&inst, 1.0);
+        let al = &inst.alphabet;
+        let sym = |n: &str| Sym::fwd(al.get(n).unwrap());
+        // a-run, then d-run, then back to a's fragment (b) — h1's
+        // letters split into two runs.
+        let pairs =
+            vec![(sym("a"), sym("s")), (sym("d"), sym("t")), (sym("b"), sym("t").reversed())];
+        let f = map_solution_forward(&red, &pairs);
+        assert!(red.ucsr.validate(&f).is_err());
+    }
+
+    #[test]
+    fn exact_ucsr_on_tiny_instance() {
+        // H: ⟨x, y⟩; M: ⟨y, x⟩ — only one of the two letters fits a
+        // common subsequence in the same orientation, but reversing one
+        // fragment aligns both.
+        let ucsr = UcsrInstance {
+            h: vec![vec![Sym::fwd(0), Sym::fwd(1)]],
+            m: vec![vec![Sym::fwd(1), Sym::fwd(0)]],
+            weight: HashMap::from([(0, 5), (1, 4)]),
+        };
+        let f = solve_ucsr_exact(&ucsr, 16);
+        let score = ucsr.validate(&f).unwrap();
+        // Conj(H) = {⟨x,y⟩, ⟨y^R,x^R⟩} (plus subsequences); Conj(M) =
+        // {⟨y,x⟩, ⟨x^R,y^R⟩}. No two-letter word is common to both
+        // sides — reversing flips the symbols as well as the order —
+        // so the optimum is the single heavier letter: 5.
+        assert_eq!(score, 5, "f = {f:?}");
+    }
+
+    #[test]
+    fn exact_ucsr_respects_run_contiguity() {
+        // H: ⟨a⟩⟨b⟩ two fragments, M: ⟨a, b⟩ one fragment: fine, both.
+        let ucsr = UcsrInstance {
+            h: vec![vec![Sym::fwd(0)], vec![Sym::fwd(1)]],
+            m: vec![vec![Sym::fwd(0), Sym::fwd(1)]],
+            weight: HashMap::from([(0, 3), (1, 3)]),
+        };
+        let f = solve_ucsr_exact(&ucsr, 16);
+        assert_eq!(ucsr.validate(&f).unwrap(), 6);
+        // H: ⟨a, c⟩ and M: ⟨a, b, c⟩ with b in another H fragment:
+        // taking a and c leaves b's M position strictly inside the run?
+        // No — runs are about fragments, not positions: a, b, c all fit
+        // (H run a..c in fragment 0 is not contiguous positions-wise
+        // but subsequences allow gaps).
+        let ucsr2 = UcsrInstance {
+            h: vec![vec![Sym::fwd(0), Sym::fwd(2)], vec![Sym::fwd(1)]],
+            m: vec![vec![Sym::fwd(0), Sym::fwd(1), Sym::fwd(2)]],
+            weight: HashMap::from([(0, 3), (1, 10), (2, 3)]),
+        };
+        let f2 = solve_ucsr_exact(&ucsr2, 16);
+        let s2 = ucsr2.validate(&f2).unwrap();
+        // f = ⟨a, b, c⟩ splits H fragment 0 into two runs (a … c with
+        // b's fragment between) — invalid. But ⟨a, b⟩ keeps one run
+        // per fragment on both sides and scores 3 + 10 = 13, beating
+        // b alone (10) and a,c (6).
+        assert_eq!(s2, 13, "f = {f2:?}");
+    }
+
+    #[test]
+    fn theorem1_loop_on_paper_example() {
+        // Solve the reduced UCSR instance exactly and map back: the
+        // recovered CSR score must be within (1 − ε) of the CSR
+        // optimum (Theorem 1 with an exact "approximation").
+        // The full reduction of the 8-letter example has 2·K²·s letters
+        // — too many for brute force — so shrink to a 2+2-region
+        // sub-instance.
+        let mut b = fragalign_model::InstanceBuilder::new();
+        b.h_frag("h1", &["a", "b"]);
+        b.m_frag("m1", &["s", "t"]);
+        b.score("a", "s", 4);
+        b.score("b", "tR", 3);
+        let inst = b.build();
+        let eps = 1.0;
+        let red = reduce_to_ucsr(&inst, eps);
+        // Positive-weight common letters only: small enough to search.
+        let f = solve_ucsr_exact(&red.ucsr, 64);
+        let u_score = red.ucsr.validate(&f).unwrap();
+        // CSR optimum: a–s (4) + b–t^R (3)? b–t^R needs t reversed
+        // while s stays forward — m1 = ⟨s,t⟩ laid forward pairs (a,s),
+        // (b,t): σ(b,t) = 0, so optimum is 4 + 0 or reversal 3: 4.
+        let exact = crate::exact::solve_exact(&inst, crate::exact::ExactLimits::default());
+        assert_eq!(exact.score, 4);
+        assert!(
+            u_score >= exact.score * red.s as i64,
+            "UCSR optimum dominates the mapped CSR optimum: {u_score} vs {}",
+            exact.score * red.s as i64
+        );
+        let back = map_solution_back(&red, &inst, &f);
+        let back_score = pairs_score(&inst, &back);
+        assert!(back_score as f64 >= (1.0 - eps) * exact.score as f64);
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_letter() {
+        let ucsr = UcsrInstance {
+            h: vec![vec![Sym::fwd(0)]],
+            m: vec![vec![Sym::fwd(0)]],
+            weight: HashMap::from([(0, 5)]),
+        };
+        assert!(ucsr.validate(&[Sym::fwd(0), Sym::fwd(0)]).is_err());
+        assert_eq!(ucsr.validate(&[Sym::fwd(0)]).unwrap(), 5);
+    }
+}

@@ -1,0 +1,135 @@
+//! Random regular graphs and the Dirac relabelling.
+//!
+//! Theorem 2 requires 3-regular input graphs whose numbering has no
+//! edge `{i, i+1}` ("for n ≥ 6 we can order the nodes in such a manner
+//! using Dirac's theorem": the complement of a 3-regular graph on
+//! `2n ≥ 8` vertices has minimum degree `2n − 4 ≥ n`, hence a
+//! Hamiltonian cycle, whose traversal order is the required
+//! numbering). We find such an ordering constructively with a repair
+//! loop: start from a random permutation and swap away adjacent
+//! consecutive pairs — each swap strictly reduces the number of
+//! violations in expectation and the loop is capped and restarted.
+
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// Generate a random `d`-regular simple graph on `n` vertices via the
+/// pairing (configuration) model with rejection. `n · d` must be even
+/// and `n > d`.
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
+    assert!(n * d % 2 == 0, "n·d must be even");
+    assert!(n > d, "need n > d for a simple d-regular graph");
+    let mut rng = StdRng::seed_from_u64(seed);
+    'outer: loop {
+        // Stubs: d copies of every vertex.
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+        stubs.shuffle(&mut rng);
+        let mut g = Graph::new(n);
+        for pair in stubs.chunks(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v || g.has_edge(u, v) {
+                continue 'outer; // reject and retry
+            }
+            g.add_edge(u, v);
+        }
+        debug_assert!(g.is_regular(d));
+        return g;
+    }
+}
+
+/// Relabel `g` so that no edge joins consecutively numbered vertices
+/// (`{i, i+1} ∉ E` for all `i`), as the Theorem 2 reduction requires.
+/// Returns the relabelled graph and the permutation used
+/// (`perm[old] = new`).
+///
+/// Exists for every 3-regular graph with ≥ 8 vertices by Dirac's
+/// theorem; smaller graphs may have no such ordering, in which case
+/// this function panics after exhausting its repair budget.
+pub fn dirac_relabel(g: &Graph, seed: u64) -> (Graph, Vec<usize>) {
+    let n = g.len();
+    if n <= 1 {
+        return (g.clone(), (0..n).collect());
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // order[pos] = vertex at position pos.
+    let mut order: Vec<usize> = (0..n).collect();
+    for _restart in 0..200 {
+        order.shuffle(&mut rng);
+        let mut budget = 50 * n * n;
+        loop {
+            let violation =
+                (0..n - 1).find(|&i| g.has_edge(order[i], order[i + 1]));
+            let Some(i) = violation else {
+                // Success: perm maps old label -> position.
+                let mut perm = vec![0usize; n];
+                for (pos, &v) in order.iter().enumerate() {
+                    perm[v] = pos;
+                }
+                return (g.relabel(&perm), perm);
+            };
+            if budget == 0 {
+                break;
+            }
+            budget -= 1;
+            let j = rng.random_range(0..n);
+            order.swap(i + 1, j);
+        }
+    }
+    panic!("no consecutive-free ordering found (graph too small or budget exhausted)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_regular_is_simple_and_regular() {
+        for seed in 0..5 {
+            for n in [8, 10, 14, 20] {
+                let g = random_regular(n, 3, seed);
+                assert_eq!(g.len(), n);
+                assert!(g.is_regular(3), "n={n} seed={seed}");
+                // simplicity is enforced by Graph::add_edge panics
+            }
+        }
+    }
+
+    #[test]
+    fn random_regular_even_degree() {
+        let g = random_regular(9, 2, 3);
+        assert!(g.is_regular(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_stub_count_rejected() {
+        random_regular(9, 3, 0);
+    }
+
+    #[test]
+    fn dirac_relabel_removes_consecutive_edges() {
+        for seed in 0..5 {
+            let g = random_regular(12, 3, seed);
+            let (h, perm) = dirac_relabel(&g, seed);
+            for i in 0..h.len() - 1 {
+                assert!(!h.has_edge(i, i + 1), "seed={seed}, i={i}");
+            }
+            // Same graph up to relabelling.
+            assert_eq!(h.edge_count(), g.edge_count());
+            for (u, v) in g.edges() {
+                assert!(h.has_edge(perm[u], perm[v]));
+            }
+        }
+    }
+
+    #[test]
+    fn dirac_relabel_deterministic() {
+        let g = random_regular(10, 3, 7);
+        let (h1, p1) = dirac_relabel(&g, 42);
+        let (h2, p2) = dirac_relabel(&g, 42);
+        assert_eq!(p1, p2);
+        assert_eq!(h1, h2);
+    }
+}

@@ -1,0 +1,153 @@
+//! Simple undirected graphs with adjacency lists.
+
+/// An undirected simple graph on vertices `0..n`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<Vec<usize>>,
+}
+
+impl Graph {
+    /// An edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Graph { adj: vec![Vec::new(); n] }
+    }
+
+    /// Build from an edge list; duplicate edges and self-loops panic.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = Graph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True when the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Add an undirected edge.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert_ne!(u, v, "self-loop");
+        assert!(u < self.len() && v < self.len(), "vertex out of range");
+        assert!(!self.has_edge(u, v), "duplicate edge {u}-{v}");
+        self.adj[u].push(v);
+        self.adj[v].push(u);
+    }
+
+    /// Whether `{u, v} ∈ E`.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj[u].contains(&v)
+    }
+
+    /// Neighbours of `u`.
+    pub fn neighbors(&self, u: usize) -> &[usize] {
+        &self.adj[u]
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// All edges, each once, as `(min, max)` pairs sorted.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for u in 0..self.len() {
+            for &v in &self.adj[u] {
+                if u < v {
+                    out.push((u, v));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Whether every vertex has degree `d`.
+    pub fn is_regular(&self, d: usize) -> bool {
+        (0..self.len()).all(|u| self.degree(u) == d)
+    }
+
+    /// Relabel vertices: vertex `u` becomes `perm[u]`.
+    pub fn relabel(&self, perm: &[usize]) -> Graph {
+        assert_eq!(perm.len(), self.len());
+        let mut g = Graph::new(self.len());
+        for (u, v) in self.edges() {
+            g.add_edge(perm[u], perm[v]);
+        }
+        g
+    }
+
+    /// The `2n × 3` adjacency matrix representation used by the
+    /// Theorem 2 reduction: row `i` lists the three neighbours of
+    /// vertex `i`. Panics unless the graph is 3-regular.
+    pub fn adjacency_matrix_3reg(&self) -> Vec<[usize; 3]> {
+        assert!(self.is_regular(3), "graph is not 3-regular");
+        self.adj
+            .iter()
+            .map(|ns| {
+                let mut row = [ns[0], ns[1], ns[2]];
+                row.sort_unstable();
+                row
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_bookkeeping() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert!(g.is_regular(2));
+        assert_eq!(g.edges(), vec![(0, 1), (0, 3), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_edge_panics() {
+        Graph::from_edges(2, &[(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        Graph::from_edges(2, &[(0, 0)]);
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let h = g.relabel(&[2, 0, 1]);
+        assert!(h.has_edge(2, 0));
+        assert!(h.has_edge(0, 1));
+        assert!(!h.has_edge(2, 1));
+        assert_eq!(h.edge_count(), 2);
+    }
+
+    #[test]
+    fn k4_is_3_regular_with_matrix() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert!(g.is_regular(3));
+        let a = g.adjacency_matrix_3reg();
+        assert_eq!(a[0], [1, 2, 3]);
+        assert_eq!(a[3], [0, 1, 2]);
+    }
+}

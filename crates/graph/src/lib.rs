@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+
+//! # fragalign-graph
+//!
+//! Graph substrate for the MAX-SNP hardness reduction (Theorem 2).
+//!
+//! The reduction maps 3-MIS — maximum independent set on 3-regular
+//! graphs — to CSoP. This crate supplies everything the reduction
+//! needs: a 3-regular graph generator, the Dirac-style relabelling
+//! that removes edges between consecutively numbered nodes (the proof
+//! requires `{i, i+1} ∉ E`), exact branch-and-bound MIS for measuring
+//! the correspondence `|U*| = 5n + |W*|`, and a greedy baseline.
+
+pub mod gen;
+pub mod graph;
+pub mod mis;
+
+pub use gen::{dirac_relabel, random_regular};
+pub use graph::Graph;
+pub use mis::{greedy_mis, is_independent_set, max_independent_set};

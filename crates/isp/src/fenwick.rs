@@ -1,0 +1,94 @@
+//! Fenwick (binary indexed) tree over prefix sums, used by the TPA
+//! evaluation phase to sum stacked values whose right endpoints exceed
+//! a query point in `O(log n)`.
+
+/// A Fenwick tree of `i64` sums over indices `0..n`.
+#[derive(Clone, Debug)]
+pub struct Fenwick {
+    tree: Vec<i64>,
+}
+
+impl Fenwick {
+    /// A tree over `n` zeroed slots.
+    pub fn new(n: usize) -> Self {
+        Fenwick { tree: vec![0; n + 1] }
+    }
+
+    /// Add `delta` at index `i`.
+    pub fn add(&mut self, i: usize, delta: i64) {
+        let mut i = i + 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of indices `0..=i`.
+    pub fn prefix(&self, i: usize) -> i64 {
+        let mut i = (i + 1).min(self.tree.len() - 1);
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Sum over all indices.
+    pub fn total(&self) -> i64 {
+        self.prefix(self.tree.len().saturating_sub(2))
+    }
+
+    /// Sum of indices `i..n` (suffix sum).
+    pub fn suffix(&self, i: usize) -> i64 {
+        if i == 0 {
+            return self.total();
+        }
+        self.total() - self.prefix(i - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_and_suffix_agree_with_naive() {
+        let n = 37;
+        let mut fw = Fenwick::new(n);
+        let mut naive = vec![0i64; n];
+        // Deterministic updates.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for _ in 0..200 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let i = (state % n as u64) as usize;
+            let delta = ((state >> 32) % 21) as i64 - 10;
+            fw.add(i, delta);
+            naive[i] += delta;
+            let q = ((state >> 17) % n as u64) as usize;
+            let want_prefix: i64 = naive[..=q].iter().sum();
+            let want_suffix: i64 = naive[q..].iter().sum();
+            assert_eq!(fw.prefix(q), want_prefix);
+            assert_eq!(fw.suffix(q), want_suffix);
+            assert_eq!(fw.total(), naive.iter().sum::<i64>());
+        }
+    }
+
+    #[test]
+    fn empty_tree() {
+        let fw = Fenwick::new(0);
+        assert_eq!(fw.total(), 0);
+        assert_eq!(fw.suffix(0), 0);
+    }
+
+    #[test]
+    fn single_slot() {
+        let mut fw = Fenwick::new(1);
+        fw.add(0, 5);
+        assert_eq!(fw.prefix(0), 5);
+        assert_eq!(fw.suffix(0), 5);
+        assert_eq!(fw.total(), 5);
+    }
+}

@@ -1,0 +1,64 @@
+//! Profit-greedy baseline for ISP.
+//!
+//! Sorts candidates by decreasing profit and keeps every candidate
+//! compatible with the current selection. No approximation guarantee —
+//! the paper's point (§1) is precisely that greedy heuristics can be
+//! fooled; the `exp_isp` experiment measures how far behind TPA and
+//! exact it lands.
+
+use crate::instance::{Candidate, IspInstance, Selection};
+
+/// Greedy by profit (ties: earlier end first, then job).
+pub fn solve_greedy(inst: &IspInstance) -> Selection {
+    let mut order: Vec<&Candidate> = inst.candidates.iter().filter(|c| c.profit > 0).collect();
+    order.sort_by_key(|c| (std::cmp::Reverse(c.profit), c.iv.hi, c.job, c.tag));
+    let mut chosen: Vec<Candidate> = Vec::new();
+    let mut job_used = vec![false; inst.jobs];
+    for c in order {
+        if job_used[c.job] {
+            continue;
+        }
+        if chosen.iter().any(|d| d.iv.overlaps(&c.iv)) {
+            continue;
+        }
+        chosen.push(*c);
+        job_used[c.job] = true;
+    }
+    Selection { chosen }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Interval;
+    use crate::tpa::solve_tpa;
+
+    #[test]
+    fn greedy_is_feasible() {
+        let mut inst = IspInstance::new(3);
+        inst.push(0, Interval::new(0, 4), 5, 0);
+        inst.push(1, Interval::new(2, 6), 9, 1);
+        inst.push(2, Interval::new(5, 8), 2, 2);
+        let sel = solve_greedy(&inst);
+        inst.validate(&sel).unwrap();
+        // Greedy takes the profit-9 interval [2,6), which overlaps both
+        // others: total 9 (the optimum here is 5 + 2 + ... = also 9 via
+        // exact enumeration of the conflict structure — greedy happens
+        // to win this one).
+        assert_eq!(sel.profit(), 9);
+    }
+
+    #[test]
+    fn greedy_trap_instance() {
+        // A fat middle interval that greedy grabs first, blocking two
+        // slimmer intervals whose sum is larger; TPA avoids the trap.
+        let mut inst = IspInstance::new(3);
+        inst.push(0, Interval::new(0, 10), 10, 0);
+        inst.push(1, Interval::new(0, 5), 7, 1);
+        inst.push(2, Interval::new(5, 10), 7, 2);
+        let greedy = solve_greedy(&inst);
+        let tpa = solve_tpa(&inst);
+        assert_eq!(greedy.profit(), 10);
+        assert_eq!(tpa.profit(), 14);
+    }
+}

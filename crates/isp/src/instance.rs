@@ -1,0 +1,161 @@
+//! ISP instance and solution types.
+
+/// Profit type (matches the CSR score type).
+pub type Profit = i64;
+
+/// A half-open integer interval `[lo, hi)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Interval {
+    /// Inclusive start.
+    pub lo: i64,
+    /// Exclusive end.
+    pub hi: i64,
+}
+
+impl Interval {
+    /// Construct; panics on an empty interval.
+    pub fn new(lo: i64, hi: i64) -> Self {
+        assert!(lo < hi, "interval must be non-empty: [{lo}, {hi})");
+        Interval { lo, hi }
+    }
+
+    /// Whether two intervals share a point.
+    #[inline]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.lo < other.hi && other.lo < self.hi
+    }
+
+    /// Length of the interval.
+    pub fn len(&self) -> i64 {
+        self.hi - self.lo
+    }
+
+    /// Intervals are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// One selectable interval: the job that owns it, the interval, the
+/// profit of selecting it, and an opaque tag the caller can use to map
+/// selections back to its own domain (e.g. a CSR match).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Candidate {
+    /// Owning job; at most one candidate per job may be selected.
+    pub job: usize,
+    /// The interval claimed on the shared resource.
+    pub iv: Interval,
+    /// Non-negative selection profit.
+    pub profit: Profit,
+    /// Caller-defined payload.
+    pub tag: usize,
+}
+
+/// An ISP instance.
+#[derive(Clone, Debug, Default)]
+pub struct IspInstance {
+    /// Number of jobs (`k` in the paper); jobs are `0..jobs`.
+    pub jobs: usize,
+    /// All selectable candidates.
+    pub candidates: Vec<Candidate>,
+}
+
+impl IspInstance {
+    /// Create an instance with `jobs` jobs and no candidates.
+    pub fn new(jobs: usize) -> Self {
+        IspInstance { jobs, candidates: Vec::new() }
+    }
+
+    /// Add a candidate interval.
+    pub fn push(&mut self, job: usize, iv: Interval, profit: Profit, tag: usize) {
+        assert!(job < self.jobs, "job {job} out of range {}", self.jobs);
+        assert!(profit >= 0, "ISP profits are non-negative");
+        self.candidates.push(Candidate { job, iv, profit, tag });
+    }
+
+    /// Verify that a selection is feasible: at most one candidate per
+    /// job, pairwise-disjoint intervals, all candidates from this
+    /// instance. Returns the total profit.
+    pub fn validate(&self, sel: &Selection) -> Result<Profit, String> {
+        let mut used_jobs = std::collections::HashSet::new();
+        let mut total = 0;
+        for (i, c) in sel.chosen.iter().enumerate() {
+            if !self.candidates.contains(c) {
+                return Err(format!("candidate {c:?} is not part of the instance"));
+            }
+            if !used_jobs.insert(c.job) {
+                return Err(format!("job {} selected twice", c.job));
+            }
+            for d in &sel.chosen[..i] {
+                if c.iv.overlaps(&d.iv) {
+                    return Err(format!("intervals {:?} and {:?} overlap", c.iv, d.iv));
+                }
+            }
+            total += c.profit;
+        }
+        Ok(total)
+    }
+}
+
+/// A feasible (not necessarily optimal) selection.
+#[derive(Clone, Debug, Default)]
+pub struct Selection {
+    /// The selected candidates.
+    pub chosen: Vec<Candidate>,
+}
+
+impl Selection {
+    /// Total profit of the selection.
+    pub fn profit(&self) -> Profit {
+        self.chosen.iter().map(|c| c.profit).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_overlap_semantics() {
+        let a = Interval::new(0, 5);
+        let b = Interval::new(5, 8);
+        let c = Interval::new(4, 6);
+        assert!(!a.overlaps(&b), "half-open: touching is disjoint");
+        assert!(a.overlaps(&c));
+        assert!(c.overlaps(&b));
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_interval_rejected() {
+        Interval::new(3, 3);
+    }
+
+    #[test]
+    fn validation_catches_job_reuse() {
+        let mut inst = IspInstance::new(1);
+        inst.push(0, Interval::new(0, 1), 5, 0);
+        inst.push(0, Interval::new(2, 3), 5, 1);
+        let sel = Selection { chosen: inst.candidates.clone() };
+        assert!(inst.validate(&sel).unwrap_err().contains("twice"));
+    }
+
+    #[test]
+    fn validation_catches_overlap() {
+        let mut inst = IspInstance::new(2);
+        inst.push(0, Interval::new(0, 3), 5, 0);
+        inst.push(1, Interval::new(2, 4), 5, 1);
+        let sel = Selection { chosen: inst.candidates.clone() };
+        assert!(inst.validate(&sel).unwrap_err().contains("overlap"));
+    }
+
+    #[test]
+    fn validation_accepts_feasible() {
+        let mut inst = IspInstance::new(2);
+        inst.push(0, Interval::new(0, 2), 5, 0);
+        inst.push(1, Interval::new(2, 4), 7, 1);
+        let sel = Selection { chosen: inst.candidates.clone() };
+        assert_eq!(inst.validate(&sel).unwrap(), 12);
+    }
+}

@@ -1,0 +1,204 @@
+//! The Berman–DasGupta two-phase algorithm (TPA), ratio 2,
+//! `O(n log n)`.
+//!
+//! **Phase 1 (evaluation).** Process candidates in non-decreasing order
+//! of right endpoint. For candidate `x`, let
+//!
+//! ```text
+//! total(x) = Σ { v(y) : y stacked, y conflicts with x }
+//! ```
+//!
+//! where *conflicts* means interval overlap or same job. Set
+//! `v(x) = profit(x) − total(x)`; if positive, push `x` with value
+//! `v(x)` onto the stack.
+//!
+//! **Phase 2 (selection).** Pop the stack (latest first) and greedily
+//! keep every candidate compatible with those already kept.
+//!
+//! The selection's profit is at least the stack's total value, and any
+//! feasible solution's profit is at most twice the stack total, giving
+//! the factor-2 guarantee the paper's Corollary 1 relies on.
+//!
+//! Complexity: because candidates are processed by right endpoint, a
+//! stacked `y` overlaps `x` iff `y.hi > x.lo`, a suffix sum over right
+//! endpoints maintained in a Fenwick tree; same-job non-overlapping
+//! values are a per-job prefix (their `hi` values are non-decreasing),
+//! looked up by binary search.
+
+use crate::fenwick::Fenwick;
+use crate::instance::{Candidate, IspInstance, Profit, Selection};
+
+/// Run TPA on an instance, returning a feasible selection with profit
+/// at least half the optimum.
+pub fn solve_tpa(inst: &IspInstance) -> Selection {
+    let mut order: Vec<&Candidate> = inst.candidates.iter().filter(|c| c.profit > 0).collect();
+    // Non-decreasing right endpoint; ties broken deterministically.
+    order.sort_by_key(|c| (c.iv.hi, c.iv.lo, c.job, c.tag));
+
+    // Coordinate-compress right endpoints for the Fenwick tree.
+    let mut his: Vec<i64> = order.iter().map(|c| c.iv.hi).collect();
+    his.dedup();
+    let hi_index = |hi: i64| -> usize {
+        his.partition_point(|&h| h < hi) // first index with his[i] >= hi
+    };
+
+    let mut fw = Fenwick::new(his.len());
+    // Per job: (hi, prefix sum of values) in push order, hi non-decreasing.
+    let mut job_stacked: Vec<Vec<(i64, Profit)>> = vec![Vec::new(); inst.jobs];
+    let mut stack: Vec<(&Candidate, Profit)> = Vec::new();
+
+    for c in order {
+        // Values of stacked candidates overlapping c: those with
+        // y.hi > c.lo (all stacked have y.hi ≤ c.hi).
+        let overlap_sum = fw.suffix(hi_index(c.iv.lo + 1));
+        // Same-job stacked candidates *not* already counted: y.hi ≤ c.lo.
+        let js = &job_stacked[c.job];
+        let cut = js.partition_point(|&(h, _)| h <= c.iv.lo);
+        let job_sum = if cut == 0 { 0 } else { js[cut - 1].1 };
+        let v = c.profit - overlap_sum - job_sum;
+        if v > 0 {
+            fw.add(hi_index(c.iv.hi), v);
+            let prev = job_stacked[c.job].last().map(|&(_, s)| s).unwrap_or(0);
+            job_stacked[c.job].push((c.iv.hi, prev + v));
+            stack.push((c, v));
+        }
+    }
+
+    // Phase 2: reverse greedy selection.
+    let mut chosen: Vec<Candidate> = Vec::new();
+    let mut job_used = vec![false; inst.jobs];
+    let mut min_lo = i64::MAX;
+    for &(c, _) in stack.iter().rev() {
+        if job_used[c.job] {
+            continue;
+        }
+        // All previously selected intervals have hi ≥ c.hi, so c is
+        // disjoint from every one of them iff c.hi ≤ min of their lo.
+        if c.iv.hi <= min_lo {
+            chosen.push(*c);
+            job_used[c.job] = true;
+            min_lo = min_lo.min(c.iv.lo);
+        }
+    }
+    chosen.reverse();
+    Selection { chosen }
+}
+
+/// The stack total of phase 1 — exposed for the ratio-2 analysis
+/// experiments (`selection ≥ stack_total` and `opt ≤ 2 · stack_total`).
+pub fn stack_total(inst: &IspInstance) -> Profit {
+    // Re-run phase 1 only.
+    let mut order: Vec<&Candidate> = inst.candidates.iter().filter(|c| c.profit > 0).collect();
+    order.sort_by_key(|c| (c.iv.hi, c.iv.lo, c.job, c.tag));
+    let mut his: Vec<i64> = order.iter().map(|c| c.iv.hi).collect();
+    his.dedup();
+    let hi_index = |hi: i64| -> usize { his.partition_point(|&h| h < hi) };
+    let mut fw = Fenwick::new(his.len());
+    let mut job_stacked: Vec<Vec<(i64, Profit)>> = vec![Vec::new(); inst.jobs];
+    let mut total = 0;
+    for c in order {
+        let overlap_sum = fw.suffix(hi_index(c.iv.lo + 1));
+        let js = &job_stacked[c.job];
+        let cut = js.partition_point(|&(h, _)| h <= c.iv.lo);
+        let job_sum = if cut == 0 { 0 } else { js[cut - 1].1 };
+        let v = c.profit - overlap_sum - job_sum;
+        if v > 0 {
+            fw.add(hi_index(c.iv.hi), v);
+            let prev = job_stacked[c.job].last().map(|&(_, s)| s).unwrap_or(0);
+            job_stacked[c.job].push((c.iv.hi, prev + v));
+            total += v;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Interval;
+
+    fn inst(jobs: usize, cands: &[(usize, i64, i64, i64)]) -> IspInstance {
+        let mut inst = IspInstance::new(jobs);
+        for (tag, &(job, lo, hi, p)) in cands.iter().enumerate() {
+            inst.push(job, Interval::new(lo, hi), p, tag);
+        }
+        inst
+    }
+
+    #[test]
+    fn disjoint_intervals_all_selected() {
+        let i = inst(3, &[(0, 0, 2, 5), (1, 2, 4, 7), (2, 4, 6, 3)]);
+        let sel = solve_tpa(&i);
+        assert_eq!(i.validate(&sel).unwrap(), 15);
+    }
+
+    #[test]
+    fn job_constraint_enforced() {
+        // Two disjoint intervals of the same job: only one selectable.
+        let i = inst(1, &[(0, 0, 2, 5), (0, 4, 6, 7)]);
+        let sel = solve_tpa(&i);
+        assert_eq!(sel.chosen.len(), 1);
+        assert_eq!(i.validate(&sel).unwrap(), 7);
+    }
+
+    #[test]
+    fn overlapping_chooses_heavier() {
+        let i = inst(2, &[(0, 0, 4, 5), (1, 2, 6, 9)]);
+        let sel = solve_tpa(&i);
+        assert_eq!(i.validate(&sel).unwrap(), 9);
+    }
+
+    #[test]
+    fn chain_where_greedy_by_profit_fails() {
+        // Middle interval overlaps both sides; its profit is larger
+        // than each side but smaller than their sum.
+        let i = inst(3, &[(0, 0, 3, 4), (1, 2, 5, 6), (2, 4, 7, 4)]);
+        let sel = solve_tpa(&i);
+        assert_eq!(i.validate(&sel).unwrap(), 8, "takes the two sides");
+    }
+
+    #[test]
+    fn zero_profit_candidates_ignored() {
+        let i = inst(2, &[(0, 0, 2, 0), (1, 0, 2, 3)]);
+        let sel = solve_tpa(&i);
+        assert_eq!(i.validate(&sel).unwrap(), 3);
+        assert_eq!(sel.chosen.len(), 1);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let i = IspInstance::new(0);
+        let sel = solve_tpa(&i);
+        assert_eq!(sel.profit(), 0);
+    }
+
+    #[test]
+    fn selection_at_least_stack_total() {
+        // Invariant of the two-phase analysis.
+        let i = inst(
+            4,
+            &[
+                (0, 0, 5, 10),
+                (1, 3, 8, 12),
+                (2, 7, 12, 6),
+                (3, 1, 4, 3),
+                (0, 9, 14, 4),
+                (1, 13, 18, 5),
+            ],
+        );
+        let sel = solve_tpa(&i);
+        let total = stack_total(&i);
+        assert!(sel.profit() >= total, "{} < {}", sel.profit(), total);
+        i.validate(&sel).unwrap();
+    }
+
+    #[test]
+    fn same_job_overlap_not_double_counted() {
+        // y overlaps x AND shares x's job: its value must be charged
+        // once. With double counting, the second candidate would be
+        // rejected (10 - 6 - 6 < 0) and total profit would drop.
+        let i = inst(1, &[(0, 0, 4, 6), (0, 2, 6, 10)]);
+        let sel = solve_tpa(&i);
+        assert_eq!(i.validate(&sel).unwrap(), 10);
+    }
+}

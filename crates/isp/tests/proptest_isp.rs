@@ -1,0 +1,80 @@
+//! Property-based tests for the ISP substrate: feasibility, the
+//! two-phase invariants, and the ratio-2 guarantee against exhaustive
+//! search.
+
+use fragalign_isp::tpa::stack_total;
+use fragalign_isp::{solve_exact, solve_greedy, solve_tpa, Interval, IspInstance};
+use proptest::prelude::*;
+
+fn instance_strategy() -> impl Strategy<Value = IspInstance> {
+    (1usize..5, prop::collection::vec((0usize..5, 0i64..25, 1i64..7, 0i64..40), 0..14))
+        .prop_map(|(jobs, cands)| {
+            let mut inst = IspInstance::new(jobs);
+            for (tag, (job, lo, len, profit)) in cands.into_iter().enumerate() {
+                inst.push(job % jobs, Interval::new(lo, lo + len), profit, tag);
+            }
+            inst
+        })
+}
+
+proptest! {
+    #[test]
+    fn tpa_output_is_feasible(inst in instance_strategy()) {
+        let sel = solve_tpa(&inst);
+        prop_assert!(inst.validate(&sel).is_ok());
+    }
+
+    #[test]
+    fn greedy_output_is_feasible(inst in instance_strategy()) {
+        let sel = solve_greedy(&inst);
+        prop_assert!(inst.validate(&sel).is_ok());
+    }
+
+    #[test]
+    fn tpa_selection_at_least_stack_total(inst in instance_strategy()) {
+        // The phase-2 selection realises at least the phase-1 stack
+        // value — the left half of the ratio-2 proof.
+        let sel = solve_tpa(&inst);
+        prop_assert!(sel.profit() >= stack_total(&inst));
+    }
+
+    #[test]
+    fn ratio_two_guarantee(inst in instance_strategy()) {
+        let exact = solve_exact(&inst);
+        let tpa = solve_tpa(&inst);
+        prop_assert!(exact.profit() >= tpa.profit());
+        prop_assert!(2 * tpa.profit() >= exact.profit(),
+            "tpa {} vs exact {}", tpa.profit(), exact.profit());
+    }
+
+    #[test]
+    fn opt_at_most_twice_stack(inst in instance_strategy()) {
+        // The right half of the proof: Opt ≤ 2 · stack total.
+        let exact = solve_exact(&inst);
+        prop_assert!(exact.profit() <= 2 * stack_total(&inst).max(exact.profit() / 2 + exact.profit() % 2));
+        // (stated loosely to tolerate the all-zero-profit case)
+        if exact.profit() > 0 {
+            prop_assert!(2 * stack_total(&inst) >= exact.profit());
+        }
+    }
+
+    #[test]
+    fn exact_dominates_heuristics(inst in instance_strategy()) {
+        let exact = solve_exact(&inst).profit();
+        prop_assert!(exact >= solve_tpa(&inst).profit());
+        prop_assert!(exact >= solve_greedy(&inst).profit());
+    }
+
+    #[test]
+    fn disjoint_single_candidates_always_taken(
+        profits in prop::collection::vec(1i64..50, 1..8)
+    ) {
+        // One candidate per job, all disjoint: everything is selected.
+        let mut inst = IspInstance::new(profits.len());
+        for (i, &p) in profits.iter().enumerate() {
+            inst.push(i, Interval::new(10 * i as i64, 10 * i as i64 + 5), p, i);
+        }
+        let sel = solve_tpa(&inst);
+        prop_assert_eq!(sel.profit(), profits.iter().sum::<i64>());
+    }
+}

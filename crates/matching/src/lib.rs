@@ -1,0 +1,276 @@
+#![warn(missing_docs)]
+
+//! # fragalign-matching
+//!
+//! Maximum-weight bipartite matching, the black box behind Lemma 9:
+//! a Border CSR optimum decomposes into two matchings, so matching the
+//! fragments of `H` against the fragments of `M` with edge weight
+//! `MS(h, m)` is a 2-approximation.
+//!
+//! The solver is the dense `O(n³)` Hungarian algorithm (potential /
+//! shortest-augmenting-path formulation). Weights may be any `i64`;
+//! pairs are only reported when their weight is positive, so "leave a
+//! vertex unmatched" is always available (as the paper's matching
+//! does — a fragment with no useful partner simply stays single).
+
+/// A dense rectangular weight matrix, row-major.
+#[derive(Clone, Debug)]
+pub struct WeightMatrix {
+    rows: usize,
+    cols: usize,
+    w: Vec<i64>,
+}
+
+impl WeightMatrix {
+    /// A `rows × cols` zero matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        WeightMatrix { rows, cols, w: vec![0; rows * cols] }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Set the weight of edge `(r, c)`.
+    pub fn set(&mut self, r: usize, c: usize, weight: i64) {
+        self.w[r * self.cols + c] = weight;
+    }
+
+    /// The weight of edge `(r, c)`.
+    pub fn get(&self, r: usize, c: usize) -> i64 {
+        self.w[r * self.cols + c]
+    }
+}
+
+/// A maximum-weight matching: chosen `(row, col, weight)` triples (all
+/// weights positive) and their total.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Matching {
+    /// Matched pairs with positive weight.
+    pub pairs: Vec<(usize, usize, i64)>,
+    /// Sum of matched weights.
+    pub total: i64,
+}
+
+/// Compute a maximum-weight matching of a bipartite graph given as a
+/// dense weight matrix. Vertices may stay unmatched; only positive
+/// weights contribute.
+pub fn max_weight_matching(weights: &WeightMatrix) -> Matching {
+    let n = weights.rows().max(weights.cols());
+    if n == 0 {
+        return Matching::default();
+    }
+    // Hungarian algorithm on an n × n *cost* matrix (minimisation):
+    // cost = −max(weight, 0); padding cells cost 0 = stay unmatched.
+    const INF: i64 = i64::MAX / 4;
+    let cost = |r: usize, c: usize| -> i64 {
+        if r < weights.rows() && c < weights.cols() {
+            -weights.get(r, c).max(0)
+        } else {
+            0
+        }
+    };
+
+    // Potentials u (rows), v (cols); way[j] = previous column on the
+    // alternating path; p[j] = row matched to column j (1-based rows,
+    // p[0] is the row currently being inserted). Classic formulation.
+    let mut u = vec![0i64; n + 1];
+    let mut v = vec![0i64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j]: row assigned to col j (1-based)
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut pairs = Vec::new();
+    let mut total = 0;
+    for j in 1..=n {
+        let i = p[j];
+        if i == 0 {
+            continue;
+        }
+        let (r, c) = (i - 1, j - 1);
+        if r < weights.rows() && c < weights.cols() {
+            let w = weights.get(r, c);
+            if w > 0 {
+                pairs.push((r, c, w));
+                total += w;
+            }
+        }
+    }
+    pairs.sort_unstable();
+    Matching { pairs, total }
+}
+
+/// Brute-force maximum-weight matching by enumerating all injections
+/// (test oracle; exponential).
+pub fn brute_force_matching(weights: &WeightMatrix) -> i64 {
+    fn rec(weights: &WeightMatrix, r: usize, used: &mut Vec<bool>) -> i64 {
+        if r == weights.rows() {
+            return 0;
+        }
+        // Leave row r unmatched.
+        let mut best = rec(weights, r + 1, used);
+        for c in 0..weights.cols() {
+            if used[c] {
+                continue;
+            }
+            let w = weights.get(r, c);
+            if w <= 0 {
+                continue;
+            }
+            used[c] = true;
+            best = best.max(w + rec(weights, r + 1, used));
+            used[c] = false;
+        }
+        best
+    }
+    assert!(weights.rows() <= 10 && weights.cols() <= 10, "test oracle only");
+    rec(weights, 0, &mut vec![false; weights.cols()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix() {
+        let m = max_weight_matching(&WeightMatrix::new(0, 0));
+        assert_eq!(m.total, 0);
+        assert!(m.pairs.is_empty());
+    }
+
+    #[test]
+    fn single_edge() {
+        let mut w = WeightMatrix::new(1, 1);
+        w.set(0, 0, 7);
+        let m = max_weight_matching(&w);
+        assert_eq!(m.total, 7);
+        assert_eq!(m.pairs, vec![(0, 0, 7)]);
+    }
+
+    #[test]
+    fn negative_and_zero_edges_stay_unmatched() {
+        let mut w = WeightMatrix::new(2, 2);
+        w.set(0, 0, -5);
+        w.set(0, 1, 0);
+        w.set(1, 0, 3);
+        let m = max_weight_matching(&w);
+        assert_eq!(m.total, 3);
+        assert_eq!(m.pairs, vec![(1, 0, 3)]);
+    }
+
+    #[test]
+    fn assignment_conflict_resolved_globally() {
+        // Row 0 prefers col 0, but giving col 0 to row 1 is globally
+        // better.
+        let mut w = WeightMatrix::new(2, 2);
+        w.set(0, 0, 5);
+        w.set(0, 1, 4);
+        w.set(1, 0, 6);
+        w.set(1, 1, 1);
+        let m = max_weight_matching(&w);
+        assert_eq!(m.total, 10); // (0,1)=4 + (1,0)=6
+    }
+
+    #[test]
+    fn rectangular_matrices() {
+        let mut w = WeightMatrix::new(3, 2);
+        w.set(0, 0, 2);
+        w.set(1, 0, 9);
+        w.set(1, 1, 1);
+        w.set(2, 1, 8);
+        let m = max_weight_matching(&w);
+        assert_eq!(m.total, 17); // (1,0)=9 + (2,1)=8
+        let mut wt = WeightMatrix::new(2, 3);
+        wt.set(0, 1, 9);
+        wt.set(1, 1, 10);
+        wt.set(1, 2, 4);
+        let mt = max_weight_matching(&wt);
+        assert_eq!(mt.total, 13); // (0,1)=9 + (1,2)=4
+    }
+
+    #[test]
+    fn agrees_with_bruteforce_on_random_matrices() {
+        let mut state = 0xC0FFEEu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for case in 0..200 {
+            let rows = 1 + (next() % 5) as usize;
+            let cols = 1 + (next() % 5) as usize;
+            let mut w = WeightMatrix::new(rows, cols);
+            for r in 0..rows {
+                for c in 0..cols {
+                    // include negatives and zeros
+                    w.set(r, c, (next() % 21) as i64 - 5);
+                }
+            }
+            let fast = max_weight_matching(&w);
+            let slow = brute_force_matching(&w);
+            assert_eq!(fast.total, slow, "case {case} {rows}x{cols}");
+            // Matching feasibility: rows and cols used at most once.
+            let mut ru = std::collections::HashSet::new();
+            let mut cu = std::collections::HashSet::new();
+            for &(r, c, weight) in &fast.pairs {
+                assert!(ru.insert(r));
+                assert!(cu.insert(c));
+                assert!(weight > 0);
+                assert_eq!(weight, w.get(r, c));
+            }
+        }
+    }
+}

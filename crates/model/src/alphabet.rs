@@ -1,0 +1,137 @@
+//! Region-name interner.
+//!
+//! The paper's examples name conserved regions `a, b, c, …`; real
+//! pipelines name them by genomic coordinates. The [`Alphabet`] maps
+//! such names to dense [`RegionId`]s and back, so the rest of the
+//! library can work with integers.
+
+use crate::symbol::{RegionId, Sym};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A bidirectional mapping between human-readable region names and
+/// dense [`RegionId`]s.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Alphabet {
+    names: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, RegionId>,
+}
+
+impl Alphabet {
+    /// An empty alphabet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its (possibly pre-existing) id.
+    pub fn intern(&mut self, name: &str) -> RegionId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = self.names.len() as RegionId;
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Intern `name` and return it as a forward-orientation symbol.
+    pub fn sym(&mut self, name: &str) -> Sym {
+        Sym::fwd(self.intern(name))
+    }
+
+    /// Intern `name` and return its reversed symbol `name^R`.
+    pub fn sym_rev(&mut self, name: &str) -> Sym {
+        Sym::rev(self.intern(name))
+    }
+
+    /// Look up an already-interned name.
+    pub fn get(&self, name: &str) -> Option<RegionId> {
+        self.index.get(name).copied()
+    }
+
+    /// The name of region `id`, if `id` was produced by this alphabet.
+    pub fn name(&self, id: RegionId) -> Option<&str> {
+        self.names.get(id as usize).map(|s| s.as_str())
+    }
+
+    /// Render a symbol as `name` or `nameR`.
+    pub fn render(&self, sym: Sym) -> String {
+        let base = self
+            .name(sym.id)
+            .map(|s| s.to_owned())
+            .unwrap_or_else(|| format!("#{}", sym.id));
+        if sym.rev {
+            format!("{base}R")
+        } else {
+            base
+        }
+    }
+
+    /// Number of interned regions.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no region has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Rebuild the name→id index (needed after deserialisation, which
+    /// skips the redundant map).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as RegionId))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut al = Alphabet::new();
+        let a = al.intern("a");
+        let b = al.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(al.intern("a"), a);
+        assert_eq!(al.len(), 2);
+    }
+
+    #[test]
+    fn roundtrip_names() {
+        let mut al = Alphabet::new();
+        let id = al.intern("exon-7");
+        assert_eq!(al.name(id), Some("exon-7"));
+        assert_eq!(al.get("exon-7"), Some(id));
+        assert_eq!(al.get("missing"), None);
+        assert_eq!(al.name(99), None);
+    }
+
+    #[test]
+    fn render_symbols() {
+        let mut al = Alphabet::new();
+        let s = al.sym("d");
+        assert_eq!(al.render(s), "d");
+        assert_eq!(al.render(s.reversed()), "dR");
+        assert_eq!(al.render(Sym::fwd(42)), "#42");
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut al = Alphabet::new();
+        al.intern("x");
+        al.intern("y");
+        let mut copy = Alphabet { names: al.names.clone(), index: HashMap::new() };
+        assert_eq!(copy.get("x"), None);
+        copy.rebuild_index();
+        assert_eq!(copy.get("x"), al.get("x"));
+        assert_eq!(copy.get("y"), al.get("y"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Fragments (contigs) and species.
+//!
+//! A fragment is a word over the duplicated alphabet — an ordered list
+//! of conserved-region occurrences as assembled into a contig. The CSR
+//! problem receives one set of fragments per species (`H` and `M` in
+//! the paper).
+
+use crate::symbol::{reverse_word, Sym};
+use serde::{Deserialize, Serialize};
+
+/// Which of the two genomes a fragment belongs to.
+///
+/// The paper calls them "h-contigs" (say, human) and "m-contigs" (say,
+/// mouse); any two species work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Species {
+    /// The first genome (`H` in the paper).
+    H,
+    /// The second genome (`M` in the paper).
+    M,
+}
+
+impl Species {
+    /// The other species.
+    #[inline]
+    pub const fn other(self) -> Self {
+        match self {
+            Species::H => Species::M,
+            Species::M => Species::H,
+        }
+    }
+}
+
+impl std::fmt::Display for Species {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Species::H => write!(f, "H"),
+            Species::M => write!(f, "M"),
+        }
+    }
+}
+
+/// Identifier of a fragment: species plus index within that species'
+/// fragment list.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FragId {
+    /// Which genome the fragment belongs to.
+    pub species: Species,
+    /// Index into that species' fragment vector.
+    pub index: usize,
+}
+
+impl FragId {
+    /// Fragment `index` of species `H`.
+    pub const fn h(index: usize) -> Self {
+        FragId { species: Species::H, index }
+    }
+
+    /// Fragment `index` of species `M`.
+    pub const fn m(index: usize) -> Self {
+        FragId { species: Species::M, index }
+    }
+}
+
+impl std::fmt::Debug for FragId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}{}", self.species, self.index)
+    }
+}
+
+/// A contig: an ordered list of conserved-region occurrences.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Fragment {
+    /// Optional human-readable name (e.g. `"h1"`).
+    pub name: String,
+    /// The word over `Σ̃` spelled by this contig.
+    pub regions: Vec<Sym>,
+}
+
+impl Fragment {
+    /// Build a fragment from its regions.
+    pub fn new(name: impl Into<String>, regions: Vec<Sym>) -> Self {
+        Fragment { name: name.into(), regions }
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether the fragment contains no regions.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// The reverse complement `f^R` of the fragment.
+    pub fn reversed(&self) -> Fragment {
+        Fragment { name: format!("{}R", self.name), regions: reverse_word(&self.regions) }
+    }
+
+    /// The subword at `site` coordinates `[lo, hi)`.
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, lo: usize, hi: usize) -> &[Sym] {
+        &self.regions[lo..hi]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn species_other_is_involution() {
+        assert_eq!(Species::H.other(), Species::M);
+        assert_eq!(Species::M.other(), Species::H);
+        assert_eq!(Species::H.other().other(), Species::H);
+    }
+
+    #[test]
+    fn fragment_reversal() {
+        let f = Fragment::new("h1", vec![Sym::fwd(0), Sym::fwd(1), Sym::rev(2)]);
+        let r = f.reversed();
+        assert_eq!(r.regions, vec![Sym::fwd(2), Sym::rev(1), Sym::rev(0)]);
+        assert_eq!(r.name, "h1R");
+        // double reversal restores the word (name gains a suffix; only
+        // the word matters semantically)
+        assert_eq!(r.reversed().regions, f.regions);
+    }
+
+    #[test]
+    fn frag_id_ordering_groups_by_species() {
+        let a = FragId::h(5);
+        let b = FragId::m(0);
+        assert!(a < b, "all H fragments sort before M fragments");
+    }
+
+    #[test]
+    fn slice_is_site_view() {
+        let f = Fragment::new("f", vec![Sym::fwd(3), Sym::fwd(4), Sym::fwd(5)]);
+        assert_eq!(f.slice(1, 3), &[Sym::fwd(4), Sym::fwd(5)]);
+        assert_eq!(f.slice(0, 0), &[] as &[Sym]);
+    }
+}

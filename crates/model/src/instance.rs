@@ -1,0 +1,306 @@
+//! CSR problem instances.
+//!
+//! An instance is `(H, M, σ)`: the two fragment sets plus the region
+//! score function. A builder offers the ergonomic construction used
+//! throughout the examples and tests (named regions, named fragments,
+//! scores by name).
+
+use crate::alphabet::Alphabet;
+use crate::fragment::{FragId, Fragment, Species};
+use crate::score::ScoreTable;
+use crate::site::Site;
+use crate::symbol::Sym;
+use crate::Score;
+use serde::{Deserialize, Serialize};
+
+/// A CSR problem instance `(H, M, σ)`.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Instance {
+    /// Fragments of the first species.
+    pub h: Vec<Fragment>,
+    /// Fragments of the second species.
+    pub m: Vec<Fragment>,
+    /// The region score function σ.
+    pub sigma: ScoreTable,
+    /// Region names (may be empty when instances are generated).
+    pub alphabet: Alphabet,
+}
+
+impl Instance {
+    /// The fragment with the given id.
+    pub fn fragment(&self, id: FragId) -> &Fragment {
+        match id.species {
+            Species::H => &self.h[id.index],
+            Species::M => &self.m[id.index],
+        }
+    }
+
+    /// Length (number of regions) of fragment `id`.
+    pub fn frag_len(&self, id: FragId) -> usize {
+        self.fragment(id).len()
+    }
+
+    /// The word spelled by a site.
+    pub fn site_word(&self, site: Site) -> &[Sym] {
+        self.fragment(site.frag).slice(site.lo, site.hi)
+    }
+
+    /// Iterate over all fragment ids of one species.
+    pub fn frag_ids(&self, species: Species) -> impl Iterator<Item = FragId> + '_ {
+        let n = match species {
+            Species::H => self.h.len(),
+            Species::M => self.m.len(),
+        };
+        (0..n).map(move |i| FragId { species, index: i })
+    }
+
+    /// Iterate over all fragment ids, H first.
+    pub fn all_frag_ids(&self) -> impl Iterator<Item = FragId> + '_ {
+        self.frag_ids(Species::H).chain(self.frag_ids(Species::M))
+    }
+
+    /// Total number of regions across both species.
+    pub fn total_regions(&self) -> usize {
+        self.h.iter().map(Fragment::len).sum::<usize>()
+            + self.m.iter().map(Fragment::len).sum::<usize>()
+    }
+
+    /// An upper bound on the number of *useful* matches: every match
+    /// consumes at least one region on each side, so a consistent set
+    /// has at most `min(|H regions|, |M regions|)` matches. Used by the
+    /// §4.1 scaling step as the bound `k`.
+    pub fn match_count_bound(&self) -> usize {
+        let h: usize = self.h.iter().map(Fragment::len).sum();
+        let m: usize = self.m.iter().map(Fragment::len).sum();
+        h.min(m).max(1)
+    }
+
+    /// Return the instance with species swapped (`H ↔ M`). The score
+    /// table is unchanged: `σ` entries are keyed H-then-M, so the
+    /// swapped instance must be queried through [`ScoreTable::score`]
+    /// with arguments swapped — callers use [`Instance::sigma_swapped`]
+    /// which performs the re-keying eagerly.
+    pub fn swapped(&self) -> Instance {
+        Instance {
+            h: self.m.clone(),
+            m: self.h.clone(),
+            sigma: self.sigma_swapped(),
+            alphabet: self.alphabet.clone(),
+        }
+    }
+
+    fn sigma_swapped(&self) -> ScoreTable {
+        let mut t = ScoreTable::new();
+        t.default_score = self.sigma.default_score;
+        for (a, b, o, s) in self.sigma.iter() {
+            let (x, y) = match o {
+                crate::score::Orient::Same => (Sym::fwd(b), Sym::fwd(a)),
+                crate::score::Orient::Reversed => (Sym::fwd(b), Sym::rev(a)),
+            };
+            t.set(x, y, s);
+        }
+        t
+    }
+
+    /// Sanity-check an instance (e.g. one deserialised from JSON):
+    /// no empty fragments, and — when the alphabet is populated —
+    /// every region id resolvable.
+    pub fn validate(&self) -> Result<(), String> {
+        for f in self.h.iter().chain(self.m.iter()) {
+            if f.is_empty() {
+                return Err(format!("fragment {} has no regions", f.name));
+            }
+            if !self.alphabet.is_empty() {
+                for sym in &f.regions {
+                    if self.alphabet.name(sym.id).is_none() {
+                        return Err(format!(
+                            "fragment {} region #{} is not in the alphabet",
+                            f.name, sym.id
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Concatenate all fragments of one species into a single fragment
+    /// (the `F'` operation of Theorem 3).
+    pub fn concat_species(&self, species: Species) -> Fragment {
+        let frags = match species {
+            Species::H => &self.h,
+            Species::M => &self.m,
+        };
+        let mut regions = Vec::new();
+        for f in frags {
+            regions.extend_from_slice(&f.regions);
+        }
+        Fragment::new(format!("{species}-concat"), regions)
+    }
+}
+
+/// Ergonomic construction of instances with named regions.
+#[derive(Debug, Default)]
+pub struct InstanceBuilder {
+    alphabet: Alphabet,
+    h: Vec<Fragment>,
+    m: Vec<Fragment>,
+    sigma: ScoreTable,
+}
+
+impl InstanceBuilder {
+    /// Start an empty instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parse a region token: `"a"` is forward, `"aR"` is reversed.
+    fn parse_sym(&mut self, token: &str) -> Sym {
+        if let Some(base) = token.strip_suffix('R') {
+            if !base.is_empty() {
+                return self.alphabet.sym_rev(base);
+            }
+        }
+        self.alphabet.sym(token)
+    }
+
+    /// Add an H fragment from region tokens, e.g. `["a", "bR", "c"]`.
+    pub fn h_frag(&mut self, name: &str, regions: &[&str]) -> &mut Self {
+        let syms = regions.iter().map(|r| self.parse_sym(r)).collect();
+        self.h.push(Fragment::new(name, syms));
+        self
+    }
+
+    /// Add an M fragment from region tokens.
+    pub fn m_frag(&mut self, name: &str, regions: &[&str]) -> &mut Self {
+        let syms = regions.iter().map(|r| self.parse_sym(r)).collect();
+        self.m.push(Fragment::new(name, syms));
+        self
+    }
+
+    /// Record `σ(a, b) = score` using region tokens (`"aR"` for the
+    /// reversed occurrence, as in the paper's `σ(b, t^R) = 3`).
+    pub fn score(&mut self, a: &str, b: &str, score: Score) -> &mut Self {
+        let sa = self.parse_sym(a);
+        let sb = self.parse_sym(b);
+        self.sigma.set(sa, sb, score);
+        self
+    }
+
+    /// Finish building.
+    pub fn build(&mut self) -> Instance {
+        Instance {
+            h: std::mem::take(&mut self.h),
+            m: std::mem::take(&mut self.m),
+            sigma: std::mem::take(&mut self.sigma),
+            alphabet: std::mem::take(&mut self.alphabet),
+        }
+    }
+}
+
+/// The running example of the paper's introduction (Figs. 2, 4, 5):
+/// contigs `h1 = ⟨a,b,c⟩`, `h2 = ⟨d⟩`, `m1 = ⟨s,t⟩`, `m2 = ⟨u,v⟩` with
+/// `σ(a,s)=4, σ(a,t)=1, σ(b,t^R)=3, σ(c,u)=5, σ(d,t)=σ(d,v^R)=2`.
+/// Its optimum solution scores 11.
+pub fn paper_example() -> Instance {
+    let mut b = InstanceBuilder::new();
+    b.h_frag("h1", &["a", "b", "c"]);
+    b.h_frag("h2", &["d"]);
+    b.m_frag("m1", &["s", "t"]);
+    b.m_frag("m2", &["u", "v"]);
+    b.score("a", "s", 4);
+    b.score("a", "t", 1);
+    b.score("b", "tR", 3);
+    b.score("c", "u", 5);
+    b.score("d", "t", 2);
+    b.score("d", "vR", 2);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::Orient;
+
+    #[test]
+    fn paper_example_shape() {
+        let inst = paper_example();
+        assert_eq!(inst.h.len(), 2);
+        assert_eq!(inst.m.len(), 2);
+        assert_eq!(inst.h[0].len(), 3);
+        assert_eq!(inst.total_regions(), 8);
+        assert_eq!(inst.match_count_bound(), 4);
+        // σ(b, t^R) = 3 and by symmetry σ(b^R, t) = 3.
+        let b = Sym::fwd(inst.alphabet.get("b").unwrap());
+        let t = Sym::fwd(inst.alphabet.get("t").unwrap());
+        assert_eq!(inst.sigma.score(b, t.reversed()), 3);
+        assert_eq!(inst.sigma.score(b.reversed(), t), 3);
+        assert_eq!(inst.sigma.score(b, t), 0);
+    }
+
+    #[test]
+    fn swapped_rekeys_sigma() {
+        let inst = paper_example();
+        let sw = inst.swapped();
+        assert_eq!(sw.h.len(), 2);
+        assert_eq!(sw.h[0].name, "m1");
+        let b = Sym::fwd(inst.alphabet.get("b").unwrap());
+        let t = Sym::fwd(inst.alphabet.get("t").unwrap());
+        // σ'(t^R, b) = σ(b, t^R) = 3; relative orientation preserved.
+        assert_eq!(sw.sigma.score(t.reversed(), b), 3);
+        assert_eq!(sw.sigma.score(t, b), 0);
+        assert_eq!(sw.sigma.score_rel(t.id, b.id, Orient::Reversed), 3);
+    }
+
+    #[test]
+    fn concat_joins_in_order() {
+        let inst = paper_example();
+        let cat = inst.concat_species(Species::M);
+        assert_eq!(cat.len(), 4);
+        let names: Vec<String> =
+            cat.regions.iter().map(|&s| inst.alphabet.render(s)).collect();
+        assert_eq!(names, vec!["s", "t", "u", "v"]);
+    }
+
+    #[test]
+    fn builder_parses_reversed_tokens() {
+        let mut b = InstanceBuilder::new();
+        b.h_frag("h", &["x", "yR"]);
+        let inst = b.build();
+        assert!(!inst.h[0].regions[0].rev);
+        assert!(inst.h[0].regions[1].rev);
+    }
+
+    #[test]
+    fn validate_catches_bad_instances() {
+        let inst = paper_example();
+        assert!(inst.validate().is_ok());
+        let mut empty_frag = inst.clone();
+        empty_frag.h.push(crate::fragment::Fragment::new("bad", vec![]));
+        assert!(empty_frag.validate().is_err());
+        let mut unknown_region = inst.clone();
+        unknown_region.m[0].regions.push(Sym::fwd(9999));
+        assert!(unknown_region.validate().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let inst = paper_example();
+        let json = serde_json::to_string(&inst).unwrap();
+        let mut back: Instance = serde_json::from_str(&json).unwrap();
+        back.alphabet.rebuild_index();
+        assert_eq!(back.h, inst.h);
+        assert_eq!(back.m, inst.m);
+        let a = Sym::fwd(inst.alphabet.get("a").unwrap());
+        let s = Sym::fwd(inst.alphabet.get("s").unwrap());
+        assert_eq!(back.sigma.score(a, s), 4);
+        assert_eq!(back.alphabet.get("a"), inst.alphabet.get("a"));
+    }
+
+    #[test]
+    fn frag_ids_enumerate_both_species() {
+        let inst = paper_example();
+        let ids: Vec<FragId> = inst.all_frag_ids().collect();
+        assert_eq!(ids, vec![FragId::h(0), FragId::h(1), FragId::m(0), FragId::m(1)]);
+    }
+}

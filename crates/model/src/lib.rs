@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! # fragalign-model
+//!
+//! Sequence model substrate for the *Consensus Sequence Reconstruction*
+//! (CSR) problem of Veeramachaneni, Berman and Miller, "Aligning two
+//! fragmented sequences" (IPPS 2002 / Discrete Applied Mathematics 127,
+//! 2003).
+//!
+//! Two incompletely sequenced genomes are available as sets of
+//! *fragments* (contigs); each fragment is an ordered list of conserved
+//! regions, possibly reverse-complemented. This crate provides:
+//!
+//! * the duplicated alphabet `Σ ∪ Σ^R` with its reversal involution
+//!   ([`Sym`], [`Alphabet`]),
+//! * fragments and species ([`Fragment`], [`Species`]),
+//! * the region-level score function `σ` with the paper's symmetry
+//!   `σ(a, b) = σ(a^R, b^R)` ([`ScoreTable`]),
+//! * padded sequences and the column score of Definition 1
+//!   ([`conjecture`]),
+//! * sites, their full/border/inner classification (Definition 3) and
+//!   the hidden/contained/adjacent predicates of Definition 5
+//!   ([`Site`]),
+//! * matches and consistent match sets (Definition 2) with a complete
+//!   consistency decision procedure and a layout builder that converts
+//!   a consistent match set back into an explicit conjecture pair
+//!   (Remark 1), in [`matchset`] and [`consistency`].
+//!
+//! Higher layers (`fragalign-align`, `fragalign-core`) add alignment
+//! scores over this model and the paper's approximation algorithms.
+
+pub mod alphabet;
+pub mod conjecture;
+pub mod consistency;
+pub mod error;
+pub mod fragment;
+pub mod instance;
+pub mod matchset;
+pub mod score;
+pub mod site;
+pub mod symbol;
+
+pub use alphabet::Alphabet;
+pub use conjecture::{Column, ConjecturePair, PlacedFragment, Row};
+pub use consistency::{
+    check_consistency, ConsistencyReport, Island, LayoutBuilder, SiteAligner, UnitAligner,
+};
+pub use error::Inconsistency;
+pub use fragment::{FragId, Fragment, Species};
+pub use instance::{Instance, InstanceBuilder};
+pub use matchset::{Match, MatchId, MatchKind, MatchSet};
+pub use score::{Orient, ScoreTable};
+pub use site::{End, Site, SiteClass};
+pub use symbol::{RegionId, Sym};
+
+/// Scores are integral: the paper (§4.1) notes alignment scores have few
+/// precision bits, and the Chandra–Halldórsson scaling step quantises
+/// them anyway. We use a wide signed integer to keep sums exact.
+pub type Score = i64;

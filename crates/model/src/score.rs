@@ -1,0 +1,240 @@
+//! The region-level score function `σ : Σ̃ × Σ̃ → ℝ`.
+//!
+//! §2.1 requires the reversal symmetry `σ(a, b) = σ(a^R, b^R)`, which
+//! implies `σ(a^R, b) = σ(a, b^R)`. Consequently a pair of regions has
+//! exactly two independent scores: one for the *same* relative
+//! orientation and one for the *opposite* relative orientation. The
+//! padding symbol `⊥` scores 0 against everything; we never store it —
+//! alignment layers treat gaps as score-0 columns directly.
+
+use crate::symbol::{RegionId, Sym};
+use crate::Score;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Relative orientation of the two sides of a match or region pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Orient {
+    /// Both occurrences in the same orientation.
+    Same,
+    /// One side reversed relative to the other.
+    Reversed,
+}
+
+impl Orient {
+    /// Compose two relative orientations (xor).
+    #[inline]
+    pub const fn compose(self, other: Orient) -> Orient {
+        match (self, other) {
+            (Orient::Same, o) | (o, Orient::Same) => o,
+            (Orient::Reversed, Orient::Reversed) => Orient::Same,
+        }
+    }
+
+    /// The opposite relative orientation.
+    #[inline]
+    pub const fn flipped(self) -> Orient {
+        match self {
+            Orient::Same => Orient::Reversed,
+            Orient::Reversed => Orient::Same,
+        }
+    }
+
+    /// Relative orientation of two symbol occurrences.
+    #[inline]
+    pub const fn between(a: Sym, b: Sym) -> Orient {
+        if a.rev == b.rev {
+            Orient::Same
+        } else {
+            Orient::Reversed
+        }
+    }
+
+    /// Encode as a bool (`Reversed == true`).
+    #[inline]
+    pub const fn is_reversed(self) -> bool {
+        matches!(self, Orient::Reversed)
+    }
+
+    /// Decode from a bool (`true == Reversed`).
+    #[inline]
+    pub const fn from_reversed(rev: bool) -> Orient {
+        if rev {
+            Orient::Reversed
+        } else {
+            Orient::Same
+        }
+    }
+}
+
+/// Sparse table of alignment scores between H-side and M-side regions.
+///
+/// Keys are `(h_region, m_region, relative orientation)`; the §2.1
+/// symmetry is enforced by construction because only the relative
+/// orientation is stored. Pairs absent from the table score
+/// [`ScoreTable::default_score`] (0 unless configured otherwise), which
+/// models "no alignment found between these regions".
+///
+/// Serialises as a list of `(h, m, orient, score)` rows: JSON map keys
+/// must be strings, so the tuple-keyed map is flattened on the wire.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[serde(from = "ScoreTableWire", into = "ScoreTableWire")]
+pub struct ScoreTable {
+    entries: HashMap<(RegionId, RegionId, Orient), Score>,
+    /// Score of region pairs with no table entry.
+    pub default_score: Score,
+}
+
+/// Wire format of [`ScoreTable`].
+#[derive(Serialize, Deserialize)]
+struct ScoreTableWire {
+    entries: Vec<(RegionId, RegionId, Orient, Score)>,
+    default_score: Score,
+}
+
+impl From<ScoreTableWire> for ScoreTable {
+    fn from(w: ScoreTableWire) -> Self {
+        ScoreTable {
+            entries: w.entries.into_iter().map(|(a, b, o, s)| ((a, b, o), s)).collect(),
+            default_score: w.default_score,
+        }
+    }
+}
+
+impl From<ScoreTable> for ScoreTableWire {
+    fn from(t: ScoreTable) -> Self {
+        let mut entries: Vec<(RegionId, RegionId, Orient, Score)> =
+            t.entries.into_iter().map(|((a, b, o), s)| (a, b, o, s)).collect();
+        entries.sort_unstable();
+        ScoreTableWire { entries, default_score: t.default_score }
+    }
+}
+
+impl ScoreTable {
+    /// An empty table (all pairs score 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `σ(a, b) = score` for forward occurrences `a` (H side)
+    /// and `b` (M side); by symmetry this also sets `σ(a^R, b^R)`.
+    pub fn set(&mut self, a: Sym, b: Sym, score: Score) {
+        self.entries.insert((a.id, b.id, Orient::between(a, b)), score);
+    }
+
+    /// Look up `σ(a, b)` where `a` is an H-side occurrence and `b` an
+    /// M-side occurrence.
+    #[inline]
+    pub fn score(&self, a: Sym, b: Sym) -> Score {
+        self.entries
+            .get(&(a.id, b.id, Orient::between(a, b)))
+            .copied()
+            .unwrap_or(self.default_score)
+    }
+
+    /// Look up by region ids and relative orientation.
+    #[inline]
+    pub fn score_rel(&self, a: RegionId, b: RegionId, rel: Orient) -> Score {
+        self.entries.get(&(a, b, rel)).copied().unwrap_or(self.default_score)
+    }
+
+    /// All explicit entries, for serialisation and inspection.
+    pub fn iter(&self) -> impl Iterator<Item = (RegionId, RegionId, Orient, Score)> + '_ {
+        self.entries.iter().map(|(&(a, b, o), &s)| (a, b, o, s))
+    }
+
+    /// Number of explicit entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has no explicit entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The largest explicit score (useful for normalisation); `None`
+    /// if the table is empty.
+    pub fn max_score(&self) -> Option<Score> {
+        self.entries.values().copied().max()
+    }
+
+    /// Return a copy with every score truncated down to a multiple of
+    /// `quantum` (the Chandra–Halldórsson scaling step of §4.1).
+    pub fn truncated(&self, quantum: Score) -> ScoreTable {
+        assert!(quantum > 0, "scaling quantum must be positive");
+        let entries = self
+            .entries
+            .iter()
+            .map(|(&k, &s)| (k, s.div_euclid(quantum) * quantum))
+            .collect();
+        ScoreTable { entries, default_score: self.default_score.div_euclid(quantum) * quantum }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reversal_symmetry_of_sigma() {
+        let mut t = ScoreTable::new();
+        let a = Sym::fwd(0);
+        let b = Sym::fwd(1);
+        t.set(a, b, 7);
+        // σ(a, b) = σ(a^R, b^R)
+        assert_eq!(t.score(a, b), 7);
+        assert_eq!(t.score(a.reversed(), b.reversed()), 7);
+        // opposite orientation is a distinct value
+        assert_eq!(t.score(a, b.reversed()), 0);
+        t.set(a, b.reversed(), 3);
+        assert_eq!(t.score(a, b.reversed()), 3);
+        assert_eq!(t.score(a.reversed(), b), 3); // σ(a^R, b) = σ(a, b^R)
+        assert_eq!(t.score(a, b), 7, "same-orientation entry untouched");
+    }
+
+    #[test]
+    fn default_score_for_missing_pairs() {
+        let mut t = ScoreTable::new();
+        assert_eq!(t.score(Sym::fwd(5), Sym::fwd(6)), 0);
+        t.default_score = -1;
+        assert_eq!(t.score(Sym::fwd(5), Sym::fwd(6)), -1);
+    }
+
+    #[test]
+    fn orient_algebra() {
+        use Orient::*;
+        assert_eq!(Same.compose(Same), Same);
+        assert_eq!(Same.compose(Reversed), Reversed);
+        assert_eq!(Reversed.compose(Reversed), Same);
+        assert_eq!(Same.flipped(), Reversed);
+        assert_eq!(Reversed.flipped(), Same);
+        assert_eq!(Orient::between(Sym::fwd(0), Sym::rev(1)), Reversed);
+        assert_eq!(Orient::from_reversed(Reversed.is_reversed()), Reversed);
+    }
+
+    #[test]
+    fn truncation_rounds_down_to_quantum() {
+        let mut t = ScoreTable::new();
+        t.set(Sym::fwd(0), Sym::fwd(1), 17);
+        t.set(Sym::fwd(0), Sym::fwd(2), 20);
+        let q = t.truncated(5);
+        assert_eq!(q.score(Sym::fwd(0), Sym::fwd(1)), 15);
+        assert_eq!(q.score(Sym::fwd(0), Sym::fwd(2)), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum")]
+    fn truncation_rejects_zero_quantum() {
+        ScoreTable::new().truncated(0);
+    }
+
+    #[test]
+    fn max_score_scans_entries() {
+        let mut t = ScoreTable::new();
+        assert_eq!(t.max_score(), None);
+        t.set(Sym::fwd(0), Sym::fwd(1), 4);
+        t.set(Sym::fwd(1), Sym::fwd(1), 9);
+        assert_eq!(t.max_score(), Some(9));
+    }
+}

@@ -1,0 +1,266 @@
+//! Sites — contiguous subfragments — and their classification.
+//!
+//! Definition 3 classifies sites of a fragment `f = f(1, n)` as
+//! *full* (`f(1, n)`), *border* (`f(1, i)` or `f(i, n)`), or *inner*.
+//! Definition 5 adds the predicates *contained*, *adjacent* and
+//! *hidden* used by the improvement algorithms of §4.
+//!
+//! We use half-open 0-based coordinates `[lo, hi)` internally; the
+//! paper's `f(i, j)` (1-based inclusive) is `Site { lo: i-1, hi: j }`.
+
+use crate::fragment::FragId;
+use serde::{Deserialize, Serialize};
+
+/// One of the two ends of a fragment, in the fragment's own (original)
+/// coordinates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum End {
+    /// The start of the fragment (position 0).
+    Left,
+    /// The end of the fragment (position `len`).
+    Right,
+}
+
+impl End {
+    /// The opposite end.
+    #[inline]
+    pub const fn other(self) -> End {
+        match self {
+            End::Left => End::Right,
+            End::Right => End::Left,
+        }
+    }
+
+    /// The end of the *laid-out* fragment this original end becomes
+    /// when the fragment is placed reversed (`flip == true`).
+    #[inline]
+    pub const fn oriented(self, flip: bool) -> End {
+        if flip {
+            self.other()
+        } else {
+            self
+        }
+    }
+}
+
+/// Classification of a site per Definition 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SiteClass {
+    /// The whole fragment.
+    Full,
+    /// A proper prefix or suffix; carries which end it touches.
+    Border(End),
+    /// Touches neither end.
+    Inner,
+}
+
+/// A contiguous subfragment `f(i, j)`, stored half-open as `[lo, hi)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Site {
+    /// Which fragment the site lives on.
+    pub frag: FragId,
+    /// Inclusive start (0-based).
+    pub lo: usize,
+    /// Exclusive end.
+    pub hi: usize,
+}
+
+impl std::fmt::Debug for Site {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}[{}..{}]", self.frag, self.lo, self.hi)
+    }
+}
+
+impl Site {
+    /// Construct a site; panics on an empty or inverted range.
+    pub fn new(frag: FragId, lo: usize, hi: usize) -> Self {
+        assert!(lo < hi, "site must be non-empty: [{lo}, {hi})");
+        Site { frag, lo, hi }
+    }
+
+    /// The full site of a fragment with `len` regions.
+    pub fn full(frag: FragId, len: usize) -> Self {
+        Site::new(frag, 0, len)
+    }
+
+    /// Number of regions covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// Sites are non-empty by construction.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Classify the site within a fragment of length `frag_len`
+    /// (Definition 3).
+    pub fn classify(&self, frag_len: usize) -> SiteClass {
+        debug_assert!(self.hi <= frag_len, "site {self:?} exceeds fragment length {frag_len}");
+        match (self.lo == 0, self.hi == frag_len) {
+            (true, true) => SiteClass::Full,
+            (true, false) => SiteClass::Border(End::Left),
+            (false, true) => SiteClass::Border(End::Right),
+            (false, false) => SiteClass::Inner,
+        }
+    }
+
+    /// Whether the site is the whole fragment of length `frag_len`.
+    pub fn is_full(&self, frag_len: usize) -> bool {
+        self.classify(frag_len) == SiteClass::Full
+    }
+
+    /// Definition 5: `f(i, j)` is contained in `f(i', j')` if
+    /// `i' ≤ i ≤ j ≤ j'`. Requires the same fragment.
+    pub fn contained_in(&self, other: &Site) -> bool {
+        self.frag == other.frag && other.lo <= self.lo && self.hi <= other.hi
+    }
+
+    /// Definition 5: adjacency — the sites abut with no gap.
+    pub fn adjacent_to(&self, other: &Site) -> bool {
+        self.frag == other.frag && (self.hi == other.lo || other.hi == self.lo)
+    }
+
+    /// Definition 5: `f(i, j)` is hidden by `f(i', j')` if
+    /// `i' < i ≤ j < j'` (strictly inside).
+    pub fn hidden_by(&self, other: &Site) -> bool {
+        self.frag == other.frag && other.lo < self.lo && self.hi < other.hi
+    }
+
+    /// Whether the two sites overlap in at least one region.
+    pub fn overlaps(&self, other: &Site) -> bool {
+        self.frag == other.frag && self.lo < other.hi && other.lo < self.hi
+    }
+
+    /// Set difference `self − other` restricted to intervals: the
+    /// (0, 1 or 2) maximal subsites of `self` not covered by `other`.
+    pub fn minus(&self, other: &Site) -> Vec<Site> {
+        if !self.overlaps(other) {
+            return vec![*self];
+        }
+        let mut out = Vec::new();
+        if self.lo < other.lo {
+            out.push(Site::new(self.frag, self.lo, other.lo));
+        }
+        if other.hi < self.hi {
+            out.push(Site::new(self.frag, other.hi, self.hi));
+        }
+        out
+    }
+
+    /// Intersection of two sites on the same fragment, if non-empty.
+    pub fn intersect(&self, other: &Site) -> Option<Site> {
+        if !self.overlaps(other) {
+            return None;
+        }
+        Some(Site::new(self.frag, self.lo.max(other.lo), self.hi.min(other.hi)))
+    }
+
+    /// The union of two overlapping or adjacent sites.
+    pub fn join(&self, other: &Site) -> Option<Site> {
+        if self.frag != other.frag {
+            return None;
+        }
+        if self.overlaps(other) || self.adjacent_to(other) {
+            Some(Site::new(self.frag, self.lo.min(other.lo), self.hi.max(other.hi)))
+        } else {
+            None
+        }
+    }
+
+    /// Mirror the site's coordinates within a fragment of length
+    /// `frag_len` (where it lands after reversing the fragment).
+    pub fn mirrored(&self, frag_len: usize) -> Site {
+        Site::new(self.frag, frag_len - self.hi, frag_len - self.lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f() -> FragId {
+        FragId::h(0)
+    }
+
+    #[test]
+    fn classification_matches_definition_3() {
+        // Fragment of length 5: full, prefix border, suffix border, inner.
+        assert_eq!(Site::new(f(), 0, 5).classify(5), SiteClass::Full);
+        assert_eq!(Site::new(f(), 0, 3).classify(5), SiteClass::Border(End::Left));
+        assert_eq!(Site::new(f(), 2, 5).classify(5), SiteClass::Border(End::Right));
+        assert_eq!(Site::new(f(), 1, 4).classify(5), SiteClass::Inner);
+        // Length-1 fragment: the single site is full.
+        assert_eq!(Site::new(f(), 0, 1).classify(1), SiteClass::Full);
+    }
+
+    #[test]
+    fn hidden_is_strict_containment() {
+        let outer = Site::new(f(), 1, 6);
+        assert!(Site::new(f(), 2, 5).hidden_by(&outer));
+        assert!(Site::new(f(), 2, 6).contained_in(&outer));
+        assert!(!Site::new(f(), 2, 6).hidden_by(&outer), "shared end ⇒ not hidden");
+        assert!(!Site::new(f(), 1, 5).hidden_by(&outer), "shared start ⇒ not hidden");
+        assert!(!outer.hidden_by(&outer));
+        let other_frag = Site::new(FragId::m(0), 2, 5);
+        assert!(!other_frag.hidden_by(&outer), "different fragments never hide");
+    }
+
+    #[test]
+    fn adjacency_and_overlap() {
+        let a = Site::new(f(), 0, 3);
+        let b = Site::new(f(), 3, 6);
+        let c = Site::new(f(), 2, 4);
+        assert!(a.adjacent_to(&b));
+        assert!(b.adjacent_to(&a));
+        assert!(!a.overlaps(&b));
+        assert!(a.overlaps(&c));
+        assert!(c.overlaps(&b));
+        assert!(!a.adjacent_to(&c));
+    }
+
+    #[test]
+    fn minus_produces_flanks() {
+        let big = Site::new(f(), 0, 10);
+        let mid = Site::new(f(), 3, 6);
+        assert_eq!(big.minus(&mid), vec![Site::new(f(), 0, 3), Site::new(f(), 6, 10)]);
+        assert_eq!(mid.minus(&big), vec![]);
+        let left = Site::new(f(), 0, 4);
+        assert_eq!(big.minus(&left), vec![Site::new(f(), 4, 10)]);
+        let disjoint = Site::new(FragId::m(1), 0, 2);
+        assert_eq!(big.minus(&disjoint), vec![big]);
+    }
+
+    #[test]
+    fn intersect_cases() {
+        let a = Site::new(f(), 0, 5);
+        let b = Site::new(f(), 3, 8);
+        assert_eq!(a.intersect(&b), Some(Site::new(f(), 3, 5)));
+        let c = Site::new(f(), 5, 8);
+        assert_eq!(a.intersect(&c), None, "touching is not overlapping");
+    }
+
+    #[test]
+    fn mirror_maps_prefix_to_suffix() {
+        let prefix = Site::new(f(), 0, 2);
+        assert_eq!(prefix.mirrored(5), Site::new(f(), 3, 5));
+        assert_eq!(prefix.mirrored(5).mirrored(5), prefix);
+        // classification swaps Left and Right
+        assert_eq!(prefix.mirrored(5).classify(5), SiteClass::Border(End::Right));
+    }
+
+    #[test]
+    fn oriented_end_mapping() {
+        assert_eq!(End::Left.oriented(false), End::Left);
+        assert_eq!(End::Left.oriented(true), End::Right);
+        assert_eq!(End::Right.oriented(true), End::Left);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_site_rejected() {
+        Site::new(f(), 3, 3);
+    }
+}

@@ -1,0 +1,125 @@
+//! Symbols of the duplicated alphabet `Σ̃ = Σ ∪ Σ^R`.
+//!
+//! The paper models each conserved region as a symbol `a ∈ Σ` whose
+//! reverse complement is a distinct symbol `a^R ∈ Σ^R`, with the
+//! involution properties listed in §2.1:
+//!
+//! * `Σ ∩ Σ^R = ∅`;
+//! * `(a^R)^R = a`;
+//! * `(uv)^R = v^R u^R` for words (see [`reverse_word`]).
+//!
+//! We represent a symbol as a region identifier plus an orientation
+//! bit, which encodes the duplicated alphabet compactly and makes the
+//! involution a bit flip.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a conserved region (an element of the base alphabet
+/// `Σ`, before duplication).
+pub type RegionId = u32;
+
+/// A symbol of the duplicated alphabet: a conserved region in either
+/// its normal (`rev == false`) or reversed (`rev == true`) occurrence.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Sym {
+    /// The underlying region (element of `Σ`).
+    pub id: RegionId,
+    /// Whether this occurrence is the reverse complement `a^R`.
+    pub rev: bool,
+}
+
+impl Sym {
+    /// A normal-orientation occurrence of region `id`.
+    #[inline]
+    pub const fn fwd(id: RegionId) -> Self {
+        Sym { id, rev: false }
+    }
+
+    /// A reversed occurrence `a^R` of region `id`.
+    #[inline]
+    pub const fn rev(id: RegionId) -> Self {
+        Sym { id, rev: true }
+    }
+
+    /// The reversal involution `a ↦ a^R`.
+    #[inline]
+    pub const fn reversed(self) -> Self {
+        Sym { id: self.id, rev: !self.rev }
+    }
+}
+
+impl std::fmt::Debug for Sym {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.rev {
+            write!(f, "{}R", self.id)
+        } else {
+            write!(f, "{}", self.id)
+        }
+    }
+}
+
+/// Word reversal `(a_1 … a_n)^R = a_n^R … a_1^R`.
+pub fn reverse_word(word: &[Sym]) -> Vec<Sym> {
+    word.iter().rev().map(|s| s.reversed()).collect()
+}
+
+/// In-place word reversal; equivalent to [`reverse_word`].
+pub fn reverse_word_in_place(word: &mut [Sym]) {
+    word.reverse();
+    for s in word.iter_mut() {
+        *s = s.reversed();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reversal_is_involution() {
+        let a = Sym::fwd(7);
+        assert_eq!(a.reversed().reversed(), a);
+        let b = Sym::rev(3);
+        assert_eq!(b.reversed().reversed(), b);
+    }
+
+    #[test]
+    fn forward_and_reverse_are_distinct() {
+        // Σ ∩ Σ^R = ∅: a symbol never equals its own reversal.
+        for id in 0..100 {
+            assert_ne!(Sym::fwd(id), Sym::rev(id));
+        }
+    }
+
+    #[test]
+    fn word_reversal_antihomomorphism() {
+        // (uv)^R = v^R u^R
+        let u = vec![Sym::fwd(1), Sym::rev(2)];
+        let v = vec![Sym::fwd(3)];
+        let mut uv = u.clone();
+        uv.extend_from_slice(&v);
+        let mut vr_ur = reverse_word(&v);
+        vr_ur.extend(reverse_word(&u));
+        assert_eq!(reverse_word(&uv), vr_ur);
+    }
+
+    #[test]
+    fn word_reversal_involution() {
+        let w = vec![Sym::fwd(0), Sym::rev(5), Sym::fwd(9), Sym::fwd(9)];
+        assert_eq!(reverse_word(&reverse_word(&w)), w);
+    }
+
+    #[test]
+    fn in_place_matches_allocating() {
+        let w = vec![Sym::fwd(4), Sym::rev(1), Sym::fwd(2)];
+        let mut w2 = w.clone();
+        reverse_word_in_place(&mut w2);
+        assert_eq!(w2, reverse_word(&w));
+    }
+
+    #[test]
+    fn debug_formatting() {
+        assert_eq!(format!("{:?}", Sym::fwd(12)), "12");
+        assert_eq!(format!("{:?}", Sym::rev(12)), "12R");
+    }
+}

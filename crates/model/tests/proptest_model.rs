@@ -1,0 +1,233 @@
+//! Property-based tests for the sequence model: the reversal algebra,
+//! score symmetry, site set-algebra, and the consistency/layout
+//! roundtrip on randomly constructed plug solutions.
+
+use fragalign_model::symbol::{reverse_word, reverse_word_in_place};
+use fragalign_model::{
+    check_consistency, Fragment, FragId, Instance, LayoutBuilder, Match, MatchSet, Orient,
+    ScoreTable, Site, Species, Sym, UnitAligner,
+};
+use proptest::prelude::*;
+
+fn sym_strategy() -> impl Strategy<Value = Sym> {
+    (0u32..40, any::<bool>()).prop_map(|(id, rev)| Sym { id, rev })
+}
+
+fn word_strategy(max: usize) -> impl Strategy<Value = Vec<Sym>> {
+    prop::collection::vec(sym_strategy(), 0..max)
+}
+
+proptest! {
+    #[test]
+    fn reversal_is_involution(w in word_strategy(24)) {
+        prop_assert_eq!(reverse_word(&reverse_word(&w)), w);
+    }
+
+    #[test]
+    fn reversal_antihomomorphism(u in word_strategy(12), v in word_strategy(12)) {
+        let mut uv = u.clone();
+        uv.extend_from_slice(&v);
+        let mut expect = reverse_word(&v);
+        expect.extend(reverse_word(&u));
+        prop_assert_eq!(reverse_word(&uv), expect);
+    }
+
+    #[test]
+    fn in_place_reversal_agrees(w in word_strategy(24)) {
+        let mut w2 = w.clone();
+        reverse_word_in_place(&mut w2);
+        prop_assert_eq!(w2, reverse_word(&w));
+    }
+
+    #[test]
+    fn sigma_reversal_symmetry(a in sym_strategy(), b in sym_strategy(), s in -50i64..50) {
+        let mut t = ScoreTable::new();
+        t.set(a, b, s);
+        // σ(a, b) = σ(a^R, b^R) and σ(a^R, b) = σ(a, b^R)
+        prop_assert_eq!(t.score(a, b), s);
+        prop_assert_eq!(t.score(a.reversed(), b.reversed()), s);
+        prop_assert_eq!(t.score(a.reversed(), b), t.score(a, b.reversed()));
+    }
+
+    #[test]
+    fn site_minus_is_set_difference(
+        (alo, ahi) in (0usize..20).prop_flat_map(|lo| (Just(lo), lo + 1..=21)),
+        (blo, bhi) in (0usize..20).prop_flat_map(|lo| (Just(lo), lo + 1..=21)),
+    ) {
+        let f = FragId::h(0);
+        let a = Site::new(f, alo, ahi);
+        let b = Site::new(f, blo, bhi);
+        let mut expected: Vec<usize> = (alo..ahi).filter(|p| !(blo..bhi).contains(p)).collect();
+        let mut got: Vec<usize> = a.minus(&b).iter().flat_map(|s| s.lo..s.hi).collect();
+        expected.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn site_intersect_matches_overlap(
+        (alo, ahi) in (0usize..20).prop_flat_map(|lo| (Just(lo), lo + 1..=21)),
+        (blo, bhi) in (0usize..20).prop_flat_map(|lo| (Just(lo), lo + 1..=21)),
+    ) {
+        let f = FragId::m(3);
+        let a = Site::new(f, alo, ahi);
+        let b = Site::new(f, blo, bhi);
+        prop_assert_eq!(a.overlaps(&b), a.intersect(&b).is_some());
+        if let Some(i) = a.intersect(&b) {
+            prop_assert!(i.contained_in(&a) && i.contained_in(&b));
+        }
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+    }
+
+    #[test]
+    fn site_mirror_involution(
+        (lo, hi) in (0usize..10).prop_flat_map(|lo| (Just(lo), lo + 1..=10)),
+        extra in 0usize..5,
+    ) {
+        let len = hi + extra;
+        let s = Site::new(FragId::h(1), lo, hi);
+        prop_assert_eq!(s.mirrored(len).mirrored(len), s);
+        prop_assert_eq!(s.mirrored(len).len(), s.len());
+    }
+}
+
+/// Build an instance with one container per species and a pool of
+/// single-region plug fragments, then a random set of non-overlapping
+/// plug matches — consistent by construction.
+fn plug_solution(
+    plug_count: usize,
+    positions: Vec<(bool, usize)>,
+) -> (Instance, MatchSet) {
+    let container_len = 12usize;
+    let mut h = vec![Fragment::new(
+        "H0",
+        (0..container_len as u32).map(Sym::fwd).collect(),
+    )];
+    let mut m = vec![Fragment::new(
+        "M0",
+        (100..100 + container_len as u32).map(Sym::fwd).collect(),
+    )];
+    let mut sigma = ScoreTable::new();
+    // plug fragments: H plugs 200.., M plugs 300..
+    for k in 0..plug_count {
+        h.push(Fragment::new(format!("hp{k}"), vec![Sym::fwd(200 + k as u32)]));
+        m.push(Fragment::new(format!("mp{k}"), vec![Sym::fwd(300 + k as u32)]));
+        // score against every container cell so any position works
+        for c in 0..container_len as u32 {
+            sigma.set(Sym::fwd(200 + k as u32), Sym::fwd(100 + c), 2);
+            sigma.set(Sym::fwd(c), Sym::fwd(300 + k as u32), 3);
+        }
+    }
+    let inst = Instance { h, m, sigma, alphabet: Default::default() };
+
+    // Place each plug at its position if free; skip collisions.
+    let mut used_h = vec![false; container_len];
+    let mut used_m = vec![false; container_len];
+    let mut set = MatchSet::new();
+    for (k, &(into_m, pos)) in positions.iter().enumerate().take(plug_count) {
+        let pos = pos % container_len;
+        if into_m {
+            if used_m[pos] {
+                continue;
+            }
+            used_m[pos] = true;
+            set.push(Match::new(
+                Site::full(FragId::h(1 + k), 1),
+                Site::new(FragId::m(0), pos, pos + 1),
+                Orient::Same,
+                2,
+            ));
+        } else {
+            if used_h[pos] {
+                continue;
+            }
+            used_h[pos] = true;
+            set.push(Match::new(
+                Site::new(FragId::h(0), pos, pos + 1),
+                Site::full(FragId::m(1 + k), 1),
+                Orient::Same,
+                3,
+            ));
+        }
+    }
+    (inst, set)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_plug_solutions_roundtrip(
+        positions in prop::collection::vec((any::<bool>(), 0usize..12), 0..8)
+    ) {
+        let (inst, set) = plug_solution(positions.len(), positions);
+        let report = check_consistency(&inst, &set);
+        prop_assert!(report.is_ok(), "constructed solution must be consistent: {report:?}");
+        let pair = LayoutBuilder::new(&inst, &UnitAligner).layout(&set).unwrap();
+        pair.validate(&inst).unwrap();
+        prop_assert_eq!(pair.score(&inst), set.total_score());
+        let derived = pair.derive_matches(&inst);
+        prop_assert_eq!(derived.total_score(), set.total_score());
+        prop_assert!(check_consistency(&inst, &derived).is_ok());
+    }
+
+    #[test]
+    fn overlapping_plugs_rejected(pos in 0usize..12) {
+        let (inst, mut set) = plug_solution(2, vec![(true, pos), (true, (pos + 5) % 12)]);
+        // Force an overlap by duplicating the first match's site onto
+        // the second plug.
+        if set.len() == 2 {
+            let first = set.as_slice()[0];
+            let second = set.as_slice()[1];
+            let clash = Match::new(second.h, first.m, first.orient, first.score);
+            let mut bad = MatchSet::new();
+            bad.push(first);
+            bad.push(clash);
+            prop_assert!(check_consistency(&inst, &bad).is_err());
+        }
+    }
+}
+
+/// Species sanity: every match must cross species.
+#[test]
+fn same_species_match_rejected() {
+    let (inst, _) = plug_solution(1, vec![(true, 0)]);
+    let mut set = MatchSet::new();
+    set.push(Match {
+        h: Site::full(FragId::h(1), 1),
+        m: Site::new(FragId::h(0), 0, 1), // wrong species on purpose
+        orient: Orient::Same,
+        score: 1,
+    });
+    assert!(matches!(
+        check_consistency(&inst, &set),
+        Err(fragalign_model::Inconsistency::SameSpecies { .. })
+    ));
+}
+
+/// Degenerate: zero fragments.
+#[test]
+fn empty_instance_layout() {
+    let inst = Instance::default();
+    let pair = LayoutBuilder::new(&inst, &UnitAligner).layout(&MatchSet::new()).unwrap();
+    assert_eq!(pair.columns.len(), 0);
+    assert_eq!(pair.score(&inst), 0);
+}
+
+/// Mult(S) classification respects Species ordering invariants.
+#[test]
+fn multiple_fragments_sorted() {
+    let (inst, set) = plug_solution(4, vec![(true, 0), (true, 3), (false, 1), (false, 7)]);
+    let report = check_consistency(&inst, &set).unwrap();
+    let mult = report.multiple_fragments(&set);
+    let mut sorted = mult.clone();
+    sorted.sort();
+    assert_eq!(mult, sorted);
+    // Containers with ≥2 plugs are multiple.
+    for f in &mult {
+        assert!(matches!(
+            (f.species, f.index),
+            (Species::H, 0) | (Species::M, 0)
+        ));
+    }
+}

@@ -1,0 +1,155 @@
+#![warn(missing_docs)]
+
+//! # fragalign-par
+//!
+//! Parallel execution substrate.
+//!
+//! The original venue (IPPS) evaluated parallel machines; our
+//! laptop-scale substitute is data parallelism: a configured rayon
+//! pool, deterministic parallel sweeps for experiment drivers (same
+//! results regardless of thread count), and a crossbeam-channel worker
+//! pipeline for streaming instance generation ahead of solving. The
+//! speedup experiment (EXPERIMENTS.md T8) runs the same workload under
+//! pools of increasing size via [`with_threads`].
+
+use crossbeam::channel;
+use std::time::{Duration, Instant};
+
+/// Run `job` on a dedicated rayon pool with `threads` workers,
+/// returning the job's result and its wall-clock duration.
+///
+/// Building a scoped pool (instead of mutating the global one) keeps
+/// measurements independent and lets speedup sweeps run in one
+/// process.
+pub fn with_threads<T: Send>(threads: usize, job: impl FnOnce() -> T + Send) -> (T, Duration) {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build()
+        .expect("pool construction");
+    let start = Instant::now();
+    let out = pool.install(job);
+    (out, start.elapsed())
+}
+
+/// Deterministic parallel map: results are returned in input order no
+/// matter how work interleaves across workers.
+pub fn par_map_ordered<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync + Send,
+{
+    use rayon::prelude::*;
+    items.into_par_iter().map(f).collect()
+}
+
+/// A two-stage pipeline: a producer thread feeds `items` through a
+/// bounded crossbeam channel while the current thread consumes them;
+/// useful when generation (producer) and solving (consumer) should
+/// overlap. Results come back in input order.
+pub fn pipeline<I, O>(
+    items: Vec<I>,
+    produce: impl Fn(I) -> I + Send + Sync,
+    consume: impl FnMut(I) -> O,
+) -> Vec<O>
+where
+    I: Send,
+{
+    let (tx, rx) = channel::bounded(8);
+    let mut consume = consume;
+    crossbeam::scope(|scope| {
+        scope.spawn(move |_| {
+            for item in items {
+                if tx.send(produce(item)).is_err() {
+                    break;
+                }
+            }
+        });
+        let mut out = Vec::new();
+        for item in rx.iter() {
+            out.push(consume(item));
+        }
+        out
+    })
+    .expect("pipeline threads do not panic")
+}
+
+/// Measured speedup curve entry.
+#[derive(Clone, Copy, Debug)]
+pub struct SpeedupPoint {
+    /// Worker count.
+    pub threads: usize,
+    /// Wall-clock time of the workload.
+    pub elapsed: Duration,
+    /// `elapsed(1 thread) / elapsed(threads)`.
+    pub speedup: f64,
+}
+
+/// Sweep a workload over thread counts `1, 2, 4, …, max_threads`,
+/// verifying that every run returns the same value (determinism) and
+/// reporting the speedup curve.
+pub fn speedup_sweep<T: Send + PartialEq + std::fmt::Debug>(
+    max_threads: usize,
+    workload: impl Fn() -> T + Send + Sync + Copy,
+) -> Vec<SpeedupPoint> {
+    let mut points = Vec::new();
+    let mut base: Option<(T, Duration)> = None;
+    let mut t = 1;
+    while t <= max_threads {
+        let (value, elapsed) = with_threads(t, workload);
+        match &base {
+            None => {
+                points.push(SpeedupPoint { threads: t, elapsed, speedup: 1.0 });
+                base = Some((value, elapsed));
+            }
+            Some((expected, base_time)) => {
+                assert_eq!(&value, expected, "parallel run diverged at {t} threads");
+                points.push(SpeedupPoint {
+                    threads: t,
+                    elapsed,
+                    speedup: base_time.as_secs_f64() / elapsed.as_secs_f64().max(1e-9),
+                });
+            }
+        }
+        t *= 2;
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_threads_runs_job() {
+        let ((), d) = with_threads(2, || ());
+        assert!(d < Duration::from_secs(5));
+        let (sum, _) = with_threads(3, || {
+            use rayon::prelude::*;
+            (0..1000i64).into_par_iter().sum::<i64>()
+        });
+        assert_eq!(sum, 499_500);
+    }
+
+    #[test]
+    fn ordered_map_preserves_order() {
+        let out = par_map_ordered((0..100).collect(), |x: i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pipeline_preserves_order() {
+        let out = pipeline((0..50).collect(), |x: i32| x + 1, |x| x * 10);
+        assert_eq!(out, (1..=50).map(|x| x * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn speedup_sweep_is_deterministic() {
+        let points = speedup_sweep(4, || {
+            use rayon::prelude::*;
+            (0..20_000i64).into_par_iter().map(|x| x % 7).sum::<i64>()
+        });
+        assert!(!points.is_empty());
+        assert_eq!(points[0].threads, 1);
+    }
+}

@@ -1,0 +1,28 @@
+//! # fragalign-sim
+//!
+//! Synthetic fragmented-genome simulator.
+//!
+//! The paper's motivating data — partially sequenced genome pairs with
+//! conserved regions aligned across species ([8] in the paper) — is
+//! proprietary-era sequencing output we do not have. This substrate
+//! generates the closest synthetic equivalent with *known ground
+//! truth* (DESIGN.md §2, substitution 1):
+//!
+//! 1. draw an ancestral sequence of conserved regions;
+//! 2. give each species a copy, applying evolutionary noise: region
+//!    loss, local shuffles, segment reversals, spurious similarities;
+//! 3. fragment each copy into contigs shotgun-style and randomly
+//!    reorder/flip the contigs (the assembly's arbitrary output order);
+//! 4. emit the region score table `σ` — either from an abstract score
+//!    model, or (end-to-end mode) by generating nucleotide sequences
+//!    per region and aligning them with the Smith–Waterman substrate.
+//!
+//! The recorded [`GroundTruth`] supports the recovery experiment
+//! (EXPERIMENTS.md T7): how many order/orient relationships the CSR
+//! solvers reconstruct as noise rises.
+
+pub mod generate;
+pub mod metrics;
+
+pub use generate::{generate, DnaMode, GroundTruth, SimConfig, SimInstance};
+pub use metrics::{evaluate_recovery, RecoveryReport};

@@ -1,0 +1,85 @@
+//! The MAX-SNP hardness machinery of Theorems 1 and 2, executed.
+//!
+//! ```sh
+//! cargo run --release --example hardness_gadgets
+//! ```
+//!
+//! * builds a random 3-regular graph, relabels it so no edge joins
+//!   consecutive nodes (the Dirac-ordering step of the proof),
+//! * translates it to a CSoP instance (Theorem 2) and verifies the
+//!   correspondence `|U*| = 5n + |W*|` with exact solvers on both
+//!   sides,
+//! * reduces the paper's CSR example to UCSR (Lemma 1) and maps the
+//!   optimum solution forward and back, demonstrating the
+//!   score-preservation properties.
+
+use fragalign::core::csop::{
+    csop_solution_to_mis, mis_to_csop_solution, reduce_mis_to_csop,
+};
+use fragalign::core::ucsr::{
+    map_solution_back, map_solution_forward, pairs_score, reduce_to_ucsr,
+};
+use fragalign::graph::{dirac_relabel, max_independent_set, random_regular};
+use fragalign::model::Sym;
+
+fn main() {
+    // ---- Theorem 2: 3-MIS → CSoP --------------------------------------
+    println!("== Theorem 2: 3-MIS → CSoP ==");
+    let g0 = random_regular(10, 3, 42);
+    let (g, _) = dirac_relabel(&g0, 42);
+    println!("3-regular graph: {} nodes, {} edges", g.len(), g.edge_count());
+    let inst = reduce_mis_to_csop(&g);
+    println!("CSoP instance: {} elements, {} pairs", inst.universe(), inst.pairs.len());
+
+    let w = max_independent_set(&g);
+    let n = g.len() / 2;
+    println!("max independent set |W*| = {}", w.len());
+
+    let u = mis_to_csop_solution(&g, &w);
+    assert!(inst.is_feasible(&u));
+    println!("forward map gives feasible U with |U| = {} = 5n + |W*| = {}", u.len(), 5 * n + w.len());
+
+    let u_star = inst.solve_exact();
+    println!("exact CSoP optimum |U*| = {}", u_star.len());
+    assert_eq!(u_star.len(), 5 * n + w.len());
+
+    let w_back = csop_solution_to_mis(&g, &inst.normalize(&u_star));
+    println!("backward map recovers independent set of size {}", w_back.len());
+    assert_eq!(w_back.len(), w.len());
+
+    // ---- Lemma 1: CSR → UCSR -------------------------------------------
+    println!("\n== Lemma 1: CSR → UCSR (φ₀, φ₁) ==");
+    let csr = fragalign::model::instance::paper_example();
+    for eps in [1.0, 0.5] {
+        let red = reduce_to_ucsr(&csr, eps);
+        println!(
+            "ε = {eps}: K = {} letters, s = {}, |H'| fragment sizes: {:?}",
+            red.k,
+            red.s,
+            red.ucsr.h.iter().map(Vec::len).collect::<Vec<_>>()
+        );
+        // The paper's optimum as aligned pairs: (a,s), (c,u), (d^R,v).
+        let al = &csr.alphabet;
+        let sym = |nm: &str| Sym::fwd(al.get(nm).unwrap());
+        let pairs =
+            vec![(sym("a"), sym("s")), (sym("c"), sym("u")), (sym("d").reversed(), sym("v"))];
+        let csr_score = pairs_score(&csr, &pairs);
+
+        let f = map_solution_forward(&red, &pairs);
+        let ucsr_score = red.ucsr.validate(&f).expect("forward map is valid");
+        println!(
+            "  forward: CSR score {csr_score} → UCSR score {ucsr_score} = s·{csr_score} ✓({})",
+            ucsr_score == csr_score * red.s as i64
+        );
+        assert_eq!(ucsr_score, csr_score * red.s as i64);
+
+        let back = map_solution_back(&red, &csr, &f);
+        let back_score = pairs_score(&csr, &back);
+        println!(
+            "  backward: recovered CSR score {back_score} ≥ (1−ε)·{csr_score} ✓({})",
+            back_score as f64 >= (1.0 - eps) * csr_score as f64
+        );
+        assert!(back_score as f64 >= (1.0 - eps) * csr_score as f64);
+    }
+    println!("\nConclusion (Thm 1): a c-approximation for UCSR yields one for CSR;\nCSoP ⊂ UCSR is MAX-SNP hard, so CSR admits no PTAS unless P = NP.");
+}
