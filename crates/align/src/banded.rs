@@ -64,8 +64,7 @@ pub fn p_score_banded(sigma: &ScoreTable, u: &[Sym], v: &[Sym], band: usize) -> 
                     NEG
                 }
             };
-            let diag = read_prev(j - 1)
-                .saturating_add(sigma.score(u[i - 1], v[j as usize - 1]));
+            let diag = read_prev(j - 1).saturating_add(sigma.score(u[i - 1], v[j as usize - 1]));
             let up = read_prev(j);
             let left = if w > 0 { cur[w - 1] } else { NEG };
             let best = diag.max(up).max(left);

@@ -44,7 +44,11 @@ impl Default for DnaParams {
     fn default() -> Self {
         // The classic +1/−1/−1 unit costs; match/mismatch ratios of
         // real tools differ but only scale σ.
-        DnaParams { mat: 2, mis: -1, gap: -2 }
+        DnaParams {
+            mat: 2,
+            mis: -1,
+            gap: -2,
+        }
     }
 }
 
@@ -54,8 +58,11 @@ pub fn smith_waterman(a: &[Base], b: &[Base], p: DnaParams) -> Score {
     if a.is_empty() || b.is_empty() {
         return 0;
     }
-    let (rows, cols, swapped) =
-        if b.len() <= a.len() { (a, b, false) } else { (b, a, true) };
+    let (rows, cols, swapped) = if b.len() <= a.len() {
+        (a, b, false)
+    } else {
+        (b, a, true)
+    };
     let _ = swapped; // symmetric scoring: swap is free
     let m = cols.len();
     let mut prev = vec![0 as Score; m + 1];

@@ -13,8 +13,8 @@
 //! monotone along both axes; negative `σ` entries are simply never
 //! chosen.
 
-use fragalign_model::{ScoreTable, Score, Sym};
-use fragalign_model::consistency::SiteAligner;
+use fragalign_model::consistency::{AlignColumns, SiteAligner};
+use fragalign_model::{Score, ScoreTable, Sym};
 
 /// A filled `P_score` DP matrix over two words. Row-major flat storage,
 /// `(|u|+1) × (|v|+1)`. Beyond the final score, the matrix exposes all
@@ -79,7 +79,9 @@ impl DpMatrix {
         let (mut i, mut j) = (u.len(), v.len());
         while i > 0 || j > 0 {
             let cur = self.prefix_score(i, j);
-            if i > 0 && j > 0 && cur == self.prefix_score(i - 1, j - 1) + sigma.score(u[i - 1], v[j - 1])
+            if i > 0
+                && j > 0
+                && cur == self.prefix_score(i - 1, j - 1) + sigma.score(u[i - 1], v[j - 1])
             {
                 cols.push((Some(i - 1), Some(j - 1)));
                 i -= 1;
@@ -105,7 +107,11 @@ pub fn p_score(sigma: &ScoreTable, u: &[Sym], v: &[Sym]) -> Score {
         return 0;
     }
     // Keep the inner dimension the shorter word.
-    let (a, b, swapped) = if v.len() <= u.len() { (u, v, false) } else { (v, u, true) };
+    let (a, b, swapped) = if v.len() <= u.len() {
+        (u, v, false)
+    } else {
+        (v, u, true)
+    };
     let cols = b.len() + 1;
     let mut prev = vec![0 as Score; cols];
     let mut cur = vec![0 as Score; cols];
@@ -114,7 +120,11 @@ pub fn p_score(sigma: &ScoreTable, u: &[Sym], v: &[Sym]) -> Score {
         cur[0] = 0;
         for j in 1..cols {
             let bj = b[j - 1];
-            let s = if swapped { sigma.score(bj, ai) } else { sigma.score(ai, bj) };
+            let s = if swapped {
+                sigma.score(bj, ai)
+            } else {
+                sigma.score(ai, bj)
+            };
             cur[j] = (prev[j - 1] + s).max(prev[j]).max(cur[j - 1]);
         }
         std::mem::swap(&mut prev, &mut cur);
@@ -123,11 +133,7 @@ pub fn p_score(sigma: &ScoreTable, u: &[Sym], v: &[Sym]) -> Score {
 }
 
 /// Optimal alignment with traceback: `(score, columns)`.
-pub fn align_words(
-    sigma: &ScoreTable,
-    u: &[Sym],
-    v: &[Sym],
-) -> (Score, Vec<(Option<usize>, Option<usize>)>) {
+pub fn align_words(sigma: &ScoreTable, u: &[Sym], v: &[Sym]) -> (Score, AlignColumns) {
     let m = DpMatrix::fill(sigma, u, v);
     let cols = m.traceback(sigma, u, v);
     (m.score(), cols)
@@ -139,12 +145,7 @@ pub fn align_words(
 pub struct DpAligner;
 
 impl SiteAligner for DpAligner {
-    fn align_words(
-        &self,
-        sigma: &ScoreTable,
-        u: &[Sym],
-        v: &[Sym],
-    ) -> (Score, Vec<(Option<usize>, Option<usize>)>) {
+    fn align_words(&self, sigma: &ScoreTable, u: &[Sym], v: &[Sym]) -> (Score, AlignColumns) {
         align_words(sigma, u, v)
     }
 }

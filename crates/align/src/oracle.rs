@@ -113,7 +113,9 @@ impl<'a> ScoreOracle<'a> {
         }
         self.stats.table_misses.fetch_add(1, Ordering::Relaxed);
         let table = Arc::new(self.build_table(plug, container));
-        self.tables.write().insert((plug, container), Arc::clone(&table));
+        self.tables
+            .write()
+            .insert((plug, container), Arc::clone(&table));
         table
     }
 
@@ -187,7 +189,11 @@ impl<'a> ScoreOracle<'a> {
             }
         }
 
-        IntervalTable { n, score_same, score_rev }
+        IntervalTable {
+            n,
+            score_same,
+            score_rev,
+        }
     }
 
     /// `MS(h̄, m̄)` with memoisation. `h` must be an H-species site and

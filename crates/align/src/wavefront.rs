@@ -55,13 +55,13 @@ pub fn p_score_wavefront(sigma: &ScoreTable, u: &[Sym], v: &[Sym]) -> Score {
                 .with_min_len(WAVEFRONT_MIN_CHUNK)
                 .enumerate()
                 .for_each(|(off, cell)| {
-                let i = lo + off;
-                let j = k - i;
-                let diag = prev2_ref[i - 1] + sigma.score(u[i - 1], v[j - 1]);
-                let up = prev1_ref[i - 1]; // (i-1, j) lives on diag k-1
-                let left = prev1_ref[i]; // (i, j-1) lives on diag k-1
-                *cell = diag.max(up).max(left);
-            });
+                    let i = lo + off;
+                    let j = k - i;
+                    let diag = prev2_ref[i - 1] + sigma.score(u[i - 1], v[j - 1]);
+                    let up = prev1_ref[i - 1]; // (i-1, j) lives on diag k-1
+                    let left = prev1_ref[i]; // (i, j-1) lives on diag k-1
+                    *cell = diag.max(up).max(left);
+                });
         }
         // Keep boundary cells of the current diagonal zeroed.
         if lo > 1 {

@@ -17,12 +17,18 @@ fn sigma_strategy() -> impl Strategy<Value = ScoreTable> {
 }
 
 fn hw() -> impl Strategy<Value = Vec<Sym>> {
-    prop::collection::vec((0u32..6, any::<bool>()).prop_map(|(i, r)| Sym { id: i, rev: r }), 0..9)
+    prop::collection::vec(
+        (0u32..6, any::<bool>()).prop_map(|(i, r)| Sym { id: i, rev: r }),
+        0..9,
+    )
 }
 
 fn mw() -> impl Strategy<Value = Vec<Sym>> {
     prop::collection::vec(
-        (0u32..6, any::<bool>()).prop_map(|(i, r)| Sym { id: 100 + i, rev: r }),
+        (0u32..6, any::<bool>()).prop_map(|(i, r)| Sym {
+            id: 100 + i,
+            rev: r,
+        }),
         0..9,
     )
 }

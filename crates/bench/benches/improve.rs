@@ -13,9 +13,13 @@ fn bench_improve(c: &mut Criterion) {
     let mut group = c.benchmark_group("improve");
     group.sample_size(10);
     group.bench_function("full", |b| b.iter(|| full_improve(black_box(&inst), false)));
-    group.bench_function("border", |b| b.iter(|| border_improve(black_box(&inst), false)));
+    group.bench_function("border", |b| {
+        b.iter(|| border_improve(black_box(&inst), false))
+    });
     group.bench_function("csr", |b| b.iter(|| csr_improve(black_box(&inst), false)));
-    group.bench_function("csr_scaled", |b| b.iter(|| csr_improve(black_box(&inst), true)));
+    group.bench_function("csr_scaled", |b| {
+        b.iter(|| csr_improve(black_box(&inst), true))
+    });
     group.bench_function("four_approx", |b| {
         b.iter(|| solve_four_approx(black_box(&inst)))
     });

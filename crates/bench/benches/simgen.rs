@@ -7,9 +7,16 @@ use std::hint::black_box;
 
 fn bench_simgen(c: &mut Criterion) {
     let mut group = c.benchmark_group("simgen");
-    let abstract_cfg =
-        SimConfig { regions: 64, h_frags: 8, m_frags: 8, seed: 1, ..SimConfig::default() };
-    group.bench_function("abstract_64", |b| b.iter(|| generate(black_box(&abstract_cfg))));
+    let abstract_cfg = SimConfig {
+        regions: 64,
+        h_frags: 8,
+        m_frags: 8,
+        seed: 1,
+        ..SimConfig::default()
+    };
+    group.bench_function("abstract_64", |b| {
+        b.iter(|| generate(black_box(&abstract_cfg)))
+    });
     let dna_cfg = SimConfig {
         regions: 32,
         h_frags: 4,

@@ -20,7 +20,10 @@ use std::time::Instant;
 fn main() {
     let instances: Vec<_> = (0..4u64).map(|s| sim_instance(20, 4, 100 + s)).collect();
 
-    println!("T9/D1: commit policy (mean over {} instances)", instances.len());
+    println!(
+        "T9/D1: commit policy (mean over {} instances)",
+        instances.len()
+    );
     for (name, commit_best) in [("best-of-round", true), ("first-positive", false)] {
         let mut score = 0;
         let mut rounds = 0;
@@ -29,16 +32,18 @@ fn main() {
             let t0 = Instant::now();
             let res = improve(
                 inst,
-                ImproveConfig { commit_best, parallel: commit_best, ..Default::default() },
+                ImproveConfig {
+                    commit_best,
+                    parallel: commit_best,
+                    ..Default::default()
+                },
                 MatchSet::new(),
             );
             ms += t0.elapsed().as_secs_f64() * 1e3;
             score += res.score;
             rounds += res.rounds;
         }
-        println!(
-            "  {name:<15} total score {score:>6}  rounds {rounds:>4}  time {ms:>8.1} ms"
-        );
+        println!("  {name:<15} total score {score:>6}  rounds {rounds:>4}  time {ms:>8.1} ms");
     }
 
     println!("\nT9/D2: oracle cache behaviour during csr_improve");
@@ -60,16 +65,22 @@ fn main() {
     }
 
     println!("\nT9/D3: candidate-site budget");
-    for (name, site_cap, border_cap) in
-        [("full caps", 64usize, 64usize), ("cap 4", 4, 4), ("cap 2", 2, 2)]
-    {
+    for (name, site_cap, border_cap) in [
+        ("full caps", 64usize, 64usize),
+        ("cap 4", 4, 4),
+        ("cap 2", 2, 2),
+    ] {
         let mut score = 0;
         let mut ms = 0.0;
         for inst in &instances {
             let t0 = Instant::now();
             let res = improve(
                 inst,
-                ImproveConfig { site_cap, border_cap, ..Default::default() },
+                ImproveConfig {
+                    site_cap,
+                    border_cap,
+                    ..Default::default()
+                },
                 MatchSet::new(),
             );
             ms += t0.elapsed().as_secs_f64() * 1e3;
@@ -89,8 +100,6 @@ fn main() {
             rounds += res.rounds;
             quantum = quantum.max(res.quantum);
         }
-        println!(
-            "  {name:<10} total score {score:>6}  rounds {rounds:>4}  max quantum {quantum}"
-        );
+        println!("  {name:<10} total score {score:>6}  rounds {rounds:>4}  max quantum {quantum}");
     }
 }

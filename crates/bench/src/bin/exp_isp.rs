@@ -5,8 +5,8 @@
 //! cargo run --release -p fragalign-bench --bin exp_isp
 //! ```
 
-use fragalign::isp::{solve_exact, solve_greedy, solve_tpa};
 use fragalign::isp::tpa::stack_total;
+use fragalign::isp::{solve_exact, solve_greedy, solve_tpa};
 use fragalign_bench::isp_instance;
 use std::time::Instant;
 
@@ -38,7 +38,10 @@ fn main() {
         }
     }
     println!("T4: ISP two-phase algorithm vs exact over {cases} instances");
-    println!("{:<10} {:>10} {:>10} {:>14}", "algorithm", "mean", "worst", "paper bound");
+    println!(
+        "{:<10} {:>10} {:>10} {:>14}",
+        "algorithm", "mean", "worst", "paper bound"
+    );
     println!(
         "{:<10} {:>10.3} {:>10.3} {:>14}",
         "tpa",
@@ -55,11 +58,17 @@ fn main() {
     );
     println!("phase-1 stack invariant violations: {stack_violations} (must be 0)");
     assert_eq!(stack_violations, 0);
-    assert!(worst_tpa <= 2.0 + 1e-9, "ratio-2 guarantee violated: {worst_tpa}");
+    assert!(
+        worst_tpa <= 2.0 + 1e-9,
+        "ratio-2 guarantee violated: {worst_tpa}"
+    );
 
     // --- runtime shape ------------------------------------------------
     println!("\nruntime (n log n shape):");
-    println!("{:>10} {:>12} {:>12}", "candidates", "tpa (µs)", "greedy (µs)");
+    println!(
+        "{:>10} {:>12} {:>12}",
+        "candidates", "tpa (µs)", "greedy (µs)"
+    );
     for cands in [1000usize, 4000, 16000, 64000] {
         let inst = isp_instance(99, cands / 10, cands, (cands * 4) as i64);
         let t0 = Instant::now();

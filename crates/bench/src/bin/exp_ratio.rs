@@ -40,8 +40,14 @@ fn main() {
                 ..SimConfig::default()
             };
             let inst = generate(&cfg).instance;
-            let exact =
-                solve_exact(&inst, ExactLimits { max_frags: 4, max_regions: 40 }).score;
+            let exact = solve_exact(
+                &inst,
+                ExactLimits {
+                    max_frags: 4,
+                    max_regions: 40,
+                },
+            )
+            .score;
             if exact == 0 {
                 continue;
             }
@@ -56,14 +62,29 @@ fn main() {
                 csr_improve(&inst, true).score,
             ];
             for (row, &score) in rows.iter_mut().zip(scores.iter()) {
-                let ratio = if score == 0 { f64::INFINITY } else { exact as f64 / score as f64 };
+                let ratio = if score == 0 {
+                    f64::INFINITY
+                } else {
+                    exact as f64 / score as f64
+                };
                 row.1.push(ratio);
             }
         }
     }
     println!("T1-T3: approximation ratios over {cases} random instances (exact/achieved)");
-    println!("{:<14} {:>10} {:>10} {:>12}", "algorithm", "mean", "worst", "paper bound");
-    let bounds = ["none", "2 (border)", "4", "3+eps", "3+eps", "3+eps", "3+eps"];
+    println!(
+        "{:<14} {:>10} {:>10} {:>12}",
+        "algorithm", "mean", "worst", "paper bound"
+    );
+    let bounds = [
+        "none",
+        "2 (border)",
+        "4",
+        "3+eps",
+        "3+eps",
+        "3+eps",
+        "3+eps",
+    ];
     for ((name, ratios), bound) in rows.iter().zip(bounds.iter()) {
         let mean = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
         let worst = ratios.iter().cloned().fold(1.0f64, f64::max);

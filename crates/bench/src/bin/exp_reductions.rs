@@ -5,12 +5,8 @@
 //! cargo run --release -p fragalign-bench --bin exp_reductions
 //! ```
 
-use fragalign::core::csop::{
-    csop_solution_to_mis, reduce_mis_to_csop,
-};
-use fragalign::core::ucsr::{
-    map_solution_back, map_solution_forward, pairs_score, reduce_to_ucsr,
-};
+use fragalign::core::csop::{csop_solution_to_mis, reduce_mis_to_csop};
+use fragalign::core::ucsr::{map_solution_back, map_solution_forward, pairs_score, reduce_to_ucsr};
 use fragalign::graph::{dirac_relabel, max_independent_set, random_regular};
 use fragalign::model::Sym;
 use fragalign::prelude::*;
@@ -36,7 +32,9 @@ fn main() {
         });
         let inst = &sim.instance;
         let res = csr_improve(inst, false);
-        let layout = LayoutBuilder::new(inst, &DpAligner).layout(&res.matches).unwrap();
+        let layout = LayoutBuilder::new(inst, &DpAligner)
+            .layout(&res.matches)
+            .unwrap();
         let mut pairs: Vec<(Sym, Sym)> = Vec::new();
         for col in &layout.columns {
             if let (Some(hc), Some(mc)) = (col.h, col.m) {

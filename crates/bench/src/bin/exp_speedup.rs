@@ -40,15 +40,25 @@ fn main() {
         );
     }
 
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    println!("\nT8b: wavefront P_score speedup ({} cores available)", cores);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    println!(
+        "\nT8b: wavefront P_score speedup ({} cores available)",
+        cores
+    );
     let t = table(5, 32);
     let u = word(1, 2000, 32, 0);
     let v = word(2, 2000, 32, 1000);
     let seq = p_score(&t, &u, &v);
     println!("{:>8} {:>10} {:>8}", "threads", "time (ms)", "speedup");
     for p in speedup_sweep(cores, || p_score_wavefront(&t, &u, &v)) {
-        println!("{:>8} {:>10.1} {:>8.2}", p.threads, p.elapsed.as_secs_f64() * 1e3, p.speedup);
+        println!(
+            "{:>8} {:>10.1} {:>8.2}",
+            p.threads,
+            p.elapsed.as_secs_f64() * 1e3,
+            p.speedup
+        );
     }
     let (par, _) = with_threads(cores, || p_score_wavefront(&t, &u, &v));
     assert_eq!(par, seq, "parallel DP is exact");
@@ -61,9 +71,17 @@ fn main() {
     while t_count <= cores {
         let inst2 = inst.clone();
         let (score, elapsed) = with_threads(t_count, move || csr_improve(&inst2, false).score);
-        println!("{:>8} {:>10.1} {:>8}", t_count, elapsed.as_secs_f64() * 1e3, score);
+        println!(
+            "{:>8} {:>10.1} {:>8}",
+            t_count,
+            elapsed.as_secs_f64() * 1e3,
+            score
+        );
         scores.push(score);
         t_count *= 2;
     }
-    assert!(scores.windows(2).all(|w| w[0] == w[1]), "deterministic across pools");
+    assert!(
+        scores.windows(2).all(|w| w[0] == w[1]),
+        "deterministic across pools"
+    );
 }

@@ -17,6 +17,7 @@ pub struct Stream(pub u64);
 
 impl Stream {
     /// Next raw value.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: infinite, never None
     pub fn next(&mut self) -> u64 {
         self.0 ^= self.0 << 13;
         self.0 ^= self.0 >> 7;
@@ -34,7 +35,9 @@ impl Stream {
 /// `base`.
 pub fn word(seed: u64, len: usize, syms: u32, base: u32) -> Vec<Sym> {
     let mut s = Stream(seed | 1);
-    (0..len).map(|_| Sym::fwd(base + s.below(syms as u64) as u32)).collect()
+    (0..len)
+        .map(|_| Sym::fwd(base + s.below(syms as u64) as u32))
+        .collect()
 }
 
 /// A dense-ish random score table between symbol ranges.

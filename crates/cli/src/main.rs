@@ -28,7 +28,9 @@ fn usage() -> ExitCode {
 fn read_instance(path: &str) -> Result<Instance, String> {
     let data = if path == "-" {
         let mut buf = String::new();
-        std::io::stdin().read_to_string(&mut buf).map_err(|e| e.to_string())?;
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| e.to_string())?;
         buf
     } else {
         std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
@@ -50,7 +52,10 @@ fn solve(algo: &str, scaling: bool, inst: &Instance) -> Result<MatchSet, String>
         "exact" => {
             let limits = core::ExactLimits::default();
             let sol = core::solve_exact(inst, limits);
-            eprintln!("exact score: {} (arrangement only; showing csr matches)", sol.score);
+            eprintln!(
+                "exact score: {} (arrangement only; showing csr matches)",
+                sol.score
+            );
             core::csr_improve(inst, scaling).matches
         }
         other => return Err(format!("unknown algorithm '{other}'")),
@@ -78,7 +83,9 @@ fn report(inst: &Instance, matches: &MatchSet) {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first() else { return usage() };
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
     match cmd.as_str() {
         "demo" => {
             let inst = fragalign_model::instance::paper_example();

@@ -100,9 +100,7 @@ impl CsopInstance {
         }
         fn evaluate(all: &[(usize, usize)], d: &[(usize, usize)]) -> usize {
             // d is sorted by left endpoint and disjoint.
-            let inside = |x: usize| {
-                d.iter().any(|&(a, b)| a < x && x < b)
-            };
+            let inside = |x: usize| d.iter().any(|&(a, b)| a < x && x < b);
             let mut value = 2 * d.len();
             for &(i, j) in all {
                 if d.contains(&(i, j)) {
@@ -131,8 +129,12 @@ impl CsopInstance {
                 d.pop();
             }
         }
-        let mut ctx =
-            Ctx { all: &self.pairs, order: &order, best_value: 0, best_d: Vec::new() };
+        let mut ctx = Ctx {
+            all: &self.pairs,
+            order: &order,
+            best_value: 0,
+            best_d: Vec::new(),
+        };
         rec(&mut ctx, 0, &mut Vec::new(), 0);
 
         // Materialise U from the winning D: both elements of D-pairs,
@@ -203,7 +205,10 @@ impl CsopInstance {
 /// each edge `{i', j'}` with `A[i', b] = j'`, `A[j', c] = i'` becomes
 /// the pair `(5i'−b−1, 5j'−c−1)` in 0-based terms.
 pub fn reduce_mis_to_csop(g: &Graph) -> CsopInstance {
-    assert!(g.len() % 2 == 0, "Theorem 2 graphs have an even node count");
+    assert!(
+        g.len().is_multiple_of(2),
+        "Theorem 2 graphs have an even node count"
+    );
     for i in 0..g.len().saturating_sub(1) {
         assert!(
             !g.has_edge(i, i + 1),
@@ -233,7 +238,8 @@ pub fn reduce_mis_to_csop(g: &Graph) -> CsopInstance {
         }
     }
     let inst = CsopInstance { pairs };
-    inst.validate_instance().expect("reduction emits a partition");
+    inst.validate_instance()
+        .expect("reduction emits a partition");
     inst
 }
 
@@ -304,7 +310,9 @@ mod tests {
     #[test]
     fn feasibility_semantics() {
         // pairs (0,3), (1,2): choosing {0,1,3} puts 1 inside (0,3).
-        let inst = CsopInstance { pairs: vec![(0, 3), (1, 2)] };
+        let inst = CsopInstance {
+            pairs: vec![(0, 3), (1, 2)],
+        };
         inst.validate_instance().unwrap();
         assert!(inst.is_feasible(&[0, 3]));
         assert!(inst.is_feasible(&[0, 1, 2]));
@@ -317,7 +325,9 @@ mod tests {
 
     #[test]
     fn exact_solver_on_tiny_instance() {
-        let inst = CsopInstance { pairs: vec![(0, 3), (1, 2)] };
+        let inst = CsopInstance {
+            pairs: vec![(0, 3), (1, 2)],
+        };
         let u = inst.solve_exact();
         assert_eq!(u.len(), 3); // e.g. {0,1,2} or {1,2,3}
         assert!(inst.is_feasible(&u));
@@ -325,7 +335,9 @@ mod tests {
 
     #[test]
     fn normalization_grows_or_keeps_size() {
-        let inst = CsopInstance { pairs: vec![(0, 3), (1, 2), (4, 5)] };
+        let inst = CsopInstance {
+            pairs: vec![(0, 3), (1, 2), (4, 5)],
+        };
         let norm = inst.normalize(&[]);
         // normal solutions intersect every pair
         for &(i, j) in &inst.pairs {

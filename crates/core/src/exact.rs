@@ -23,7 +23,10 @@ pub struct ExactLimits {
 
 impl Default for ExactLimits {
     fn default() -> Self {
-        ExactLimits { max_frags: 5, max_regions: 80 }
+        ExactLimits {
+            max_frags: 5,
+            max_regions: 80,
+        }
     }
 }
 
@@ -57,7 +60,7 @@ fn permutations(n: usize) -> Vec<Vec<usize>> {
         }
         for i in 0..k {
             heap(k - 1, items, out);
-            if k % 2 == 0 {
+            if k.is_multiple_of(2) {
                 items.swap(i, k - 1);
             } else {
                 items.swap(0, k - 1);
@@ -84,7 +87,13 @@ fn arrangements(frags: &[Fragment]) -> Vec<(Arrangement, Vec<Sym>)> {
                     word.extend_from_slice(&frags[fi].regions);
                 }
             }
-            out.push((Arrangement { order: order.clone(), flips }, word));
+            out.push((
+                Arrangement {
+                    order: order.clone(),
+                    flips,
+                },
+                word,
+            ));
         }
     }
     out

@@ -158,8 +158,7 @@ mod tests {
         let inst = paper_example();
         for swap in [false, true] {
             let sol = one_sided(&inst, swap);
-            check_consistency(&inst, &sol)
-                .unwrap_or_else(|e| panic!("swap={swap}: {e}"));
+            check_consistency(&inst, &sol).unwrap_or_else(|e| panic!("swap={swap}: {e}"));
         }
     }
 

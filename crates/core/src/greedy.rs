@@ -76,8 +76,11 @@ fn candidates(oracle: &ScoreOracle<'_>, set: &MatchSet) -> Vec<Match> {
                             else {
                                 continue;
                             };
-                            let orient =
-                                if he != me { Orient::Same } else { Orient::Reversed };
+                            let orient = if he != me {
+                                Orient::Same
+                            } else {
+                                Orient::Reversed
+                            };
                             let score = oracle.ms_oriented(h_site, m_site, orient);
                             if score > 0 {
                                 out.push(Match::new(h_site, m_site, orient, score));

@@ -67,11 +67,7 @@ pub struct ImproveResult {
 
 /// Run iterative improvement from `initial` (the paper starts from the
 /// empty set; seeding with a 4-approximation is a supported variant).
-pub fn improve(
-    inst: &Instance,
-    config: ImproveConfig,
-    initial: MatchSet,
-) -> ImproveResult {
+pub fn improve(inst: &Instance, config: ImproveConfig, initial: MatchSet) -> ImproveResult {
     let oracle = ScoreOracle::new(inst);
     improve_with_oracle(&oracle, config, initial)
 }
@@ -89,9 +85,9 @@ pub fn improve_with_oracle(
         // X: score of the factor-4 algorithm (Corollary 1); the optimum
         // is at most 4X, each improvement gains ≥ X/k², so at most 4k²
         // rounds occur.
-        let x = crate::four_approx::solve_four_approx(inst).total_score().max(
-            initial.total_score(),
-        );
+        let x = crate::four_approx::solve_four_approx(inst)
+            .total_score()
+            .max(initial.total_score());
         (x / (k * k)).max(1)
     } else {
         1
@@ -101,7 +97,11 @@ pub fn improve_with_oracle(
     } else {
         10_000
     };
-    let max_rounds = if config.max_rounds == 0 { auto_rounds } else { config.max_rounds };
+    let max_rounds = if config.max_rounds == 0 {
+        auto_rounds
+    } else {
+        config.max_rounds
+    };
     let budget = Budget {
         site_cap: config.site_cap,
         border_cap: config.border_cap,
@@ -121,12 +121,13 @@ pub fn improve_with_oracle(
             break;
         }
 
-        let evaluate = |(idx, attempt): (usize, &super::Attempt)| -> Option<(Score, usize, MatchSet)> {
-            let mut clone = current.clone();
-            apply_attempt(&mut clone, attempt, oracle, quantum).ok()?;
-            let gain = trunc_total(&clone, quantum) - cur_trunc;
-            (gain > 0).then_some((gain, idx, clone))
-        };
+        let evaluate =
+            |(idx, attempt): (usize, &super::Attempt)| -> Option<(Score, usize, MatchSet)> {
+                let mut clone = current.clone();
+                apply_attempt(&mut clone, attempt, oracle, quantum).ok()?;
+                let gain = trunc_total(&clone, quantum) - cur_trunc;
+                (gain > 0).then_some((gain, idx, clone))
+            };
 
         // Deterministic winner: maximum gain, ties to the lowest index.
         let best = if config.parallel {
@@ -134,7 +135,7 @@ pub fn improve_with_oracle(
                 .par_iter()
                 .enumerate()
                 .filter_map(evaluate)
-                .reduce_with(|a, b| pick(a, b))
+                .reduce_with(pick)
         } else if config.commit_best {
             candidates
                 .iter()
@@ -145,11 +146,16 @@ pub fn improve_with_oracle(
             candidates.iter().enumerate().filter_map(evaluate).next()
         };
 
-        let Some((_, _, next)) = best else { break };
-        debug_assert!(
-            check_consistency(inst, &next).is_ok(),
-            "improvement produced an inconsistent solution"
-        );
+        let Some((_, idx, next)) = best else { break };
+        if cfg!(debug_assertions) {
+            if let Err(e) = check_consistency(inst, &next) {
+                panic!(
+                    "improvement produced an inconsistent solution: {e}\n\
+                     attempt: {:?}\nbefore: {:?}\nafter: {:?}",
+                    candidates[idx], current, next
+                );
+            }
+        }
         debug_assert!(trunc_total(&next, quantum) > cur_trunc);
         current = next;
         cur_trunc = trunc_total(&current, quantum);
@@ -157,14 +163,17 @@ pub fn improve_with_oracle(
     }
 
     let score = current.total_score();
-    ImproveResult { matches: current, score, rounds, attempts_evaluated, quantum }
+    ImproveResult {
+        matches: current,
+        score,
+        rounds,
+        attempts_evaluated,
+        quantum,
+    }
 }
 
 /// Deterministic preference: larger gain first, then lower index.
-fn pick(
-    a: (Score, usize, MatchSet),
-    b: (Score, usize, MatchSet),
-) -> (Score, usize, MatchSet) {
+fn pick(a: (Score, usize, MatchSet), b: (Score, usize, MatchSet)) -> (Score, usize, MatchSet) {
     if (b.0, std::cmp::Reverse(b.1)) > (a.0, std::cmp::Reverse(a.1)) {
         b
     } else {
@@ -176,7 +185,11 @@ fn pick(
 pub fn full_improve(inst: &Instance, scaling: bool) -> ImproveResult {
     improve(
         inst,
-        ImproveConfig { methods: MethodSet::FullOnly, scaling, ..Default::default() },
+        ImproveConfig {
+            methods: MethodSet::FullOnly,
+            scaling,
+            ..Default::default()
+        },
         MatchSet::new(),
     )
 }
@@ -185,7 +198,11 @@ pub fn full_improve(inst: &Instance, scaling: bool) -> ImproveResult {
 pub fn border_improve(inst: &Instance, scaling: bool) -> ImproveResult {
     improve(
         inst,
-        ImproveConfig { methods: MethodSet::BorderOnly, scaling, ..Default::default() },
+        ImproveConfig {
+            methods: MethodSet::BorderOnly,
+            scaling,
+            ..Default::default()
+        },
         MatchSet::new(),
     )
 }
@@ -194,7 +211,11 @@ pub fn border_improve(inst: &Instance, scaling: bool) -> ImproveResult {
 pub fn csr_improve(inst: &Instance, scaling: bool) -> ImproveResult {
     improve(
         inst,
-        ImproveConfig { methods: MethodSet::All, scaling, ..Default::default() },
+        ImproveConfig {
+            methods: MethodSet::All,
+            scaling,
+            ..Default::default()
+        },
         MatchSet::new(),
     )
 }
@@ -246,7 +267,10 @@ mod tests {
         let par = csr_improve(&inst, false);
         let seq = improve(
             &inst,
-            ImproveConfig { parallel: false, ..Default::default() },
+            ImproveConfig {
+                parallel: false,
+                ..Default::default()
+            },
             fragalign_model::MatchSet::new(),
         );
         assert_eq!(par.score, seq.score);
@@ -257,7 +281,11 @@ mod tests {
         let inst = paper_example();
         let res = improve(
             &inst,
-            ImproveConfig { parallel: false, commit_best: false, ..Default::default() },
+            ImproveConfig {
+                parallel: false,
+                commit_best: false,
+                ..Default::default()
+            },
             fragalign_model::MatchSet::new(),
         );
         check_consistency(&inst, &res.matches).unwrap();

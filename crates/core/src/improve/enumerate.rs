@@ -83,7 +83,10 @@ pub struct Budget {
 /// Positions of `frag` covered by matched sites, as a sorted list of
 /// disjoint sites.
 fn covered(by_frag: &HashMap<FragId, Vec<(usize, Site)>>, frag: FragId) -> Vec<Site> {
-    by_frag.get(&frag).map(|v| v.iter().map(|&(_, s)| s).collect()).unwrap_or_default()
+    by_frag
+        .get(&frag)
+        .map(|v| v.iter().map(|&(_, s)| s).collect())
+        .unwrap_or_default()
 }
 
 /// Maximal extension of `site` over positions not covered by any
@@ -157,9 +160,17 @@ pub fn enumerate_attempts(
                     }
                     let ext = free_extension(&cov, g_len, target);
                     for &(_, f) in &ranked {
-                        out.push(Attempt::I1 { plug: f, target, container: target });
+                        out.push(Attempt::I1 {
+                            plug: f,
+                            target,
+                            container: target,
+                        });
                         if ext != target {
-                            out.push(Attempt::I1 { plug: f, target, container: ext });
+                            out.push(Attempt::I1 {
+                                plug: f,
+                                target,
+                                container: ext,
+                            });
                         }
                     }
                 }
@@ -184,16 +195,12 @@ pub fn enumerate_attempts(
                 let m_cov = covered(&by_frag, m);
                 let mut pair_best: Vec<(Score, I2Bundle)> = Vec::new();
                 for a in 1..h_len.min(budget.border_cap + 1) {
-                    for h_site in
-                        [Site::new(h, 0, a), Site::new(h, h_len - a, h_len)]
-                    {
+                    for h_site in [Site::new(h, 0, a), Site::new(h, h_len - a, h_len)] {
                         if is_hidden(&h_cov, h_site) {
                             continue;
                         }
                         for b in 1..m_len.min(budget.border_cap + 1) {
-                            for m_site in
-                                [Site::new(m, 0, b), Site::new(m, m_len - b, m_len)]
-                            {
+                            for m_site in [Site::new(m, 0, b), Site::new(m, m_len - b, m_len)] {
                                 if is_hidden(&m_cov, m_site) {
                                     continue;
                                 }
@@ -222,9 +229,7 @@ pub fn enumerate_attempts(
                         }
                     }
                 }
-                pair_best.sort_by_key(|&(s, b)| {
-                    (std::cmp::Reverse(s), b.h_site, b.m_site)
-                });
+                pair_best.sort_by_key(|&(s, b)| (std::cmp::Reverse(s), b.h_site, b.m_site));
                 pair_best.truncate(budget.borders_per_pair);
                 bundles.extend(pair_best);
             }
@@ -245,8 +250,7 @@ pub fn enumerate_attempts(
         for (_, mat) in set.iter() {
             let h_len = inst.frag_len(mat.h.frag);
             let m_len = inst.frag_len(mat.m.frag);
-            let Some(fragalign_model::MatchKind::Border { .. }) = mat.kind(h_len, m_len)
-            else {
+            let Some(fragalign_model::MatchKind::Border { .. }) = mat.kind(h_len, m_len) else {
                 continue;
             };
             let (f1, g1) = (mat.h.frag, mat.m.frag);
@@ -267,11 +271,13 @@ pub fn enumerate_attempts(
             for &(_, b1) in &for_f1 {
                 for &(_, b2) in &for_g1 {
                     // The bundles must not collide on fragments.
-                    if b1.m_site.frag == b2.m_site.frag || b1.h_site.frag == b2.h_site.frag
-                    {
+                    if b1.m_site.frag == b2.m_site.frag || b1.h_site.frag == b2.h_site.frag {
                         continue;
                     }
-                    out.push(Attempt::I3 { first: b1, second: b2 });
+                    out.push(Attempt::I3 {
+                        first: b1,
+                        second: b2,
+                    });
                 }
             }
         }
@@ -287,7 +293,12 @@ mod tests {
     use fragalign_model::{Match, Orient};
 
     fn budget() -> Budget {
-        Budget { site_cap: 64, border_cap: 64, plugs_per_target: 2, borders_per_pair: 4 }
+        Budget {
+            site_cap: 64,
+            border_cap: 64,
+            plugs_per_target: 2,
+            borders_per_pair: 4,
+        }
     }
 
     #[test]

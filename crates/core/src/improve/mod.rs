@@ -35,8 +35,8 @@ pub use driver::{
 };
 pub use enumerate::{enumerate_attempts, Attempt, Budget, I2Bundle};
 pub use ops::{
-    apply_attempt, detach_fragment, make_border, plug_full, prepare_site, tpa_fill,
-    trunc_total, CannotPrepare,
+    apply_attempt, detach_fragment, make_border, plug_full, prepare_site, tpa_fill, trunc_total,
+    ApplyError, CannotPrepare,
 };
 
 /// Which improvement methods the driver enumerates.

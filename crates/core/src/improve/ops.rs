@@ -3,9 +3,7 @@
 
 use fragalign_align::ScoreOracle;
 use fragalign_isp::{solve_tpa, Interval, IspInstance};
-use fragalign_model::{
-    FragId, Match, MatchSet, Orient, Score, Site, SiteClass, Species,
-};
+use fragalign_model::{FragId, Instance, Match, MatchSet, Orient, Score, Site, SiteClass, Species};
 use std::collections::HashSet;
 
 /// A site could not be prepared because it is hidden by a matched site
@@ -23,6 +21,64 @@ impl std::fmt::Display for CannotPrepare {
 }
 
 impl std::error::Error for CannotPrepare {}
+
+/// Why an attempt could not be applied to the current solution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ApplyError {
+    /// A container site was hidden and could not be prepared.
+    Prepare(CannotPrepare),
+    /// The attempt's border match would close a cycle of border
+    /// matches (consistency rule: border matches form simple paths),
+    /// which no conjecture pair can realise.
+    WouldCloseBorderCycle {
+        /// H-side fragment of the rejected border match.
+        h: FragId,
+        /// M-side fragment of the rejected border match.
+        m: FragId,
+    },
+}
+
+impl From<CannotPrepare> for ApplyError {
+    fn from(e: CannotPrepare) -> Self {
+        ApplyError::Prepare(e)
+    }
+}
+
+impl std::fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApplyError::Prepare(e) => e.fmt(f),
+            ApplyError::WouldCloseBorderCycle { h, m } => {
+                write!(f, "border match {h:?}~{m:?} would close a border cycle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+/// Whether fragments `a` and `b` are already connected by a path of
+/// border matches in `set`. Creating one more border match between
+/// them would then violate the forest invariant (check_consistency
+/// rule 5), so [`apply_attempt`] refuses such attempts up front.
+fn border_connected(set: &MatchSet, inst: &Instance, a: FragId, b: FragId) -> bool {
+    let mut index: std::collections::HashMap<FragId, usize> =
+        std::collections::HashMap::from([(a, 0), (b, 1)]);
+    for (_, m) in set.iter() {
+        for f in [m.h.frag, m.m.frag] {
+            let next = index.len();
+            index.entry(f).or_insert(next);
+        }
+    }
+    let mut dsu = fragalign_model::Dsu::new(index.len());
+    for (_, m) in set.iter() {
+        let kind = m.kind(inst.frag_len(m.h.frag), inst.frag_len(m.m.frag));
+        if matches!(kind, Some(fragalign_model::MatchKind::Border { .. })) {
+            dsu.union(index[&m.h.frag], index[&m.m.frag]);
+        }
+    }
+    dsu.find(0) == dsu.find(1)
+}
 
 /// Truncate a score to a multiple of `quantum` (§4.1 scaling); a
 /// quantum of 1 (or 0) is the identity.
@@ -63,16 +119,20 @@ fn hm(a: Site, b: Site) -> (Site, Site) {
 /// the shrunken match is no longer structurally realisable, in which
 /// case the caller removes it entirely (the paper's Fig. 9(b)
 /// "preparation detaches g from f1" case).
-fn try_shrink(
-    oracle: &ScoreOracle<'_>,
-    mat: &Match,
-    on: FragId,
-    piece: Site,
-) -> Option<Match> {
+fn try_shrink(oracle: &ScoreOracle<'_>, mat: &Match, on: FragId, piece: Site) -> Option<Match> {
     let inst = oracle.instance();
-    let (h, m) = if mat.h.frag == on { (piece, mat.m) } else { (mat.h, piece) };
-    let candidate_kind =
-        Match { h, m, orient: mat.orient, score: 0 }.kind(inst.frag_len(h.frag), inst.frag_len(m.frag))?;
+    let (h, m) = if mat.h.frag == on {
+        (piece, mat.m)
+    } else {
+        (mat.h, piece)
+    };
+    let candidate_kind = Match {
+        h,
+        m,
+        orient: mat.orient,
+        score: 0,
+    }
+    .kind(inst.frag_len(h.frag), inst.frag_len(m.frag))?;
     match candidate_kind {
         fragalign_model::MatchKind::Full { .. } => {
             let (score, orient) = oracle.ms(h, m);
@@ -80,7 +140,11 @@ fn try_shrink(
         }
         fragalign_model::MatchKind::Border { h_end, m_end } => {
             // Staircase condition forces the orientation.
-            let orient = if h_end != m_end { Orient::Same } else { Orient::Reversed };
+            let orient = if h_end != m_end {
+                Orient::Same
+            } else {
+                Orient::Reversed
+            };
             let score = oracle.ms_oriented(h, m, orient);
             Some(Match::new(h, m, orient, score))
         }
@@ -106,7 +170,9 @@ pub fn prepare_site(
     let mut rewrites: Vec<(usize, Match)> = Vec::new();
     let mut freed: Vec<Site> = Vec::new();
     for (id, m) in set.iter() {
-        let Some(my) = m.site_on(site.frag) else { continue };
+        let Some(my) = m.site_on(site.frag) else {
+            continue;
+        };
         if !my.overlaps(&site) {
             continue;
         }
@@ -180,7 +246,11 @@ pub fn make_border(set: &mut MatchSet, a: Site, b: Site, oracle: &ScoreOracle<'_
         SiteClass::Border(e) => e,
         c => panic!("make_border on non-border M site ({c:?})"),
     };
-    let orient = if h_end != m_end { Orient::Same } else { Orient::Reversed };
+    let orient = if h_end != m_end {
+        Orient::Same
+    } else {
+        Orient::Reversed
+    };
     let score = oracle.ms_oriented(h, m, orient);
     set.push(Match::new(h, m, orient, score));
 }
@@ -237,8 +307,10 @@ pub fn tpa_fill(
     }
 
     let plug_species = zone_species.other();
-    let jobs: Vec<FragId> =
-        inst.frag_ids(plug_species).filter(|f| !exclude.contains(f)).collect();
+    let jobs: Vec<FragId> = inst
+        .frag_ids(plug_species)
+        .filter(|f| !exclude.contains(f))
+        .collect();
     if jobs.is_empty() {
         return;
     }
@@ -309,10 +381,29 @@ pub fn apply_attempt(
     attempt: &super::Attempt,
     oracle: &ScoreOracle<'_>,
     quantum: Score,
-) -> Result<(), CannotPrepare> {
+) -> Result<(), ApplyError> {
+    // Transactional: preparation and the border-cycle guard can fail
+    // partway through a multi-step attempt, so mutate a scratch copy
+    // and commit only on success — `set` is untouched on `Err`.
+    let mut work = set.clone();
+    apply_attempt_steps(&mut work, attempt, oracle, quantum)?;
+    *set = work;
+    Ok(())
+}
+
+fn apply_attempt_steps(
+    set: &mut MatchSet,
+    attempt: &super::Attempt,
+    oracle: &ScoreOracle<'_>,
+    quantum: Score,
+) -> Result<(), ApplyError> {
     use super::Attempt;
     match attempt {
-        Attempt::I1 { plug, target, container } => {
+        Attempt::I1 {
+            plug,
+            target,
+            container,
+        } => {
             let freed1 = prepare_site(set, *container, oracle)?;
             let freed2 = detach_fragment(set, *plug, oracle);
             plug_full(set, *plug, *target, oracle);
@@ -322,22 +413,40 @@ pub fn apply_attempt(
             // Step 4 (+D6 extension): TPA on sites freed by preparation
             // and by detaching the plug, grouped per species.
             let (zh, zm) = split_freed_by_species(
-                &freed1.iter().chain(freed2.iter()).copied().collect::<Vec<_>>(),
+                &freed1
+                    .iter()
+                    .chain(freed2.iter())
+                    .copied()
+                    .collect::<Vec<_>>(),
             );
             tpa_fill(set, &zm, &exclude, oracle, quantum);
             tpa_fill(set, &zh, &exclude, oracle, quantum);
             Ok(())
         }
-        Attempt::I2 { h_site, m_site, h_container, m_container } => {
+        Attempt::I2 {
+            h_site,
+            m_site,
+            h_container,
+            m_container,
+        } => {
             let freed_h = prepare_site(set, *h_container, oracle)?;
             let freed_m = prepare_site(set, *m_container, oracle)?;
+            if border_connected(set, oracle.instance(), h_site.frag, m_site.frag) {
+                return Err(ApplyError::WouldCloseBorderCycle {
+                    h: h_site.frag,
+                    m: m_site.frag,
+                });
+            }
             make_border(set, *h_site, *m_site, oracle);
-            let exclude: HashSet<FragId> =
-                [h_site.frag, m_site.frag].into_iter().collect();
+            let exclude: HashSet<FragId> = [h_site.frag, m_site.frag].into_iter().collect();
             // M-side zones: container leftovers on the M fragment plus
             // freed M sites; then symmetrically for H.
             let (fh, fm) = split_freed_by_species(
-                &freed_h.iter().chain(freed_m.iter()).copied().collect::<Vec<_>>(),
+                &freed_h
+                    .iter()
+                    .chain(freed_m.iter())
+                    .copied()
+                    .collect::<Vec<_>>(),
             );
             let mut zones_m = m_container.minus(m_site);
             zones_m.extend(fm);
@@ -356,6 +465,14 @@ pub fn apply_attempt(
                 freed_all.extend(prepare_site(set, b.m_container, oracle)?);
             }
             for b in [first, second] {
+                // Re-check per bundle: the first border changes border
+                // connectivity for the second.
+                if border_connected(set, oracle.instance(), b.h_site.frag, b.m_site.frag) {
+                    return Err(ApplyError::WouldCloseBorderCycle {
+                        h: b.h_site.frag,
+                        m: b.m_site.frag,
+                    });
+                }
                 make_border(set, b.h_site, b.m_site, oracle);
             }
             let exclude: HashSet<FragId> = [

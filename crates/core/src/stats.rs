@@ -37,8 +37,7 @@ pub struct SolutionStats {
 /// Compute statistics; fails iff the solution is inconsistent.
 pub fn solution_stats(inst: &Instance, s: &MatchSet) -> Result<SolutionStats, Inconsistency> {
     let report = check_consistency(inst, s)?;
-    let mut island_sizes: Vec<usize> =
-        report.islands.iter().map(|i| i.fragments.len()).collect();
+    let mut island_sizes: Vec<usize> = report.islands.iter().map(|i| i.fragments.len()).collect();
     island_sizes.sort_unstable_by(|a, b| b.cmp(a));
 
     let mut full_matches = 0;
@@ -123,7 +122,7 @@ mod tests {
         assert_eq!(stats.full_matches + stats.border_matches, stats.matches);
         assert!(stats.islands >= 1);
         assert!(stats.h_coverage > 0.5);
-        assert_eq!(stats.island_sizes.iter().sum::<usize>() >= stats.largest_island, true);
+        assert!(stats.island_sizes.iter().sum::<usize>() >= stats.largest_island);
         let rendered = stats.to_string();
         assert!(rendered.contains("score"));
     }

@@ -80,10 +80,9 @@ impl UcsrInstance {
                     end += 1;
                 }
                 let run = &run_of[idx..end];
-                let fwd = run.windows(2).all(|w| w[0].1 < w[1].1)
-                    && run.iter().all(|&(_, _, r)| !r);
-                let rev = run.windows(2).all(|w| w[0].1 > w[1].1)
-                    && run.iter().all(|&(_, _, r)| r);
+                let fwd =
+                    run.windows(2).all(|w| w[0].1 < w[1].1) && run.iter().all(|&(_, _, r)| !r);
+                let rev = run.windows(2).all(|w| w[0].1 > w[1].1) && run.iter().all(|&(_, _, r)| r);
                 if !(fwd || rev) {
                     return Err(format!("{side}: fragment {fi} letters out of order"));
                 }
@@ -241,8 +240,7 @@ pub fn reduce_to_ucsr(inst: &Instance, eps: f64) -> UcsrReduction {
                     x.extend_from_slice(&v);
                 }
                 Species::M => {
-                    let v: Vec<Sym> =
-                        (0..red.k).map(|j| red.b(i, j, red.s + 1 - l)).collect();
+                    let v: Vec<Sym> = (0..red.k).map(|j| red.b(i, j, red.s + 1 - l)).collect();
                     x.extend(reverse_word(&v));
                 }
             }
@@ -252,7 +250,10 @@ pub fn reduce_to_ucsr(inst: &Instance, eps: f64) -> UcsrReduction {
 
     // H' and M': replace each region occurrence with x^i (reversed when
     // the occurrence was reversed).
-    let mut ucsr = UcsrInstance { weight, ..Default::default() };
+    let mut ucsr = UcsrInstance {
+        weight,
+        ..Default::default()
+    };
     for species in [Species::H, Species::M] {
         let frags = match species {
             Species::H => &inst.h,
@@ -291,13 +292,9 @@ pub fn map_solution_forward(red: &UcsrReduction, pairs: &[(Sym, Sym)]) -> Vec<Sy
         // κ(c, d) per the four orientation cases of the proof.
         let word: Vec<Sym> = match (c.rev, d.rev) {
             (false, false) => (1..=red.s).map(|l| red.a(i, j, l)).collect(),
-            (true, true) => reverse_word(
-                &(1..=red.s).map(|l| red.a(i, j, l)).collect::<Vec<_>>(),
-            ),
+            (true, true) => reverse_word(&(1..=red.s).map(|l| red.a(i, j, l)).collect::<Vec<_>>()),
             (false, true) => (1..=red.s).map(|l| red.b(i, j, l)).collect(),
-            (true, false) => reverse_word(
-                &(1..=red.s).map(|l| red.b(i, j, l)).collect::<Vec<_>>(),
-            ),
+            (true, false) => reverse_word(&(1..=red.s).map(|l| red.b(i, j, l)).collect::<Vec<_>>()),
         };
         f.extend(word);
     }
@@ -310,11 +307,7 @@ pub fn map_solution_forward(red: &UcsrReduction, pairs: &[(Sym, Sym)]) -> Vec<Sy
 /// (an M letter claimed twice) are resolved by keeping the heavier —
 /// the proof's normal-form argument guarantees the surviving score is
 /// at least `(1 − ε) · Score_UCSR / s`.
-pub fn map_solution_back(
-    red: &UcsrReduction,
-    inst: &Instance,
-    f: &[Sym],
-) -> Vec<(Sym, Sym)> {
+pub fn map_solution_back(red: &UcsrReduction, inst: &Instance, f: &[Sym]) -> Vec<(Sym, Sym)> {
     // Group f into runs per H'-home fragment... each reduced letter
     // A/B{i,j,l} belongs to original letters i and j; its H-side home
     // is whichever of i, j is an H letter.
@@ -331,8 +324,14 @@ pub fn map_solution_back(
     let mut best: HashMap<usize, (Score, usize, bool, bool)> = HashMap::new();
     let mut order: Vec<usize> = Vec::new();
     for sym in f {
-        let Some(&(x, y, is_b)) = decode.get(&sym.id) else { continue };
-        let (i, j) = if red.letters[x].0 == Species::H { (x, y) } else { (y, x) };
+        let Some(&(x, y, is_b)) = decode.get(&sym.id) else {
+            continue;
+        };
+        let (i, j) = if red.letters[x].0 == Species::H {
+            (x, y)
+        } else {
+            (y, x)
+        };
         if red.letters[i].0 != Species::H || red.letters[j].0 != Species::M {
             continue; // same-species letter, weight 0
         }
@@ -365,7 +364,11 @@ pub fn map_solution_back(
         if claimed.get(&j) != Some(&(w, i)) {
             continue;
         }
-        let c = if rev { red.letters[i].1.reversed() } else { red.letters[i].1 };
+        let c = if rev {
+            red.letters[i].1.reversed()
+        } else {
+            red.letters[i].1
+        };
         // Orientation of d: a-letters pair same orientation, b-letters
         // opposite (relative to c).
         let d_base = red.letters[j].1;
@@ -415,7 +418,14 @@ pub fn solve_ucsr_exact(inst: &UcsrInstance, cap: usize) -> Vec<Sym> {
         let mut map = HashMap::new();
         for (fi, frag) in frags.iter().enumerate() {
             for (pos, s) in frag.iter().enumerate() {
-                map.insert(s.id, Home { frag: fi, pos, rev: s.rev });
+                map.insert(
+                    s.id,
+                    Home {
+                        frag: fi,
+                        pos,
+                        rev: s.rev,
+                    },
+                );
             }
         }
         map
@@ -432,7 +442,11 @@ pub fn solve_ucsr_exact(inst: &UcsrInstance, cap: usize) -> Vec<Sym> {
         .map(|(&id, _)| id)
         .collect();
     letters.sort_unstable();
-    assert!(letters.len() <= cap, "UCSR exact capped at {cap} letters, got {}", letters.len());
+    assert!(
+        letters.len() <= cap,
+        "UCSR exact capped at {cap} letters, got {}",
+        letters.len()
+    );
 
     // Per-side run state: sequence of (frag, last pos, direction) and
     // a closed-fragment set.
@@ -521,8 +535,12 @@ pub fn solve_ucsr_exact(inst: &UcsrInstance, cap: usize) -> Vec<Sym> {
             let w = ctx.inst.weight[&id];
             let (hh, mh) = (ctx.h_home[&id], ctx.m_home[&id]);
             for flip in [false, true] {
-                let Some(h2) = can_extend(h_st, hh, flip != hh.rev) else { continue };
-                let Some(m2) = can_extend(m_st, mh, flip != mh.rev) else { continue };
+                let Some(h2) = can_extend(h_st, hh, flip != hh.rev) else {
+                    continue;
+                };
+                let Some(m2) = can_extend(m_st, mh, flip != mh.rev) else {
+                    continue;
+                };
                 used[i] = true;
                 f.push(Sym { id, rev: flip });
                 rec(ctx, used, f, score + w, &h2, &m2, remaining - w);
@@ -583,7 +601,10 @@ mod tests {
         ];
         assert_eq!(pairs_score(&inst, &pairs), 11);
         let f = map_solution_forward(&red, &pairs);
-        let score = red.ucsr.validate(&f).expect("forward map is a valid UCSR solution");
+        let score = red
+            .ucsr
+            .validate(&f)
+            .expect("forward map is a valid UCSR solution");
         assert_eq!(score, 11 * red.s as Score);
     }
 
@@ -614,8 +635,11 @@ mod tests {
         let sym = |n: &str| Sym::fwd(al.get(n).unwrap());
         // a-run, then d-run, then back to a's fragment (b) — h1's
         // letters split into two runs.
-        let pairs =
-            vec![(sym("a"), sym("s")), (sym("d"), sym("t")), (sym("b"), sym("t").reversed())];
+        let pairs = vec![
+            (sym("a"), sym("s")),
+            (sym("d"), sym("t")),
+            (sym("b"), sym("t").reversed()),
+        ];
         let f = map_solution_forward(&red, &pairs);
         assert!(red.ucsr.validate(&f).is_err());
     }

@@ -11,7 +11,12 @@ use fragalign_sim::{generate, SimConfig};
 use proptest::prelude::*;
 
 fn budget() -> Budget {
-    Budget { site_cap: 8, border_cap: 8, plugs_per_target: 2, borders_per_pair: 3 }
+    Budget {
+        site_cap: 8,
+        border_cap: 8,
+        plugs_per_target: 2,
+        borders_per_pair: 3,
+    }
 }
 
 proptest! {

@@ -61,11 +61,11 @@ pub mod prelude {
     pub use fragalign_align::{DpAligner, ScoreOracle};
     pub use fragalign_core::{
         border_improve, border_matching_2approx, csr_improve, full_improve, solve_exact,
-        solve_four_approx, solve_greedy, solve_one_csr, ExactLimits, ImproveConfig,
-        ImproveResult, MethodSet,
+        solve_four_approx, solve_greedy, solve_one_csr, ExactLimits, ImproveConfig, ImproveResult,
+        MethodSet,
     };
     pub use fragalign_model::{
-        check_consistency, Fragment, FragId, Instance, InstanceBuilder, LayoutBuilder, Match,
+        check_consistency, FragId, Fragment, Instance, InstanceBuilder, LayoutBuilder, Match,
         MatchSet, Orient, Score, ScoreTable, Site, Species, Sym,
     };
     pub use fragalign_sim::{evaluate_recovery, generate, SimConfig};

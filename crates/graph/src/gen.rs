@@ -19,7 +19,7 @@ use rand::{RngExt, SeedableRng};
 /// pairing (configuration) model with rejection. `n · d` must be even
 /// and `n > d`.
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
-    assert!(n * d % 2 == 0, "n·d must be even");
+    assert!((n * d).is_multiple_of(2), "n·d must be even");
     assert!(n > d, "need n > d for a simple d-regular graph");
     let mut rng = StdRng::seed_from_u64(seed);
     'outer: loop {
@@ -59,8 +59,7 @@ pub fn dirac_relabel(g: &Graph, seed: u64) -> (Graph, Vec<usize>) {
         order.shuffle(&mut rng);
         let mut budget = 50 * n * n;
         loop {
-            let violation =
-                (0..n - 1).find(|&i| g.has_edge(order[i], order[i + 1]));
+            let violation = (0..n - 1).find(|&i| g.has_edge(order[i], order[i + 1]));
             let Some(i) = violation else {
                 // Success: perm maps old label -> position.
                 let mut perm = vec![0usize; n];

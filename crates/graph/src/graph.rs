@@ -9,7 +9,9 @@ pub struct Graph {
 impl Graph {
     /// An edgeless graph on `n` vertices.
     pub fn new(n: usize) -> Self {
-        Graph { adj: vec![Vec::new(); n] }
+        Graph {
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Build from an edge list; duplicate edges and self-loops panic.

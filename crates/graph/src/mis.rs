@@ -23,7 +23,11 @@ pub fn is_independent_set(g: &Graph, set: &[usize]) -> bool {
 /// Exact maximum independent set via branch and bound. Panics on
 /// graphs with more than 64 vertices (use the greedy for those).
 pub fn max_independent_set(g: &Graph) -> Vec<usize> {
-    assert!(g.len() <= 64, "exact MIS is exponential; {} vertices", g.len());
+    assert!(
+        g.len() <= 64,
+        "exact MIS is exponential; {} vertices",
+        g.len()
+    );
     let n = g.len();
     // Bitmask adjacency for speed.
     let adj: Vec<u64> = (0..n)
@@ -86,7 +90,11 @@ pub fn max_independent_set(g: &Graph) -> Vec<usize> {
         rec(ctx, avail & !(1 << v), chosen);
     }
 
-    let mut ctx = Ctx { adj: &adj, best: 0, best_set: 0 };
+    let mut ctx = Ctx {
+        adj: &adj,
+        best: 0,
+        best_set: 0,
+    };
     let avail = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
     rec(&mut ctx, avail, 0);
     let out = bits(ctx.best_set);
@@ -156,9 +164,21 @@ mod tests {
         let petersen = Graph::from_edges(
             10,
             &[
-                (0, 1), (1, 2), (2, 3), (3, 4), (4, 0), // outer C5
-                (5, 7), (7, 9), (9, 6), (6, 8), (8, 5), // inner pentagram
-                (0, 5), (1, 6), (2, 7), (3, 8), (4, 9), // spokes
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 0), // outer C5
+                (5, 7),
+                (7, 9),
+                (9, 6),
+                (6, 8),
+                (8, 5), // inner pentagram
+                (0, 5),
+                (1, 6),
+                (2, 7),
+                (3, 8),
+                (4, 9), // spokes
             ],
         );
         assert!(petersen.is_regular(3));

@@ -54,12 +54,19 @@ pub fn solve_exact(inst: &IspInstance) -> Selection {
         // disjointness against the chosen set reduces to lo ≥ last_end
         // *only if* chosen intervals end before future ones — not true
         // in general, so check all.
-        let feasible = !job_used[c.job]
-            && (c.iv.lo >= last_end || cur.iter().all(|d| !d.iv.overlaps(&c.iv)));
+        let feasible =
+            !job_used[c.job] && (c.iv.lo >= last_end || cur.iter().all(|d| !d.iv.overlaps(&c.iv)));
         if feasible {
             cur.push(*c);
             job_used[c.job] = true;
-            rec(ctx, i + 1, cur, cur_profit + c.profit, job_used, last_end.max(c.iv.hi));
+            rec(
+                ctx,
+                i + 1,
+                cur,
+                cur_profit + c.profit,
+                job_used,
+                last_end.max(c.iv.hi),
+            );
             job_used[c.job] = false;
             cur.pop();
         }
@@ -76,7 +83,9 @@ pub fn solve_exact(inst: &IspInstance) -> Selection {
     };
     let mut job_used = vec![false; ctx.jobs];
     rec(&mut ctx, 0, &mut Vec::new(), 0, &mut job_used, i64::MIN);
-    Selection { chosen: ctx.best_set }
+    Selection {
+        chosen: ctx.best_set,
+    }
 }
 
 #[cfg(test)]

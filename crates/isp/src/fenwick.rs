@@ -11,7 +11,9 @@ pub struct Fenwick {
 impl Fenwick {
     /// A tree over `n` zeroed slots.
     pub fn new(n: usize) -> Self {
-        Fenwick { tree: vec![0; n + 1] }
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
     }
 
     /// Add `delta` at index `i`.

@@ -63,14 +63,22 @@ pub struct IspInstance {
 impl IspInstance {
     /// Create an instance with `jobs` jobs and no candidates.
     pub fn new(jobs: usize) -> Self {
-        IspInstance { jobs, candidates: Vec::new() }
+        IspInstance {
+            jobs,
+            candidates: Vec::new(),
+        }
     }
 
     /// Add a candidate interval.
     pub fn push(&mut self, job: usize, iv: Interval, profit: Profit, tag: usize) {
         assert!(job < self.jobs, "job {job} out of range {}", self.jobs);
         assert!(profit >= 0, "ISP profits are non-negative");
-        self.candidates.push(Candidate { job, iv, profit, tag });
+        self.candidates.push(Candidate {
+            job,
+            iv,
+            profit,
+            tag,
+        });
     }
 
     /// Verify that a selection is feasible: at most one candidate per
@@ -137,7 +145,9 @@ mod tests {
         let mut inst = IspInstance::new(1);
         inst.push(0, Interval::new(0, 1), 5, 0);
         inst.push(0, Interval::new(2, 3), 5, 1);
-        let sel = Selection { chosen: inst.candidates.clone() };
+        let sel = Selection {
+            chosen: inst.candidates.clone(),
+        };
         assert!(inst.validate(&sel).unwrap_err().contains("twice"));
     }
 
@@ -146,7 +156,9 @@ mod tests {
         let mut inst = IspInstance::new(2);
         inst.push(0, Interval::new(0, 3), 5, 0);
         inst.push(1, Interval::new(2, 4), 5, 1);
-        let sel = Selection { chosen: inst.candidates.clone() };
+        let sel = Selection {
+            chosen: inst.candidates.clone(),
+        };
         assert!(inst.validate(&sel).unwrap_err().contains("overlap"));
     }
 
@@ -155,7 +167,9 @@ mod tests {
         let mut inst = IspInstance::new(2);
         inst.push(0, Interval::new(0, 2), 5, 0);
         inst.push(1, Interval::new(2, 4), 7, 1);
-        let sel = Selection { chosen: inst.candidates.clone() };
+        let sel = Selection {
+            chosen: inst.candidates.clone(),
+        };
         assert_eq!(inst.validate(&sel).unwrap(), 12);
     }
 }

@@ -7,7 +7,10 @@ use fragalign_isp::{solve_exact, solve_greedy, solve_tpa, Interval, IspInstance}
 use proptest::prelude::*;
 
 fn instance_strategy() -> impl Strategy<Value = IspInstance> {
-    (1usize..5, prop::collection::vec((0usize..5, 0i64..25, 1i64..7, 0i64..40), 0..14))
+    (
+        1usize..5,
+        prop::collection::vec((0usize..5, 0i64..25, 1i64..7, 0i64..40), 0..14),
+    )
         .prop_map(|(jobs, cands)| {
             let mut inst = IspInstance::new(jobs);
             for (tag, (job, lo, len, profit)) in cands.into_iter().enumerate() {

@@ -24,7 +24,11 @@ pub struct WeightMatrix {
 impl WeightMatrix {
     /// A `rows × cols` zero matrix.
     pub fn new(rows: usize, cols: usize) -> Self {
-        WeightMatrix { rows, cols, w: vec![0; rows * cols] }
+        WeightMatrix {
+            rows,
+            cols,
+            w: vec![0; rows * cols],
+        }
     }
 
     /// Number of rows.
@@ -134,8 +138,7 @@ pub fn max_weight_matching(weights: &WeightMatrix) -> Matching {
 
     let mut pairs = Vec::new();
     let mut total = 0;
-    for j in 1..=n {
-        let i = p[j];
+    for (j, &i) in p.iter().enumerate().skip(1) {
         if i == 0 {
             continue;
         }
@@ -175,7 +178,10 @@ pub fn brute_force_matching(weights: &WeightMatrix) -> i64 {
         }
         best
     }
-    assert!(weights.rows() <= 10 && weights.cols() <= 10, "test oracle only");
+    assert!(
+        weights.rows() <= 10 && weights.cols() <= 10,
+        "test oracle only"
+    );
     rec(weights, 0, &mut vec![false; weights.cols()])
 }
 

@@ -128,7 +128,10 @@ mod tests {
         let mut al = Alphabet::new();
         al.intern("x");
         al.intern("y");
-        let mut copy = Alphabet { names: al.names.clone(), index: HashMap::new() };
+        let mut copy = Alphabet {
+            names: al.names.clone(),
+            index: HashMap::new(),
+        };
         assert_eq!(copy.get("x"), None);
         copy.rebuild_index();
         assert_eq!(copy.get("x"), al.get("x"));

@@ -84,7 +84,10 @@ impl ConjecturePair {
 
     /// Orientation flag of a placed fragment.
     pub fn placement(&self, frag: FragId) -> Option<&PlacedFragment> {
-        self.row(frag.species).placed.iter().find(|p| p.frag == frag)
+        self.row(frag.species)
+            .placed
+            .iter()
+            .find(|p| p.frag == frag)
     }
 
     /// Score of the conjecture pair: `Σ_i σ(a_i, b_i)` with `⊥`
@@ -120,7 +123,9 @@ impl ConjecturePair {
             let mut seen: Vec<FragId> = row.placed.iter().map(|p| p.frag).collect();
             seen.sort();
             if seen != expected {
-                return Err(format!("{species} row does not place every fragment exactly once"));
+                return Err(format!(
+                    "{species} row does not place every fragment exactly once"
+                ));
             }
             // Spans partition [0, columns).
             let mut cursor = 0;
@@ -216,9 +221,10 @@ impl ConjecturePair {
                 if let (Some(hc), Some(mc)) = (col.h, col.m) {
                     let h_rev = self.placement(hc.0).map(|p| p.reversed).unwrap_or(false);
                     let m_rev = self.placement(mc.0).map(|p| p.reversed).unwrap_or(false);
-                    piece_score += inst
-                        .sigma
-                        .score(Self::cell_sym(inst, hc, h_rev), Self::cell_sym(inst, mc, m_rev));
+                    piece_score += inst.sigma.score(
+                        Self::cell_sym(inst, hc, h_rev),
+                        Self::cell_sym(inst, mc, m_rev),
+                    );
                 }
             }
             let (Some(&(hf, _)), Some(&(mf, _))) = (h_cells.first(), m_cells.first()) else {
@@ -227,12 +233,20 @@ impl ConjecturePair {
             // A piece where no column pairs two symbols is vacuous: it
             // only stacks one row's symbols against the other's padding
             // and contributes nothing; Definition 2 lets us drop it.
-            let paired = self.columns[lo..hi].iter().any(|c| c.h.is_some() && c.m.is_some());
+            let paired = self.columns[lo..hi]
+                .iter()
+                .any(|c| c.h.is_some() && c.m.is_some());
             if !paired {
                 continue;
             }
-            debug_assert!(h_cells.iter().all(|&(f, _)| f == hf), "piece crosses H fragments");
-            debug_assert!(m_cells.iter().all(|&(f, _)| f == mf), "piece crosses M fragments");
+            debug_assert!(
+                h_cells.iter().all(|&(f, _)| f == hf),
+                "piece crosses H fragments"
+            );
+            debug_assert!(
+                m_cells.iter().all(|&(f, _)| f == mf),
+                "piece crosses M fragments"
+            );
             let h_site = cells_site(hf, &h_cells);
             let m_site = cells_site(mf, &m_cells);
             let h_rev = self.placement(hf).map(|p| p.reversed).unwrap_or(false);
@@ -265,8 +279,11 @@ impl ConjecturePair {
             top.push(cell(col.h));
             bot.push(cell(col.m));
         }
-        let width: Vec<usize> =
-            top.iter().zip(&bot).map(|(a, b)| a.chars().count().max(b.chars().count())).collect();
+        let width: Vec<usize> = top
+            .iter()
+            .zip(&bot)
+            .map(|(a, b)| a.chars().count().max(b.chars().count()))
+            .collect();
         let fmt = |cells: &[String]| {
             cells
                 .iter()
@@ -330,11 +347,7 @@ impl PairAssembler {
 
     /// Append a column. Cells are `(fragment, original region index,
     /// laid reversed)`.
-    pub fn push(
-        &mut self,
-        h: Option<(FragId, usize, bool)>,
-        m: Option<(FragId, usize, bool)>,
-    ) {
+    pub fn push(&mut self, h: Option<(FragId, usize, bool)>, m: Option<(FragId, usize, bool)>) {
         let col = self.columns.len();
         if let Some((f, _, rev)) = h {
             self.note(f, col, rev);
@@ -342,7 +355,10 @@ impl PairAssembler {
         if let Some((f, _, rev)) = m {
             self.note(f, col, rev);
         }
-        self.columns.push(Column { h: h.map(|(f, i, _)| (f, i)), m: m.map(|(f, i, _)| (f, i)) });
+        self.columns.push(Column {
+            h: h.map(|(f, i, _)| (f, i)),
+            m: m.map(|(f, i, _)| (f, i)),
+        });
     }
 
     /// Whether a fragment has been emitted.
@@ -353,14 +369,26 @@ impl PairAssembler {
     /// Finish: derive spans and produce the pair.
     pub fn finish(self) -> ConjecturePair {
         let total = self.columns.len();
-        let mut pair = ConjecturePair { columns: self.columns, ..Default::default() };
+        let mut pair = ConjecturePair {
+            columns: self.columns,
+            ..Default::default()
+        };
         for (species, order) in [(Species::H, &self.order_h), (Species::M, &self.order_m)] {
             let mut placed = Vec::new();
             let mut cursor = 0;
             for (i, &f) in order.iter().enumerate() {
                 let (_, last, rev) = self.extents[&f];
-                let span_end = if i + 1 == order.len() { total } else { last + 1 };
-                placed.push(PlacedFragment { frag: f, reversed: rev, span_start: cursor, span_end });
+                let span_end = if i + 1 == order.len() {
+                    total
+                } else {
+                    last + 1
+                };
+                placed.push(PlacedFragment {
+                    frag: f,
+                    reversed: rev,
+                    span_start: cursor,
+                    span_end,
+                });
                 cursor = span_end;
             }
             match species {
@@ -400,21 +428,53 @@ mod tests {
         ConjecturePair {
             h_row: Row {
                 placed: vec![
-                    PlacedFragment { frag: h1, reversed: false, span_start: 0, span_end: 3 },
-                    PlacedFragment { frag: h2, reversed: true, span_start: 3, span_end: 4 },
+                    PlacedFragment {
+                        frag: h1,
+                        reversed: false,
+                        span_start: 0,
+                        span_end: 3,
+                    },
+                    PlacedFragment {
+                        frag: h2,
+                        reversed: true,
+                        span_start: 3,
+                        span_end: 4,
+                    },
                 ],
             },
             m_row: Row {
                 placed: vec![
-                    PlacedFragment { frag: m1, reversed: false, span_start: 0, span_end: 2 },
-                    PlacedFragment { frag: m2, reversed: false, span_start: 2, span_end: 4 },
+                    PlacedFragment {
+                        frag: m1,
+                        reversed: false,
+                        span_start: 0,
+                        span_end: 2,
+                    },
+                    PlacedFragment {
+                        frag: m2,
+                        reversed: false,
+                        span_start: 2,
+                        span_end: 4,
+                    },
                 ],
             },
             columns: vec![
-                Column { h: Some((h1, 0)), m: Some((m1, 0)) },
-                Column { h: Some((h1, 1)), m: Some((m1, 1)) },
-                Column { h: Some((h1, 2)), m: Some((m2, 0)) },
-                Column { h: Some((h2, 0)), m: Some((m2, 1)) },
+                Column {
+                    h: Some((h1, 0)),
+                    m: Some((m1, 0)),
+                },
+                Column {
+                    h: Some((h1, 1)),
+                    m: Some((m1, 1)),
+                },
+                Column {
+                    h: Some((h1, 2)),
+                    m: Some((m2, 0)),
+                },
+                Column {
+                    h: Some((h2, 0)),
+                    m: Some((m2, 1)),
+                },
             ],
         }
     }
@@ -469,22 +529,57 @@ mod tests {
         let pair = ConjecturePair {
             h_row: Row {
                 placed: vec![
-                    PlacedFragment { frag: h1, reversed: false, span_start: 0, span_end: 4 },
-                    PlacedFragment { frag: h2, reversed: false, span_start: 4, span_end: 5 },
+                    PlacedFragment {
+                        frag: h1,
+                        reversed: false,
+                        span_start: 0,
+                        span_end: 4,
+                    },
+                    PlacedFragment {
+                        frag: h2,
+                        reversed: false,
+                        span_start: 4,
+                        span_end: 5,
+                    },
                 ],
             },
             m_row: Row {
                 placed: vec![
-                    PlacedFragment { frag: m1, reversed: false, span_start: 0, span_end: 3 },
-                    PlacedFragment { frag: m2, reversed: false, span_start: 3, span_end: 5 },
+                    PlacedFragment {
+                        frag: m1,
+                        reversed: false,
+                        span_start: 0,
+                        span_end: 3,
+                    },
+                    PlacedFragment {
+                        frag: m2,
+                        reversed: false,
+                        span_start: 3,
+                        span_end: 5,
+                    },
                 ],
             },
             columns: vec![
-                Column { h: Some((h1, 0)), m: Some((m1, 0)) },
-                Column { h: Some((h1, 1)), m: Some((m1, 1)) },
-                Column { h: Some((h1, 2)), m: None },
-                Column { h: None, m: Some((m2, 0)) },
-                Column { h: Some((h2, 0)), m: Some((m2, 1)) },
+                Column {
+                    h: Some((h1, 0)),
+                    m: Some((m1, 0)),
+                },
+                Column {
+                    h: Some((h1, 1)),
+                    m: Some((m1, 1)),
+                },
+                Column {
+                    h: Some((h1, 2)),
+                    m: None,
+                },
+                Column {
+                    h: None,
+                    m: Some((m2, 0)),
+                },
+                Column {
+                    h: Some((h2, 0)),
+                    m: Some((m2, 1)),
+                },
             ],
         };
         pair.validate(&inst).unwrap();

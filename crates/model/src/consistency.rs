@@ -39,13 +39,11 @@ use std::collections::HashMap;
 /// `(u offset, v offset)` where `None` is a gap.
 pub trait SiteAligner {
     /// Align two laid words.
-    fn align_words(
-        &self,
-        sigma: &ScoreTable,
-        u: &[Sym],
-        v: &[Sym],
-    ) -> (Score, Vec<(Option<usize>, Option<usize>)>);
+    fn align_words(&self, sigma: &ScoreTable, u: &[Sym], v: &[Sym]) -> (Score, AlignColumns);
 }
+
+/// Alignment columns as `(u offset, v offset)` pairs, `None` for gaps.
+pub type AlignColumns = Vec<(Option<usize>, Option<usize>)>;
 
 /// Trivial aligner pairing the words diagonally (position `i` with
 /// position `i`). Sufficient for tests whose match scores were computed
@@ -55,12 +53,7 @@ pub trait SiteAligner {
 pub struct UnitAligner;
 
 impl SiteAligner for UnitAligner {
-    fn align_words(
-        &self,
-        sigma: &ScoreTable,
-        u: &[Sym],
-        v: &[Sym],
-    ) -> (Score, Vec<(Option<usize>, Option<usize>)>) {
+    fn align_words(&self, sigma: &ScoreTable, u: &[Sym], v: &[Sym]) -> (Score, AlignColumns) {
         let k = u.len().min(v.len());
         let mut cols = Vec::with_capacity(u.len().max(v.len()));
         let mut score = 0;
@@ -134,7 +127,10 @@ impl ConsistencyReport {
 /// Decide whether `s` is a consistent match set for `inst`
 /// (Definition 2), returning the island structure on success and the
 /// first diagnosed violation otherwise.
-pub fn check_consistency(inst: &Instance, s: &MatchSet) -> Result<ConsistencyReport, Inconsistency> {
+pub fn check_consistency(
+    inst: &Instance,
+    s: &MatchSet,
+) -> Result<ConsistencyReport, Inconsistency> {
     // -- 0. species and bounds ------------------------------------------------
     for (id, m) in s.iter() {
         if m.h.frag.species != Species::H || m.m.frag.species != Species::M {
@@ -143,7 +139,10 @@ pub fn check_consistency(inst: &Instance, s: &MatchSet) -> Result<ConsistencyRep
         for site in [m.h, m.m] {
             let len = inst.frag_len(site.frag);
             if site.hi > len {
-                return Err(Inconsistency::SiteOutOfBounds { site, frag_len: len });
+                return Err(Inconsistency::SiteOutOfBounds {
+                    site,
+                    frag_len: len,
+                });
             }
         }
     }
@@ -171,12 +170,12 @@ pub fn check_consistency(inst: &Instance, s: &MatchSet) -> Result<ConsistencyRep
         match kind {
             None => {
                 // Identify the offending inner site for the diagnosis.
-                let inner = if m.h.classify(inst.frag_len(m.h.frag)) == crate::site::SiteClass::Inner
-                {
-                    m.h
-                } else {
-                    m.m
-                };
+                let inner =
+                    if m.h.classify(inst.frag_len(m.h.frag)) == crate::site::SiteClass::Inner {
+                        m.h
+                    } else {
+                        m.m
+                    };
                 return Err(Inconsistency::InnerSiteNotFull { m: id, inner });
             }
             Some(MatchKind::Border { h_end, m_end }) => {
@@ -186,7 +185,11 @@ pub fn check_consistency(inst: &Instance, s: &MatchSet) -> Result<ConsistencyRep
                     Orient::Reversed => m_end.other(),
                 };
                 if h_end == rhs {
-                    return Err(Inconsistency::BorderEndMismatch { m: id, h_end, m_end });
+                    return Err(Inconsistency::BorderEndMismatch {
+                        m: id,
+                        h_end,
+                        m_end,
+                    });
                 }
                 kinds.push(kind.unwrap());
             }
@@ -200,7 +203,12 @@ pub fn check_consistency(inst: &Instance, s: &MatchSet) -> Result<ConsistencyRep
         if let MatchKind::Border { h_end, m_end } = kinds[id] {
             for (frag, end) in [(m.h.frag, h_end), (m.m.frag, m_end)] {
                 if let Some(&prev) = end_claims.get(&(frag, end)) {
-                    return Err(Inconsistency::DoubleBorderEnd { frag, end, m1: prev, m2: id });
+                    return Err(Inconsistency::DoubleBorderEnd {
+                        frag,
+                        end,
+                        m1: prev,
+                        m2: id,
+                    });
                 }
                 end_claims.insert((frag, end), id);
             }
@@ -208,8 +216,17 @@ pub fn check_consistency(inst: &Instance, s: &MatchSet) -> Result<ConsistencyRep
     }
 
     // -- 4. border matches form simple paths ----------------------------------
-    let frags: Vec<FragId> = by_frag.keys().copied().collect();
-    let frag_index: HashMap<FragId, usize> = frags.iter().copied().enumerate().map(|(i, f)| (f, i)).collect();
+    // Sorted so orientation propagation (rule 6) seeds each island
+    // from the same fragment on every run — layouts must not depend on
+    // hash iteration order.
+    let mut frags: Vec<FragId> = by_frag.keys().copied().collect();
+    frags.sort_unstable();
+    let frag_index: HashMap<FragId, usize> = frags
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, f)| (f, i))
+        .collect();
     let mut dsu = Dsu::new(frags.len());
     for (id, m) in s.iter() {
         if matches!(kinds[id], MatchKind::Border { .. }) {
@@ -285,7 +302,9 @@ pub fn check_consistency(inst: &Instance, s: &MatchSet) -> Result<ConsistencyRep
                 .map(|&id| {
                     let m = &s.as_slice()[id];
                     match kinds[id] {
-                        MatchKind::Full { full_side: Species::H } => m.m.frag,
+                        MatchKind::Full {
+                            full_side: Species::H,
+                        } => m.m.frag,
                         _ => m.h.frag,
                     }
                 })
@@ -295,10 +314,19 @@ pub fn check_consistency(inst: &Instance, s: &MatchSet) -> Result<ConsistencyRep
         } else {
             walk_spine(s, &border)
         };
-        islands.push(Island { fragments, matches, spine, border_edges });
+        islands.push(Island {
+            fragments,
+            matches,
+            spine,
+            border_edges,
+        });
     }
 
-    Ok(ConsistencyReport { islands, orientation, kinds })
+    Ok(ConsistencyReport {
+        islands,
+        orientation,
+        kinds,
+    })
 }
 
 /// Order an island's border matches into a path.
@@ -311,8 +339,11 @@ fn walk_spine(s: &MatchSet, border: &[MatchId]) -> (Vec<FragId>, Vec<MatchId>) {
     }
     // A path has exactly two degree-1 endpoints; pick the smaller id
     // for determinism.
-    let mut endpoints: Vec<FragId> =
-        adj.iter().filter(|(_, v)| v.len() == 1).map(|(&f, _)| f).collect();
+    let mut endpoints: Vec<FragId> = adj
+        .iter()
+        .filter(|(_, v)| v.len() == 1)
+        .map(|(&f, _)| f)
+        .collect();
     endpoints.sort();
     let start = endpoints[0];
     let mut spine = vec![start];
@@ -340,24 +371,32 @@ fn walk_spine(s: &MatchSet, border: &[MatchId]) -> (Vec<FragId>, Vec<MatchId>) {
     (spine, edges)
 }
 
-/// Minimal union–find.
-struct Dsu {
+/// Minimal union–find over `0..n`, shared by the consistency rules
+/// here and by solver-side guards that enforce the same border-forest
+/// invariant (e.g. `fragalign-core`'s improvement operations).
+pub struct Dsu {
     parent: Vec<usize>,
 }
 
 impl Dsu {
-    fn new(n: usize) -> Self {
-        Dsu { parent: (0..n).collect() }
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n).collect(),
+        }
     }
-    fn find(&mut self, x: usize) -> usize {
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
         if self.parent[x] != x {
             let root = self.find(self.parent[x]);
             self.parent[x] = root;
         }
         self.parent[x]
     }
+
     /// Union two elements; `false` if already joined.
-    fn union(&mut self, a: usize, b: usize) -> bool {
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
         let (ra, rb) = (self.find(a), self.find(b));
         if ra == rb {
             return false;
@@ -506,7 +545,11 @@ impl<'a, A: SiteAligner> LayoutBuilder<'a, A> {
             for &mid in &island.matches {
                 let m = &s.as_slice()[mid];
                 let Some(site) = m.site_on(f) else { continue };
-                let entry_edge = if i > 0 { island.border_edges.get(i - 1).copied() } else { None };
+                let entry_edge = if i > 0 {
+                    island.border_edges.get(i - 1).copied()
+                } else {
+                    None
+                };
                 if Some(mid) == entry_edge {
                     continue; // already emitted by predecessor
                 }
@@ -520,7 +563,12 @@ impl<'a, A: SiteAligner> LayoutBuilder<'a, A> {
                     }
                 }
                 let laid = if o { site.mirrored(n) } else { site };
-                events.push(Ev { laid_lo: laid.lo, laid_hi: laid.hi, mid, is_exit });
+                events.push(Ev {
+                    laid_lo: laid.lo,
+                    laid_hi: laid.hi,
+                    mid,
+                    is_exit,
+                });
             }
             events.sort_by_key(|e| e.laid_lo);
 
@@ -546,8 +594,11 @@ impl<'a, A: SiteAligner> LayoutBuilder<'a, A> {
                     let next = island.spine[i + 1];
                     let next_o = orient[&next];
                     let next_n = self.inst.frag_len(next);
-                    let laid_entry =
-                        if next_o { other_site.mirrored(next_n) } else { other_site };
+                    let laid_entry = if next_o {
+                        other_site.mirrored(next_n)
+                    } else {
+                        other_site
+                    };
                     debug_assert_eq!(laid_entry.lo, 0, "entry site must be a laid prefix");
                     entry_consumed = laid_entry.hi;
                 }
@@ -607,7 +658,12 @@ mod tests {
         let s = fig5_matches();
         let pair = LayoutBuilder::new(&inst, &UnitAligner).layout(&s).unwrap();
         pair.validate(&inst).unwrap();
-        assert_eq!(pair.score(&inst), 11, "layout realises Σ MS = 11:\n{}", pair.render(&inst));
+        assert_eq!(
+            pair.score(&inst),
+            11,
+            "layout realises Σ MS = 11:\n{}",
+            pair.render(&inst)
+        );
         // Derived matches preserve the score (Remark 1) and are
         // consistent again.
         let derived = pair.derive_matches(&inst);
@@ -634,12 +690,7 @@ mod tests {
         b.h_frag("h", &["a", "b", "c", "d"]);
         b.m_frag("m", &["w", "x", "y", "z"]);
         let inst = b.build();
-        let s = MatchSet::from_matches(vec![Match::new(
-            h(0, 1, 3),
-            m(0, 1, 3),
-            Orient::Same,
-            1,
-        )]);
+        let s = MatchSet::from_matches(vec![Match::new(h(0, 1, 3), m(0, 1, 3), Orient::Same, 1)]);
         match check_consistency(&inst, &s) {
             Err(Inconsistency::InnerSiteNotFull { .. }) => {}
             other => panic!("expected inner-site error, got {other:?}"),
@@ -653,12 +704,7 @@ mod tests {
         b.m_frag("m", &["x", "y"]);
         let inst = b.build();
         // Same orientation, suffix-with-suffix: cannot be laid flush.
-        let bad = MatchSet::from_matches(vec![Match::new(
-            h(0, 1, 2),
-            m(0, 1, 2),
-            Orient::Same,
-            1,
-        )]);
+        let bad = MatchSet::from_matches(vec![Match::new(h(0, 1, 2), m(0, 1, 2), Orient::Same, 1)]);
         match check_consistency(&inst, &bad) {
             Err(Inconsistency::BorderEndMismatch { .. }) => {}
             other => panic!("expected end mismatch, got {other:?}"),
@@ -673,12 +719,8 @@ mod tests {
         )]);
         check_consistency(&inst, &good).unwrap();
         // Same orientation suffix-with-prefix is the classic overlap.
-        let good2 = MatchSet::from_matches(vec![Match::new(
-            h(0, 1, 2),
-            m(0, 0, 1),
-            Orient::Same,
-            1,
-        )]);
+        let good2 =
+            MatchSet::from_matches(vec![Match::new(h(0, 1, 2), m(0, 0, 1), Orient::Same, 1)]);
         check_consistency(&inst, &good2).unwrap();
     }
 
@@ -808,12 +850,7 @@ mod tests {
         // the sites' inner boundary (Definition 2). The consistent way
         // to express "a aligns with s" plugs the whole fragment.
         let inst = paper_example();
-        let s = MatchSet::from_matches(vec![Match::new(
-            h(0, 0, 1),
-            m(0, 0, 1),
-            Orient::Same,
-            4,
-        )]);
+        let s = MatchSet::from_matches(vec![Match::new(h(0, 0, 1), m(0, 0, 1), Orient::Same, 4)]);
         assert!(matches!(
             check_consistency(&inst, &s),
             Err(Inconsistency::BorderEndMismatch { .. })
@@ -825,12 +862,7 @@ mod tests {
         let inst = paper_example();
         // Only one match: m1 = ⟨s, t⟩ plugged (full) into the prefix
         // site ⟨a⟩ of h1; everything else is unmatched.
-        let s = MatchSet::from_matches(vec![Match::new(
-            h(0, 0, 1),
-            m(0, 0, 2),
-            Orient::Same,
-            4,
-        )]);
+        let s = MatchSet::from_matches(vec![Match::new(h(0, 0, 1), m(0, 0, 2), Orient::Same, 4)]);
         let pair = LayoutBuilder::new(&inst, &UnitAligner).layout(&s).unwrap();
         pair.validate(&inst).unwrap();
         assert_eq!(pair.score(&inst), 4);
@@ -842,7 +874,9 @@ mod tests {
     #[test]
     fn empty_set_layout() {
         let inst = paper_example();
-        let pair = LayoutBuilder::new(&inst, &UnitAligner).layout(&MatchSet::new()).unwrap();
+        let pair = LayoutBuilder::new(&inst, &UnitAligner)
+            .layout(&MatchSet::new())
+            .unwrap();
         pair.validate(&inst).unwrap();
         assert_eq!(pair.score(&inst), 0);
         assert_eq!(pair.derive_matches(&inst).len(), 0);

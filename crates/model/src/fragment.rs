@@ -53,12 +53,18 @@ pub struct FragId {
 impl FragId {
     /// Fragment `index` of species `H`.
     pub const fn h(index: usize) -> Self {
-        FragId { species: Species::H, index }
+        FragId {
+            species: Species::H,
+            index,
+        }
     }
 
     /// Fragment `index` of species `M`.
     pub const fn m(index: usize) -> Self {
-        FragId { species: Species::M, index }
+        FragId {
+            species: Species::M,
+            index,
+        }
     }
 }
 
@@ -80,7 +86,10 @@ pub struct Fragment {
 impl Fragment {
     /// Build a fragment from its regions.
     pub fn new(name: impl Into<String>, regions: Vec<Sym>) -> Self {
-        Fragment { name: name.into(), regions }
+        Fragment {
+            name: name.into(),
+            regions,
+        }
     }
 
     /// Number of regions.
@@ -95,7 +104,10 @@ impl Fragment {
 
     /// The reverse complement `f^R` of the fragment.
     pub fn reversed(&self) -> Fragment {
-        Fragment { name: format!("{}R", self.name), regions: reverse_word(&self.regions) }
+        Fragment {
+            name: format!("{}R", self.name),
+            regions: reverse_word(&self.regions),
+        }
     }
 
     /// The subword at `site` coordinates `[lo, hi)`.

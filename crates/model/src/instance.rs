@@ -257,8 +257,11 @@ mod tests {
         let inst = paper_example();
         let cat = inst.concat_species(Species::M);
         assert_eq!(cat.len(), 4);
-        let names: Vec<String> =
-            cat.regions.iter().map(|&s| inst.alphabet.render(s)).collect();
+        let names: Vec<String> = cat
+            .regions
+            .iter()
+            .map(|&s| inst.alphabet.render(s))
+            .collect();
         assert_eq!(names, vec!["s", "t", "u", "v"]);
     }
 
@@ -276,7 +279,9 @@ mod tests {
         let inst = paper_example();
         assert!(inst.validate().is_ok());
         let mut empty_frag = inst.clone();
-        empty_frag.h.push(crate::fragment::Fragment::new("bad", vec![]));
+        empty_frag
+            .h
+            .push(crate::fragment::Fragment::new("bad", vec![]));
         assert!(empty_frag.validate().is_err());
         let mut unknown_region = inst.clone();
         unknown_region.m[0].regions.push(Sym::fwd(9999));
@@ -301,6 +306,9 @@ mod tests {
     fn frag_ids_enumerate_both_species() {
         let inst = paper_example();
         let ids: Vec<FragId> = inst.all_frag_ids().collect();
-        assert_eq!(ids, vec![FragId::h(0), FragId::h(1), FragId::m(0), FragId::m(1)]);
+        assert_eq!(
+            ids,
+            vec![FragId::h(0), FragId::h(1), FragId::m(0), FragId::m(1)]
+        );
     }
 }

@@ -43,7 +43,8 @@ pub mod symbol;
 pub use alphabet::Alphabet;
 pub use conjecture::{Column, ConjecturePair, PlacedFragment, Row};
 pub use consistency::{
-    check_consistency, ConsistencyReport, Island, LayoutBuilder, SiteAligner, UnitAligner,
+    check_consistency, AlignColumns, ConsistencyReport, Dsu, Island, LayoutBuilder, SiteAligner,
+    UnitAligner,
 };
 pub use error::Inconsistency;
 pub use fragment::{FragId, Fragment, Species};

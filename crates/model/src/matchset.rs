@@ -59,7 +59,12 @@ impl Match {
     pub fn new(h: Site, m: Site, orient: Orient, score: Score) -> Self {
         debug_assert_eq!(h.frag.species, Species::H, "first site must be H-species");
         debug_assert_eq!(m.frag.species, Species::M, "second site must be M-species");
-        Match { h, m, orient, score }
+        Match {
+            h,
+            m,
+            orient,
+            score,
+        }
     }
 
     /// The site this match places on the given species' side.
@@ -103,9 +108,15 @@ impl Match {
         let mc = self.m.classify(m_len);
         match (hc, mc) {
             // Both full: by convention the M fragment is the plug.
-            (SiteClass::Full, SiteClass::Full) => Some(MatchKind::Full { full_side: Species::M }),
-            (SiteClass::Full, _) => Some(MatchKind::Full { full_side: Species::H }),
-            (_, SiteClass::Full) => Some(MatchKind::Full { full_side: Species::M }),
+            (SiteClass::Full, SiteClass::Full) => Some(MatchKind::Full {
+                full_side: Species::M,
+            }),
+            (SiteClass::Full, _) => Some(MatchKind::Full {
+                full_side: Species::H,
+            }),
+            (_, SiteClass::Full) => Some(MatchKind::Full {
+                full_side: Species::M,
+            }),
             (SiteClass::Border(h_end), SiteClass::Border(m_end)) => {
                 Some(MatchKind::Border { h_end, m_end })
             }
@@ -227,8 +238,11 @@ impl MatchSet {
             *counts.entry(m.h.frag).or_default() += 1;
             *counts.entry(m.m.frag).or_default() += 1;
         }
-        let mut v: Vec<FragId> =
-            counts.into_iter().filter(|&(_, c)| c > 1).map(|(f, _)| f).collect();
+        let mut v: Vec<FragId> = counts
+            .into_iter()
+            .filter(|&(_, c)| c > 1)
+            .map(|(f, _)| f)
+            .collect();
         v.sort();
         v
     }
@@ -250,14 +264,27 @@ mod tests {
         // Fig. 6: a match involving a full site is a full match even if
         // the other side is a border site.
         let m = Match::new(site_h(0, 0, 3), site_m(0, 1, 4), Orient::Same, 5);
-        assert_eq!(m.kind(3, 6), Some(MatchKind::Full { full_side: Species::H }));
+        assert_eq!(
+            m.kind(3, 6),
+            Some(MatchKind::Full {
+                full_side: Species::H
+            })
+        );
         let m2 = Match::new(site_h(0, 2, 5), site_m(0, 0, 4), Orient::Same, 5);
-        assert_eq!(m2.kind(9, 4), Some(MatchKind::Full { full_side: Species::M }));
+        assert_eq!(
+            m2.kind(9, 4),
+            Some(MatchKind::Full {
+                full_side: Species::M
+            })
+        );
         // Border–border staircase.
         let m3 = Match::new(site_h(0, 2, 5), site_m(0, 0, 2), Orient::Same, 5);
         assert_eq!(
             m3.kind(5, 7),
-            Some(MatchKind::Border { h_end: End::Right, m_end: End::Left })
+            Some(MatchKind::Border {
+                h_end: End::Right,
+                m_end: End::Left
+            })
         );
         // Inner–border is not realisable.
         let m4 = Match::new(site_h(0, 1, 4), site_m(0, 0, 2), Orient::Same, 5);
@@ -267,9 +294,24 @@ mod tests {
     #[test]
     fn contribution_sums_incident_scores() {
         let mut s = MatchSet::new();
-        s.push(Match::new(site_h(0, 0, 1), site_m(0, 0, 1), Orient::Same, 4));
-        s.push(Match::new(site_h(0, 1, 2), site_m(1, 0, 1), Orient::Same, 5));
-        s.push(Match::new(site_h(1, 0, 1), site_m(1, 1, 2), Orient::Same, 2));
+        s.push(Match::new(
+            site_h(0, 0, 1),
+            site_m(0, 0, 1),
+            Orient::Same,
+            4,
+        ));
+        s.push(Match::new(
+            site_h(0, 1, 2),
+            site_m(1, 0, 1),
+            Orient::Same,
+            5,
+        ));
+        s.push(Match::new(
+            site_h(1, 0, 1),
+            site_m(1, 1, 2),
+            Orient::Same,
+            2,
+        ));
         assert_eq!(s.contribution(FragId::h(0)), 9);
         assert_eq!(s.contribution(FragId::m(1)), 7);
         assert_eq!(s.contribution(FragId::m(7)), 0);
@@ -279,8 +321,18 @@ mod tests {
     #[test]
     fn multi_fragments_detects_multiplicity() {
         let mut s = MatchSet::new();
-        s.push(Match::new(site_h(0, 0, 1), site_m(0, 0, 1), Orient::Same, 1));
-        s.push(Match::new(site_h(0, 1, 2), site_m(1, 0, 1), Orient::Same, 1));
+        s.push(Match::new(
+            site_h(0, 0, 1),
+            site_m(0, 0, 1),
+            Orient::Same,
+            1,
+        ));
+        s.push(Match::new(
+            site_h(0, 1, 2),
+            site_m(1, 0, 1),
+            Orient::Same,
+            1,
+        ));
         assert_eq!(s.multi_fragments(), vec![FragId::h(0)]);
     }
 
@@ -301,8 +353,18 @@ mod tests {
     #[test]
     fn sites_by_fragment_sorted() {
         let mut s = MatchSet::new();
-        s.push(Match::new(site_h(0, 4, 6), site_m(0, 0, 2), Orient::Same, 1));
-        s.push(Match::new(site_h(0, 0, 2), site_m(1, 0, 2), Orient::Same, 1));
+        s.push(Match::new(
+            site_h(0, 4, 6),
+            site_m(0, 0, 2),
+            Orient::Same,
+            1,
+        ));
+        s.push(Match::new(
+            site_h(0, 0, 2),
+            site_m(1, 0, 2),
+            Orient::Same,
+            1,
+        ));
         let by = s.sites_by_fragment();
         let sites: Vec<usize> = by[&FragId::h(0)].iter().map(|(_, s)| s.lo).collect();
         assert_eq!(sites, vec![0, 4]);

@@ -95,7 +95,11 @@ struct ScoreTableWire {
 impl From<ScoreTableWire> for ScoreTable {
     fn from(w: ScoreTableWire) -> Self {
         ScoreTable {
-            entries: w.entries.into_iter().map(|(a, b, o, s)| ((a, b, o), s)).collect(),
+            entries: w
+                .entries
+                .into_iter()
+                .map(|(a, b, o, s)| ((a, b, o), s))
+                .collect(),
             default_score: w.default_score,
         }
     }
@@ -103,10 +107,16 @@ impl From<ScoreTableWire> for ScoreTable {
 
 impl From<ScoreTable> for ScoreTableWire {
     fn from(t: ScoreTable) -> Self {
-        let mut entries: Vec<(RegionId, RegionId, Orient, Score)> =
-            t.entries.into_iter().map(|((a, b, o), s)| (a, b, o, s)).collect();
+        let mut entries: Vec<(RegionId, RegionId, Orient, Score)> = t
+            .entries
+            .into_iter()
+            .map(|((a, b, o), s)| (a, b, o, s))
+            .collect();
         entries.sort_unstable();
-        ScoreTableWire { entries, default_score: t.default_score }
+        ScoreTableWire {
+            entries,
+            default_score: t.default_score,
+        }
     }
 }
 
@@ -119,7 +129,8 @@ impl ScoreTable {
     /// Record `σ(a, b) = score` for forward occurrences `a` (H side)
     /// and `b` (M side); by symmetry this also sets `σ(a^R, b^R)`.
     pub fn set(&mut self, a: Sym, b: Sym, score: Score) {
-        self.entries.insert((a.id, b.id, Orient::between(a, b)), score);
+        self.entries
+            .insert((a.id, b.id, Orient::between(a, b)), score);
     }
 
     /// Look up `σ(a, b)` where `a` is an H-side occurrence and `b` an
@@ -135,7 +146,10 @@ impl ScoreTable {
     /// Look up by region ids and relative orientation.
     #[inline]
     pub fn score_rel(&self, a: RegionId, b: RegionId, rel: Orient) -> Score {
-        self.entries.get(&(a, b, rel)).copied().unwrap_or(self.default_score)
+        self.entries
+            .get(&(a, b, rel))
+            .copied()
+            .unwrap_or(self.default_score)
     }
 
     /// All explicit entries, for serialisation and inspection.
@@ -168,7 +182,10 @@ impl ScoreTable {
             .iter()
             .map(|(&k, &s)| (k, s.div_euclid(quantum) * quantum))
             .collect();
-        ScoreTable { entries, default_score: self.default_score.div_euclid(quantum) * quantum }
+        ScoreTable {
+            entries,
+            default_score: self.default_score.div_euclid(quantum) * quantum,
+        }
     }
 }
 

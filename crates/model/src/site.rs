@@ -98,7 +98,10 @@ impl Site {
     /// Classify the site within a fragment of length `frag_len`
     /// (Definition 3).
     pub fn classify(&self, frag_len: usize) -> SiteClass {
-        debug_assert!(self.hi <= frag_len, "site {self:?} exceeds fragment length {frag_len}");
+        debug_assert!(
+            self.hi <= frag_len,
+            "site {self:?} exceeds fragment length {frag_len}"
+        );
         match (self.lo == 0, self.hi == frag_len) {
             (true, true) => SiteClass::Full,
             (true, false) => SiteClass::Border(End::Left),
@@ -155,7 +158,11 @@ impl Site {
         if !self.overlaps(other) {
             return None;
         }
-        Some(Site::new(self.frag, self.lo.max(other.lo), self.hi.min(other.hi)))
+        Some(Site::new(
+            self.frag,
+            self.lo.max(other.lo),
+            self.hi.min(other.hi),
+        ))
     }
 
     /// The union of two overlapping or adjacent sites.
@@ -164,7 +171,11 @@ impl Site {
             return None;
         }
         if self.overlaps(other) || self.adjacent_to(other) {
-            Some(Site::new(self.frag, self.lo.min(other.lo), self.hi.max(other.hi)))
+            Some(Site::new(
+                self.frag,
+                self.lo.min(other.lo),
+                self.hi.max(other.hi),
+            ))
         } else {
             None
         }
@@ -189,8 +200,14 @@ mod tests {
     fn classification_matches_definition_3() {
         // Fragment of length 5: full, prefix border, suffix border, inner.
         assert_eq!(Site::new(f(), 0, 5).classify(5), SiteClass::Full);
-        assert_eq!(Site::new(f(), 0, 3).classify(5), SiteClass::Border(End::Left));
-        assert_eq!(Site::new(f(), 2, 5).classify(5), SiteClass::Border(End::Right));
+        assert_eq!(
+            Site::new(f(), 0, 3).classify(5),
+            SiteClass::Border(End::Left)
+        );
+        assert_eq!(
+            Site::new(f(), 2, 5).classify(5),
+            SiteClass::Border(End::Right)
+        );
         assert_eq!(Site::new(f(), 1, 4).classify(5), SiteClass::Inner);
         // Length-1 fragment: the single site is full.
         assert_eq!(Site::new(f(), 0, 1).classify(1), SiteClass::Full);
@@ -201,11 +218,20 @@ mod tests {
         let outer = Site::new(f(), 1, 6);
         assert!(Site::new(f(), 2, 5).hidden_by(&outer));
         assert!(Site::new(f(), 2, 6).contained_in(&outer));
-        assert!(!Site::new(f(), 2, 6).hidden_by(&outer), "shared end ⇒ not hidden");
-        assert!(!Site::new(f(), 1, 5).hidden_by(&outer), "shared start ⇒ not hidden");
+        assert!(
+            !Site::new(f(), 2, 6).hidden_by(&outer),
+            "shared end ⇒ not hidden"
+        );
+        assert!(
+            !Site::new(f(), 1, 5).hidden_by(&outer),
+            "shared start ⇒ not hidden"
+        );
         assert!(!outer.hidden_by(&outer));
         let other_frag = Site::new(FragId::m(0), 2, 5);
-        assert!(!other_frag.hidden_by(&outer), "different fragments never hide");
+        assert!(
+            !other_frag.hidden_by(&outer),
+            "different fragments never hide"
+        );
     }
 
     #[test]
@@ -225,7 +251,10 @@ mod tests {
     fn minus_produces_flanks() {
         let big = Site::new(f(), 0, 10);
         let mid = Site::new(f(), 3, 6);
-        assert_eq!(big.minus(&mid), vec![Site::new(f(), 0, 3), Site::new(f(), 6, 10)]);
+        assert_eq!(
+            big.minus(&mid),
+            vec![Site::new(f(), 0, 3), Site::new(f(), 6, 10)]
+        );
         assert_eq!(mid.minus(&big), vec![]);
         let left = Site::new(f(), 0, 4);
         assert_eq!(big.minus(&left), vec![Site::new(f(), 4, 10)]);
@@ -248,7 +277,10 @@ mod tests {
         assert_eq!(prefix.mirrored(5), Site::new(f(), 3, 5));
         assert_eq!(prefix.mirrored(5).mirrored(5), prefix);
         // classification swaps Left and Right
-        assert_eq!(prefix.mirrored(5).classify(5), SiteClass::Border(End::Right));
+        assert_eq!(
+            prefix.mirrored(5).classify(5),
+            SiteClass::Border(End::Right)
+        );
     }
 
     #[test]

@@ -44,7 +44,10 @@ impl Sym {
     /// The reversal involution `a ↦ a^R`.
     #[inline]
     pub const fn reversed(self) -> Self {
-        Sym { id: self.id, rev: !self.rev }
+        Sym {
+            id: self.id,
+            rev: !self.rev,
+        }
     }
 }
 

@@ -1,0 +1,290 @@
+//! One accepting and one rejecting case per consistency predicate:
+//! the structural rules of `check_consistency` (species, bounds, site
+//! ordering/disjointness, full-vs-inner classification, staircase
+//! orientation, border cycles) and the Definition-5 site predicates
+//! (contained / adjacent / hidden) they are built from.
+
+use fragalign_model::{
+    check_consistency, FragId, Fragment, Inconsistency, Instance, Match, MatchSet, Orient,
+    ScoreTable, Site, Sym,
+};
+
+/// Two fragments per species, three regions each, with every
+/// cross-species region pair scoring 1 so structure alone decides
+/// consistency.
+fn test_instance() -> Instance {
+    let frag =
+        |name: &str, base: u32| Fragment::new(name, (base..base + 3).map(Sym::fwd).collect());
+    let mut sigma = ScoreTable::new();
+    for h in 0..6u32 {
+        for m in 100..106u32 {
+            sigma.set(Sym::fwd(h), Sym::fwd(m), 1);
+        }
+    }
+    Instance {
+        h: vec![frag("h0", 0), frag("h1", 3)],
+        m: vec![frag("m0", 100), frag("m1", 103)],
+        sigma,
+        alphabet: Default::default(),
+    }
+}
+
+fn single(m: Match) -> MatchSet {
+    let mut set = MatchSet::new();
+    set.push(m);
+    set
+}
+
+// -- species rule ------------------------------------------------------------
+
+#[test]
+fn cross_species_match_accepted() {
+    let inst = test_instance();
+    let set = single(Match::new(
+        Site::new(FragId::h(0), 0, 1),
+        Site::new(FragId::m(0), 2, 3),
+        Orient::Same,
+        1,
+    ));
+    assert!(check_consistency(&inst, &set).is_ok());
+}
+
+#[test]
+fn same_species_match_rejected() {
+    let inst = test_instance();
+    // Constructed without `Match::new` (whose debug assert would fire)
+    // to exercise the checker itself.
+    let set = single(Match {
+        h: Site::new(FragId::h(0), 0, 1),
+        m: Site::new(FragId::h(1), 0, 1),
+        orient: Orient::Same,
+        score: 1,
+    });
+    assert!(matches!(
+        check_consistency(&inst, &set),
+        Err(Inconsistency::SameSpecies { .. })
+    ));
+}
+
+// -- bounds rule -------------------------------------------------------------
+
+#[test]
+fn in_bounds_site_accepted() {
+    let inst = test_instance();
+    let set = single(Match::new(
+        Site::new(FragId::h(0), 0, 3), // exactly the fragment
+        Site::new(FragId::m(0), 0, 3),
+        Orient::Same,
+        3,
+    ));
+    assert!(check_consistency(&inst, &set).is_ok());
+}
+
+#[test]
+fn out_of_bounds_site_rejected() {
+    let inst = test_instance();
+    let set = single(Match::new(
+        Site::new(FragId::h(0), 1, 4), // fragment has length 3
+        Site::new(FragId::m(0), 0, 3),
+        Orient::Same,
+        3,
+    ));
+    assert!(matches!(
+        check_consistency(&inst, &set),
+        Err(Inconsistency::SiteOutOfBounds { .. })
+    ));
+}
+
+// -- ordering / disjointness of matched sites --------------------------------
+
+#[test]
+fn disjoint_sites_on_one_fragment_accepted() {
+    let inst = test_instance();
+    let mut set = MatchSet::new();
+    // Two plugs into disjoint cells of m0.
+    set.push(Match::new(
+        Site::full(FragId::h(0), 3),
+        Site::new(FragId::m(0), 0, 1),
+        Orient::Same,
+        1,
+    ));
+    set.push(Match::new(
+        Site::full(FragId::h(1), 3),
+        Site::new(FragId::m(0), 2, 3),
+        Orient::Same,
+        1,
+    ));
+    assert!(check_consistency(&inst, &set).is_ok());
+}
+
+#[test]
+fn overlapping_sites_on_one_fragment_rejected() {
+    let inst = test_instance();
+    let mut set = MatchSet::new();
+    set.push(Match::new(
+        Site::full(FragId::h(0), 3),
+        Site::new(FragId::m(0), 0, 2),
+        Orient::Same,
+        2,
+    ));
+    set.push(Match::new(
+        Site::full(FragId::h(1), 3),
+        Site::new(FragId::m(0), 1, 3),
+        Orient::Same,
+        2,
+    ));
+    assert!(matches!(
+        check_consistency(&inst, &set),
+        Err(Inconsistency::OverlappingSites { .. })
+    ));
+}
+
+// -- full-vs-inner classification --------------------------------------------
+
+#[test]
+fn inner_site_in_full_match_accepted() {
+    let inst = test_instance();
+    // h0 plugs, whole, into the middle cell of m0: the inner M site is
+    // part of a full match, which rule 2 allows.
+    let set = single(Match::new(
+        Site::full(FragId::h(0), 3),
+        Site::new(FragId::m(0), 1, 2),
+        Orient::Same,
+        1,
+    ));
+    assert!(check_consistency(&inst, &set).is_ok());
+}
+
+#[test]
+fn inner_site_without_full_side_rejected() {
+    let inst = test_instance();
+    // Inner site on M, border site on H: no side is a whole fragment,
+    // so the inner site cannot be realised by any layout.
+    let set = single(Match::new(
+        Site::new(FragId::h(0), 0, 1),
+        Site::new(FragId::m(0), 1, 2),
+        Orient::Same,
+        1,
+    ));
+    assert!(matches!(
+        check_consistency(&inst, &set),
+        Err(Inconsistency::InnerSiteNotFull { .. })
+    ));
+}
+
+// -- staircase orientation rule (E_h != E_m xor r) ---------------------------
+
+#[test]
+fn prefix_suffix_same_orientation_accepted() {
+    let inst = test_instance();
+    // h0's tail overlaps m0's head: Right end against Left end, Same.
+    let set = single(Match::new(
+        Site::new(FragId::h(0), 2, 3),
+        Site::new(FragId::m(0), 0, 1),
+        Orient::Same,
+        1,
+    ));
+    assert!(check_consistency(&inst, &set).is_ok());
+}
+
+#[test]
+fn prefix_prefix_reversed_orientation_accepted() {
+    let inst = test_instance();
+    // Two heads can only overlap when one fragment is laid reversed.
+    let set = single(Match::new(
+        Site::new(FragId::h(0), 0, 1),
+        Site::new(FragId::m(0), 0, 1),
+        Orient::Reversed,
+        1,
+    ));
+    assert!(check_consistency(&inst, &set).is_ok());
+}
+
+#[test]
+fn prefix_prefix_same_orientation_rejected() {
+    let inst = test_instance();
+    let set = single(Match::new(
+        Site::new(FragId::h(0), 0, 1),
+        Site::new(FragId::m(0), 0, 1),
+        Orient::Same,
+        1,
+    ));
+    assert!(matches!(
+        check_consistency(&inst, &set),
+        Err(Inconsistency::BorderEndMismatch { .. })
+    ));
+}
+
+// -- border matches form simple paths ----------------------------------------
+
+#[test]
+fn border_chain_accepted() {
+    let inst = test_instance();
+    let mut set = MatchSet::new();
+    // h0 - m0 - h1: a spine of two staircase overlaps.
+    set.push(Match::new(
+        Site::new(FragId::h(0), 2, 3),
+        Site::new(FragId::m(0), 0, 1),
+        Orient::Same,
+        1,
+    ));
+    set.push(Match::new(
+        Site::new(FragId::h(1), 0, 1),
+        Site::new(FragId::m(0), 2, 3),
+        Orient::Same,
+        1,
+    ));
+    assert!(check_consistency(&inst, &set).is_ok());
+}
+
+#[test]
+fn border_two_cycle_rejected() {
+    let inst = test_instance();
+    let mut set = MatchSet::new();
+    // h0 and m0 overlap at both end pairs — no linear layout exists.
+    set.push(Match::new(
+        Site::new(FragId::h(0), 2, 3),
+        Site::new(FragId::m(0), 0, 1),
+        Orient::Same,
+        1,
+    ));
+    set.push(Match::new(
+        Site::new(FragId::h(0), 0, 1),
+        Site::new(FragId::m(0), 2, 3),
+        Orient::Same,
+        1,
+    ));
+    assert!(matches!(
+        check_consistency(&inst, &set),
+        Err(Inconsistency::BorderCycle { .. })
+    ));
+}
+
+// -- Definition 5 site predicates --------------------------------------------
+
+#[test]
+fn contained_in_accepts_and_rejects() {
+    let f = FragId::h(0);
+    assert!(Site::new(f, 1, 2).contained_in(&Site::new(f, 0, 3)));
+    assert!(Site::new(f, 0, 3).contained_in(&Site::new(f, 0, 3))); // containment is reflexive
+    assert!(!Site::new(f, 0, 2).contained_in(&Site::new(f, 1, 3))); // straddles the boundary
+    assert!(!Site::new(f, 1, 2).contained_in(&Site::new(FragId::h(1), 0, 3))); // other fragment
+}
+
+#[test]
+fn adjacent_to_accepts_and_rejects() {
+    let f = FragId::m(0);
+    assert!(Site::new(f, 0, 1).adjacent_to(&Site::new(f, 1, 2))); // abut left-to-right
+    assert!(Site::new(f, 1, 2).adjacent_to(&Site::new(f, 0, 1))); // symmetric
+    assert!(!Site::new(f, 0, 1).adjacent_to(&Site::new(f, 2, 3))); // gap between
+    assert!(!Site::new(f, 0, 2).adjacent_to(&Site::new(f, 1, 3))); // overlap, not adjacency
+}
+
+#[test]
+fn hidden_by_accepts_and_rejects() {
+    let f = FragId::h(1);
+    assert!(Site::new(f, 1, 2).hidden_by(&Site::new(f, 0, 3))); // strictly inside
+    assert!(!Site::new(f, 0, 2).hidden_by(&Site::new(f, 0, 3))); // shares the left end
+    assert!(!Site::new(f, 1, 3).hidden_by(&Site::new(f, 0, 3))); // shares the right end
+    assert!(!Site::new(f, 1, 2).hidden_by(&Site::new(FragId::h(0), 0, 3))); // other fragment
+}

@@ -4,7 +4,7 @@
 
 use fragalign_model::symbol::{reverse_word, reverse_word_in_place};
 use fragalign_model::{
-    check_consistency, Fragment, FragId, Instance, LayoutBuilder, Match, MatchSet, Orient,
+    check_consistency, FragId, Fragment, Instance, LayoutBuilder, Match, MatchSet, Orient,
     ScoreTable, Site, Species, Sym, UnitAligner,
 };
 use proptest::prelude::*;
@@ -94,10 +94,7 @@ proptest! {
 /// Build an instance with one container per species and a pool of
 /// single-region plug fragments, then a random set of non-overlapping
 /// plug matches — consistent by construction.
-fn plug_solution(
-    plug_count: usize,
-    positions: Vec<(bool, usize)>,
-) -> (Instance, MatchSet) {
+fn plug_solution(plug_count: usize, positions: Vec<(bool, usize)>) -> (Instance, MatchSet) {
     let container_len = 12usize;
     let mut h = vec![Fragment::new(
         "H0",
@@ -110,15 +107,26 @@ fn plug_solution(
     let mut sigma = ScoreTable::new();
     // plug fragments: H plugs 200.., M plugs 300..
     for k in 0..plug_count {
-        h.push(Fragment::new(format!("hp{k}"), vec![Sym::fwd(200 + k as u32)]));
-        m.push(Fragment::new(format!("mp{k}"), vec![Sym::fwd(300 + k as u32)]));
+        h.push(Fragment::new(
+            format!("hp{k}"),
+            vec![Sym::fwd(200 + k as u32)],
+        ));
+        m.push(Fragment::new(
+            format!("mp{k}"),
+            vec![Sym::fwd(300 + k as u32)],
+        ));
         // score against every container cell so any position works
         for c in 0..container_len as u32 {
             sigma.set(Sym::fwd(200 + k as u32), Sym::fwd(100 + c), 2);
             sigma.set(Sym::fwd(c), Sym::fwd(300 + k as u32), 3);
         }
     }
-    let inst = Instance { h, m, sigma, alphabet: Default::default() };
+    let inst = Instance {
+        h,
+        m,
+        sigma,
+        alphabet: Default::default(),
+    };
 
     // Place each plug at its position if free; skip collisions.
     let mut used_h = vec![false; container_len];
@@ -173,7 +181,7 @@ proptest! {
 
     #[test]
     fn overlapping_plugs_rejected(pos in 0usize..12) {
-        let (inst, mut set) = plug_solution(2, vec![(true, pos), (true, (pos + 5) % 12)]);
+        let (inst, set) = plug_solution(2, vec![(true, pos), (true, (pos + 5) % 12)]);
         // Force an overlap by duplicating the first match's site onto
         // the second plug.
         if set.len() == 2 {
@@ -209,7 +217,9 @@ fn same_species_match_rejected() {
 #[test]
 fn empty_instance_layout() {
     let inst = Instance::default();
-    let pair = LayoutBuilder::new(&inst, &UnitAligner).layout(&MatchSet::new()).unwrap();
+    let pair = LayoutBuilder::new(&inst, &UnitAligner)
+        .layout(&MatchSet::new())
+        .unwrap();
     assert_eq!(pair.columns.len(), 0);
     assert_eq!(pair.score(&inst), 0);
 }

@@ -99,7 +99,11 @@ pub fn speedup_sweep<T: Send + PartialEq + std::fmt::Debug>(
         let (value, elapsed) = with_threads(t, workload);
         match &base {
             None => {
-                points.push(SpeedupPoint { threads: t, elapsed, speedup: 1.0 });
+                points.push(SpeedupPoint {
+                    threads: t,
+                    elapsed,
+                    speedup: 1.0,
+                });
                 base = Some((value, elapsed));
             }
             Some((expected, base_time)) => {

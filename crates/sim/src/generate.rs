@@ -73,7 +73,11 @@ pub struct DnaMode {
 
 impl Default for DnaMode {
     fn default() -> Self {
-        DnaMode { region_len: 60, mutation_rate: 0.1, params: DnaParams::default() }
+        DnaMode {
+            region_len: 60,
+            mutation_rate: 0.1,
+            params: DnaParams::default(),
+        }
     }
 }
 
@@ -98,14 +102,16 @@ pub struct SimInstance {
 }
 
 fn random_dna(rng: &mut StdRng, len: usize) -> Vec<u8> {
-    (0..len).map(|_| b"ACGT"[rng.random_range(0..4)]).collect()
+    (0..len)
+        .map(|_| b"ACGT"[rng.random_range(0..4usize)])
+        .collect()
 }
 
 fn mutate(rng: &mut StdRng, seq: &[u8], rate: f64) -> Vec<u8> {
     seq.iter()
         .map(|&b| {
             if rng.random_bool(rate) {
-                b"ACGT"[rng.random_range(0..4)]
+                b"ACGT"[rng.random_range(0..4usize)]
             } else {
                 b
             }
@@ -200,16 +206,17 @@ pub fn generate(config: &SimConfig) -> SimInstance {
             Some(dna) => {
                 // Align unrelated regions; take whatever noise floor the
                 // aligner reports, at least 1.
-                let (s, _) = best_local_score(
-                    &dna_h[i],
-                    &reverse_complement(&dna_m[j]),
-                    dna.params,
-                );
+                let (s, _) =
+                    best_local_score(&dna_h[i], &reverse_complement(&dna_m[j]), dna.params);
                 s.max(1)
             }
         };
         let flip = rng.random_bool(0.5);
-        let m = if flip { m_syms[j].reversed() } else { m_syms[j] };
+        let m = if flip {
+            m_syms[j].reversed()
+        } else {
+            m_syms[j]
+        };
         sigma.set(h_syms[i], m, score);
     }
 
@@ -223,8 +230,7 @@ pub fn generate(config: &SimConfig) -> SimInstance {
                       flip_rate: f64,
                       prefix: &str|
      -> (Vec<Fragment>, Vec<(usize, bool)>) {
-        let surviving: Vec<usize> =
-            order.iter().copied().filter(|&i| keeps[i]).collect();
+        let surviving: Vec<usize> = order.iter().copied().filter(|&i| keeps[i]).collect();
         let chunks = cut_into(rng, surviving.len().max(1), frags);
         let mut out = Vec::new();
         let mut layout = Vec::new();
@@ -302,8 +308,17 @@ pub fn generate(config: &SimConfig) -> SimInstance {
     }
 
     SimInstance {
-        instance: Instance { h, m, sigma, alphabet },
-        truth: GroundTruth { h_layout, m_layout, true_pairs },
+        instance: Instance {
+            h,
+            m,
+            sigma,
+            alphabet,
+        },
+        truth: GroundTruth {
+            h_layout,
+            m_layout,
+            true_pairs,
+        },
     }
 }
 
@@ -324,19 +339,30 @@ mod tests {
     #[test]
     fn seeds_differ() {
         let a = generate(&SimConfig::default());
-        let b = generate(&SimConfig { seed: 1, ..SimConfig::default() });
+        let b = generate(&SimConfig {
+            seed: 1,
+            ..SimConfig::default()
+        });
         assert!(a.instance.h != b.instance.h || a.instance.m != b.instance.m);
     }
 
     #[test]
     fn shapes_respect_config() {
-        let c = SimConfig { regions: 30, h_frags: 5, m_frags: 3, ..SimConfig::default() };
+        let c = SimConfig {
+            regions: 30,
+            h_frags: 5,
+            m_frags: 3,
+            ..SimConfig::default()
+        };
         let s = generate(&c);
         assert_eq!(s.instance.h.len(), 5);
         assert_eq!(s.instance.m.len(), 3);
         let h_total: usize = s.instance.h.iter().map(|f| f.len()).sum();
         assert!(h_total <= 30);
-        assert!(h_total >= 20, "loss rate 0.1 keeps most regions, got {h_total}");
+        assert!(
+            h_total >= 20,
+            "loss rate 0.1 keeps most regions, got {h_total}"
+        );
     }
 
     #[test]
@@ -385,12 +411,18 @@ mod tests {
 
     #[test]
     fn chimeras_swap_tails_but_preserve_regions() {
-        let base = SimConfig { regions: 16, m_frags: 4, loss_rate: 0.0, ..SimConfig::default() };
-        let clean = generate(&base);
-        let chim = generate(&SimConfig { chimeras: 2, ..base });
-        let count = |s: &SimInstance| -> usize {
-            s.instance.m.iter().map(|f| f.len()).sum()
+        let base = SimConfig {
+            regions: 16,
+            m_frags: 4,
+            loss_rate: 0.0,
+            ..SimConfig::default()
         };
+        let clean = generate(&base);
+        let chim = generate(&SimConfig {
+            chimeras: 2,
+            ..base
+        });
+        let count = |s: &SimInstance| -> usize { s.instance.m.iter().map(|f| f.len()).sum() };
         // Chimeric joins move regions between contigs, never lose them.
         assert_eq!(count(&clean), count(&chim));
         // Some contig is marked chimeric.

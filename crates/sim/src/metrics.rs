@@ -3,9 +3,7 @@
 
 use crate::generate::SimInstance;
 use fragalign_align::DpAligner;
-use fragalign_model::{
-    check_consistency, FragId, MatchSet, RegionId, Species, LayoutBuilder,
-};
+use fragalign_model::{check_consistency, FragId, LayoutBuilder, MatchSet, RegionId, Species};
 use std::collections::HashMap;
 
 /// Recovery quality of a solution against the simulator ground truth.
@@ -42,8 +40,7 @@ pub fn evaluate_recovery(sim: &SimInstance, solution: &MatchSet) -> RecoveryRepo
     let mut hit = 0usize;
     let mut total = 0usize;
     for &(a, b) in &sim.truth.true_pairs {
-        let (Some(&(fa, ia)), Some(&(fb, ib))) =
-            (region_pos.get(&a.id), region_pos.get(&b.id))
+        let (Some(&(fa, ia)), Some(&(fb, ib))) = (region_pos.get(&a.id), region_pos.get(&b.id))
         else {
             continue; // region lost during generation
         };
@@ -60,11 +57,17 @@ pub fn evaluate_recovery(sim: &SimInstance, solution: &MatchSet) -> RecoveryRepo
             hit += 1;
         }
     }
-    let pair_recall = if total == 0 { 1.0 } else { hit as f64 / total as f64 };
+    let pair_recall = if total == 0 {
+        1.0
+    } else {
+        hit as f64 / total as f64
+    };
 
     // --- order / orientation -------------------------------------------
     // The layout gives each fragment a span position and a flip.
-    let pair = LayoutBuilder::new(inst, &DpAligner).layout(solution).expect("consistent");
+    let pair = LayoutBuilder::new(inst, &DpAligner)
+        .layout(solution)
+        .expect("consistent");
     let mut span: HashMap<FragId, (usize, bool)> = HashMap::new();
     for p in pair.h_row.placed.iter().chain(pair.m_row.placed.iter()) {
         span.insert(p.frag, (p.span_start, p.reversed));
@@ -125,8 +128,16 @@ pub fn evaluate_recovery(sim: &SimInstance, solution: &MatchSet) -> RecoveryRepo
 
     RecoveryReport {
         pair_recall,
-        order_accuracy: if compared == 0 { 1.0 } else { order_ok as f64 / compared as f64 },
-        orient_accuracy: if compared == 0 { 1.0 } else { orient_ok as f64 / compared as f64 },
+        order_accuracy: if compared == 0 {
+            1.0
+        } else {
+            order_ok as f64 / compared as f64
+        },
+        orient_accuracy: if compared == 0 {
+            1.0
+        } else {
+            orient_ok as f64 / compared as f64
+        },
         islands: report.islands.len(),
         compared_pairs: compared,
     }
@@ -159,7 +170,10 @@ mod tests {
 
     #[test]
     fn empty_solution_scores_zero_recall() {
-        let sim = generate(&SimConfig { seed: 9, ..SimConfig::default() });
+        let sim = generate(&SimConfig {
+            seed: 9,
+            ..SimConfig::default()
+        });
         let rep = evaluate_recovery(&sim, &fragalign_model::MatchSet::new());
         assert_eq!(rep.pair_recall, 0.0);
         assert_eq!(rep.islands, 0);

@@ -13,12 +13,8 @@
 //!   optimum solution forward and back, demonstrating the
 //!   score-preservation properties.
 
-use fragalign::core::csop::{
-    csop_solution_to_mis, mis_to_csop_solution, reduce_mis_to_csop,
-};
-use fragalign::core::ucsr::{
-    map_solution_back, map_solution_forward, pairs_score, reduce_to_ucsr,
-};
+use fragalign::core::csop::{csop_solution_to_mis, mis_to_csop_solution, reduce_mis_to_csop};
+use fragalign::core::ucsr::{map_solution_back, map_solution_forward, pairs_score, reduce_to_ucsr};
 use fragalign::graph::{dirac_relabel, max_independent_set, random_regular};
 use fragalign::model::Sym;
 
@@ -27,9 +23,17 @@ fn main() {
     println!("== Theorem 2: 3-MIS → CSoP ==");
     let g0 = random_regular(10, 3, 42);
     let (g, _) = dirac_relabel(&g0, 42);
-    println!("3-regular graph: {} nodes, {} edges", g.len(), g.edge_count());
+    println!(
+        "3-regular graph: {} nodes, {} edges",
+        g.len(),
+        g.edge_count()
+    );
     let inst = reduce_mis_to_csop(&g);
-    println!("CSoP instance: {} elements, {} pairs", inst.universe(), inst.pairs.len());
+    println!(
+        "CSoP instance: {} elements, {} pairs",
+        inst.universe(),
+        inst.pairs.len()
+    );
 
     let w = max_independent_set(&g);
     let n = g.len() / 2;
@@ -37,14 +41,21 @@ fn main() {
 
     let u = mis_to_csop_solution(&g, &w);
     assert!(inst.is_feasible(&u));
-    println!("forward map gives feasible U with |U| = {} = 5n + |W*| = {}", u.len(), 5 * n + w.len());
+    println!(
+        "forward map gives feasible U with |U| = {} = 5n + |W*| = {}",
+        u.len(),
+        5 * n + w.len()
+    );
 
     let u_star = inst.solve_exact();
     println!("exact CSoP optimum |U*| = {}", u_star.len());
     assert_eq!(u_star.len(), 5 * n + w.len());
 
     let w_back = csop_solution_to_mis(&g, &inst.normalize(&u_star));
-    println!("backward map recovers independent set of size {}", w_back.len());
+    println!(
+        "backward map recovers independent set of size {}",
+        w_back.len()
+    );
     assert_eq!(w_back.len(), w.len());
 
     // ---- Lemma 1: CSR → UCSR -------------------------------------------
@@ -61,8 +72,11 @@ fn main() {
         // The paper's optimum as aligned pairs: (a,s), (c,u), (d^R,v).
         let al = &csr.alphabet;
         let sym = |nm: &str| Sym::fwd(al.get(nm).unwrap());
-        let pairs =
-            vec![(sym("a"), sym("s")), (sym("c"), sym("u")), (sym("d").reversed(), sym("v"))];
+        let pairs = vec![
+            (sym("a"), sym("s")),
+            (sym("c"), sym("u")),
+            (sym("d").reversed(), sym("v")),
+        ];
         let csr_score = pairs_score(&csr, &pairs);
 
         let f = map_solution_forward(&red, &pairs);

@@ -62,7 +62,12 @@ fn main() {
     b.score("b", "dR", 5);
     let conflicted = b.build();
     let bad = MatchSet::from_matches(vec![
-        Match::new(Site::new(FragId::h(0), 0, 1), Site::new(FragId::m(0), 0, 1), Orient::Same, 5),
+        Match::new(
+            Site::new(FragId::h(0), 0, 1),
+            Site::new(FragId::m(0), 0, 1),
+            Orient::Same,
+            5,
+        ),
         Match::new(
             Site::new(FragId::h(0), 2, 3),
             Site::new(FragId::m(0), 1, 2),

@@ -35,18 +35,26 @@ fn big_words(len: usize) -> (ScoreTable, Vec<Sym>, Vec<Sym>) {
         }
     }
     let u: Vec<Sym> = (0..len).map(|_| Sym::fwd((next() % 32) as u32)).collect();
-    let v: Vec<Sym> = (0..len).map(|_| Sym::fwd(1000 + (next() % 32) as u32)).collect();
+    let v: Vec<Sym> = (0..len)
+        .map(|_| Sym::fwd(1000 + (next() % 32) as u32))
+        .collect();
     (t, u, v)
 }
 
 fn main() {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     println!("available cores: {cores}");
 
     // ---- wavefront DP --------------------------------------------------
     let (t, u, v) = big_words(1500);
     let sequential = p_score(&t, &u, &v);
-    println!("\n== wavefront P_score on {}×{} regions ==", u.len(), v.len());
+    println!(
+        "\n== wavefront P_score on {}×{} regions ==",
+        u.len(),
+        v.len()
+    );
     println!("threads  time(ms)  speedup");
     for point in speedup_sweep(cores, || p_score_wavefront(&t, &u, &v)) {
         println!(
@@ -74,7 +82,11 @@ fn main() {
     while t_count <= cores {
         let inst = sim.instance.clone();
         let (res, elapsed) = with_threads(t_count, move || csr_improve(&inst, false).score);
-        println!("{:>7}  {:>8.1}  {res}", t_count, elapsed.as_secs_f64() * 1e3);
+        println!(
+            "{:>7}  {:>8.1}  {res}",
+            t_count,
+            elapsed.as_secs_f64() * 1e3
+        );
         scores.push(res);
         t_count *= 2;
     }

@@ -18,8 +18,11 @@ fn main() {
     println!("== instance ==");
     for (tag, frags) in [("H", &instance.h), ("M", &instance.m)] {
         for f in frags {
-            let regions: Vec<String> =
-                f.regions.iter().map(|&s| instance.alphabet.render(s)).collect();
+            let regions: Vec<String> = f
+                .regions
+                .iter()
+                .map(|&s| instance.alphabet.render(s))
+                .collect();
             println!("  {tag} {}: ⟨{}⟩", f.name, regions.join(", "));
         }
     }
@@ -48,9 +51,15 @@ fn main() {
         .layout(&improve.matches)
         .expect("solver output is consistent");
     println!("{}", layout.render(&instance));
-    println!("\nlayout score: {} (paper's optimum: 11)", layout.score(&instance));
+    println!(
+        "\nlayout score: {} (paper's optimum: 11)",
+        layout.score(&instance)
+    );
 
     for (id, m) in improve.matches.iter() {
-        println!("  match #{id}: {:?} ~ {:?} ({:?}, score {})", m.h, m.m, m.orient, m.score);
+        println!(
+            "  match #{id}: {:?} ~ {:?} ({:?}, score {})",
+            m.h, m.m, m.orient, m.score
+        );
     }
 }

@@ -1,0 +1,226 @@
+//! Offline shim of the `criterion` API surface used by this
+//! workspace (see `shims/README.md`). The bench files compile
+//! unchanged; `cargo bench` runs every registered closure a handful
+//! of times and reports a single wall-clock figure per benchmark —
+//! a smoke-run rather than a statistical harness. Swapping in real
+//! criterion later only changes the manifest.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// How many timed iterations the shim runs per benchmark.
+const SHIM_ITERS: u32 = 3;
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form, rendered as the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Throughput annotation (recorded, displayed alongside timings).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    elapsed_nanos: u128,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Time `routine` over the shim's fixed iteration count.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..SHIM_ITERS {
+            black_box(routine());
+        }
+        self.elapsed_nanos = start.elapsed().as_nanos();
+        self.iters = SHIM_ITERS;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Statistical sample size (recorded but unused by the shim).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measurement time (recorded but unused by the shim).
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&full, self.throughput, |b| f(b));
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion
+            .run_one(&full, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(name, None, |b| f(b));
+        self
+    }
+
+    fn run_one(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        let mut bencher = Bencher {
+            elapsed_nanos: 0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        let per_iter = bencher.elapsed_nanos / bencher.iters.max(1) as u128;
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) if per_iter > 0 => {
+                format!("  ({:.1} Melem/s)", n as f64 * 1e3 / per_iter as f64)
+            }
+            Some(Throughput::Bytes(n)) if per_iter > 0 => {
+                format!(
+                    "  ({:.1} MiB/s)",
+                    n as f64 * 1e9 / (per_iter as f64 * 1024.0 * 1024.0)
+                )
+            }
+            _ => String::new(),
+        };
+        println!("bench {id:<40} {per_iter:>12} ns/iter{rate}");
+    }
+}
+
+/// Group benchmark functions under one registration function,
+/// mirroring criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(64));
+        group.bench_function("sum", |b| b.iter(|| (0..64u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,119 @@
+//! Offline shim of the `crossbeam` API surface used by this workspace
+//! (see `shims/README.md`): bounded MPMC-ish channels over
+//! `std::sync::mpsc::sync_channel` and scoped threads over
+//! `std::thread::scope`. Unlike the sequential rayon shim, this one is
+//! genuinely concurrent — `fragalign-par`'s pipeline really overlaps
+//! its producer and consumer.
+
+use std::any::Any;
+
+pub mod channel {
+    //! Bounded channels with crossbeam's `bounded` constructor.
+
+    use std::sync::mpsc::{Receiver as StdReceiver, SyncSender};
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Sending half of a bounded channel.
+    pub struct Sender<T>(SyncSender<T>);
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T>(StdReceiver<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the value is enqueued; `Err` when disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block for the next value; `Err` when empty and disconnected.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Iterate until every sender is dropped.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = std::sync::mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// A channel holding at most `cap` in-flight values.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+/// Handle for spawning threads inside a [`scope`] call. Mirrors
+/// crossbeam's scope type, whose spawn closures receive the scope
+/// again for nested spawning.
+pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread; it is joined when the scope ends.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.0;
+        self.0.spawn(move || f(&Scope(inner)))
+    }
+}
+
+/// Create a scope in which borrowing, auto-joined threads can be
+/// spawned. Returns `Ok` with the closure's value; a child-thread
+/// panic propagates as a panic at the end of the scope (crossbeam
+/// would return `Err` instead — every call site here unwraps, so the
+/// observable behaviour matches).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope(s))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn producer_consumer_roundtrip() {
+        let (tx, rx) = channel::bounded(4);
+        let sum = scope(|s| {
+            s.spawn(move |_| {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            rx.iter().sum::<i64>()
+        })
+        .unwrap();
+        assert_eq!(sum, 4950);
+    }
+
+    #[test]
+    fn nested_spawn_compiles() {
+        let done = scope(|s| {
+            let h = s.spawn(|inner| inner.spawn(|_| 7).join().unwrap());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(done, 7);
+    }
+}

@@ -1,0 +1,194 @@
+//! Offline shim of the `rayon` API surface used by this workspace.
+//!
+//! The build container has no reachable crate registry (see
+//! `shims/README.md`), so `par_iter` / `into_par_iter` /
+//! `par_iter_mut` here hand back the corresponding *sequential*
+//! iterators, and the rayon-only combinators (`with_min_len`,
+//! `reduce_with`, `reduce`) are provided as extension methods on every
+//! `Iterator`. All call sites in the workspace are deterministic
+//! reductions, so the sequential semantics are observationally
+//! identical; only the speedup disappears. Swapping in real rayon
+//! later is a manifest change, not a code change.
+
+/// A stand-in thread pool: jobs run inline on the calling thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `job` "on the pool" (directly, in this shim) and return its
+    /// result.
+    pub fn install<R>(&self, job: impl FnOnce() -> R) -> R {
+        job()
+    }
+
+    /// The configured worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Error produced by [`ThreadPoolBuilder::build`] (never, in this shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool construction failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request `threads` workers.
+    pub fn num_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Build the pool (infallible in this shim).
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: self.threads.max(1),
+        })
+    }
+}
+
+/// The number of threads in the implicit global pool (always 1 here).
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Run two closures, nominally in parallel (sequentially here).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+pub mod prelude {
+    //! Traits that make `par_iter`-style calls resolve to sequential
+    //! iterators. `use rayon::prelude::*` at a call site behaves like
+    //! the real crate.
+
+    /// By-value conversion: `into_par_iter` on anything iterable.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// The (sequential) iterator standing in for a parallel one.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator> IntoParallelIterator for T {}
+
+    /// By-shared-reference conversion: `par_iter`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Iterator over `&Item`.
+        type Iter: Iterator;
+        /// Sequential stand-in for `par_iter`.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// By-mutable-reference conversion: `par_iter_mut`.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// Iterator over `&mut Item`.
+        type Iter: Iterator;
+        /// Sequential stand-in for `par_iter_mut`.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+    where
+        &'data mut C: IntoIterator,
+    {
+        type Iter = <&'data mut C as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Rayon-only combinators, grafted onto every iterator so chains
+    /// like `.par_iter().enumerate().filter_map(..).reduce_with(..)`
+    /// type-check unchanged.
+    pub trait ParallelIterator: Iterator + Sized {
+        /// Chunking hint; a no-op sequentially.
+        fn with_min_len(self, _min: usize) -> Self {
+            self
+        }
+
+        /// Rayon's `reduce_with`: fold all items with `op`, `None` when
+        /// empty.
+        fn reduce_with<F>(self, op: F) -> Option<Self::Item>
+        where
+            F: Fn(Self::Item, Self::Item) -> Self::Item,
+        {
+            Iterator::reduce(self, op)
+        }
+    }
+
+    impl<I: Iterator> ParallelIterator for I {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chains_behave_sequentially() {
+        let v = vec![3, 1, 4, 1, 5];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
+        assert_eq!((0..1000i64).into_par_iter().sum::<i64>(), 499_500);
+        let best = v
+            .par_iter()
+            .enumerate()
+            .filter_map(|(i, &x)| (x > 1).then_some((x, i)))
+            .reduce_with(|a, b| if b.0 > a.0 { b } else { a });
+        assert_eq!(best, Some((5, 4)));
+    }
+
+    #[test]
+    fn par_iter_mut_writes_through() {
+        let mut v = vec![0usize; 8];
+        v.par_iter_mut()
+            .with_min_len(4)
+            .enumerate()
+            .for_each(|(i, cell)| *cell = i * i);
+        assert_eq!(v[7], 49);
+    }
+
+    #[test]
+    fn pool_installs_inline() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(|| 21 * 2), 42);
+        assert_eq!(pool.current_num_threads(), 4);
+    }
+}

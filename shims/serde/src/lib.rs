@@ -1,0 +1,305 @@
+//! Offline shim of the `serde` API surface used by this workspace.
+//!
+//! The build container has no reachable crate registry (see
+//! `shims/README.md`), so this crate implements a small
+//! tree-structured data model ([`Value`]) with [`Serialize`] /
+//! [`Deserialize`] traits that convert to and from it, plus derive
+//! macros re-exported from the sibling `serde_derive` proc-macro
+//! crate. The derive supports what the model crate needs: named
+//! structs, unit and newtype enum variants, `#[serde(skip)]` on
+//! fields, and `#[serde(from = "T", into = "T")]` on containers.
+//! `serde_json` (also shimmed) prints and parses [`Value`] as JSON
+//! with the same externally-tagged conventions real serde uses, so
+//! instance files stay interchangeable with a future switch to the
+//! real crates.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every type serializes into.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON booleans.
+    Bool(bool),
+    /// Integers (covers every integer type the workspace serializes).
+    Int(i64),
+    /// Floating-point numbers.
+    Float(f64),
+    /// Strings.
+    Str(String),
+    /// Arrays.
+    Array(Vec<Value>),
+    /// Objects as ordered key–value pairs (insertion order preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object member lookup by key (linear; objects here are tiny).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The object pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Errors produced while deserializing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error with an arbitrary message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(field: &str) -> Self {
+        Error::custom(format!("missing field `{field}`"))
+    }
+
+    /// An enum tag did not name a known variant.
+    pub fn unknown_variant(variant: &str) -> Self {
+        Error::custom(format!("unknown variant `{variant}`"))
+    }
+
+    /// The value had the wrong shape.
+    pub fn expected(what: &str) -> Self {
+        Error::custom(format!("expected {what}"))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the [`Value`] data model.
+pub trait Serialize {
+    /// Serialize `self` as a [`Value`] tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Conversion out of the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a [`Value`] tree.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("bool")),
+        }
+    }
+}
+
+macro_rules! impl_int_deserialize {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error::expected(concat!("integer in range of ", stringify!($t)))),
+                    _ => Err(Error::expected("integer")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int_deserialize!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_signed_serialize {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+impl_signed_serialize!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned_serialize {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                // The shim Value has no u64 arm; wrapping to a negative
+                // integer would silently corrupt the wire format, so
+                // oversized values fail loudly instead.
+                Value::Int(i64::try_from(*self).expect(
+                    concat!(stringify!($t), " value exceeds i64::MAX: unrepresentable in shim serde"),
+                ))
+            }
+        }
+    )*};
+}
+
+impl_unsigned_serialize!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Float(x) => Ok(*x as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    _ => Err(Error::expected("number")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::expected("string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(Deserialize::deserialize).collect(),
+            _ => Err(Error::expected("array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.serialize(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($n:expr => $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array().ok_or_else(|| Error::expected("tuple array"))?;
+                if items.len() != $n {
+                    return Err(Error::expected(concat!("array of length ", stringify!($n))));
+                }
+                Ok(($($t::deserialize(&items[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(1 => A.0);
+impl_tuple!(2 => A.0, B.1);
+impl_tuple!(3 => A.0, B.1, C.2);
+impl_tuple!(4 => A.0, B.1, C.2, D.3);
+impl_tuple!(5 => A.0, B.1, C.2, D.3, E.4);
+impl_tuple!(6 => A.0, B.1, C.2, D.3, E.4, F.5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::deserialize(&42u32.serialize()), Ok(42));
+        assert_eq!(i64::deserialize(&(-7i64).serialize()), Ok(-7));
+        assert_eq!(bool::deserialize(&true.serialize()), Ok(true));
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1u32, true), (2, false)];
+        assert_eq!(Vec::<(u32, bool)>::deserialize(&v.serialize()), Ok(v));
+        let o: Option<u8> = None;
+        assert_eq!(Option::<u8>::deserialize(&o.serialize()), Ok(None));
+    }
+
+    #[test]
+    fn out_of_range_int_rejected() {
+        assert!(u8::deserialize(&Value::Int(300)).is_err());
+    }
+}

@@ -1,0 +1,439 @@
+//! Offline shim of serde's `#[derive(Serialize, Deserialize)]`.
+//!
+//! Hand-rolled over `proc_macro` alone — the container has no crate
+//! registry, so `syn`/`quote` are unavailable (see `shims/README.md`).
+//! Supported item shapes are exactly what this workspace derives on:
+//!
+//! * structs with named fields, honouring `#[serde(skip)]` (skipped on
+//!   serialize, `Default::default()` on deserialize);
+//! * enums with unit variants (serialized as the variant-name string)
+//!   and newtype variants (externally tagged single-entry object),
+//!   matching real serde's JSON conventions;
+//! * the container attribute `#[serde(from = "T", into = "T")]`.
+//!
+//! Anything else (generics, tuple structs, struct variants) panics at
+//! derive time with a pointed message rather than miscompiling.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    item.impl_serialize()
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    item.impl_deserialize()
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+/// A named struct field.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+/// An enum variant: unit, or newtype with one payload type.
+struct Variant {
+    name: String,
+    newtype: bool,
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+    /// `#[serde(from = "..")]` type path, if present.
+    from: Option<String>,
+    /// `#[serde(into = "..")]` type path, if present.
+    into: Option<String>,
+}
+
+/// Attributes collected from a `#[...]` prefix: the serde ones, parsed.
+#[derive(Default)]
+struct SerdeAttrs {
+    skip: bool,
+    from: Option<String>,
+    into: Option<String>,
+}
+
+/// Consume a run of leading `#[...]` attributes from `tokens`
+/// (starting at `*i`), folding any `#[serde(...)]` contents into the
+/// returned record.
+fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        let Some(TokenTree::Group(g)) = tokens.get(*i + 1) else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        parse_serde_attr(&g.stream().into_iter().collect::<Vec<_>>(), &mut attrs);
+        *i += 2;
+    }
+    attrs
+}
+
+/// If `body` is `serde ( ... )`, record its directives.
+fn parse_serde_attr(body: &[TokenTree], attrs: &mut SerdeAttrs) {
+    match (body.first(), body.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let mut j = 0;
+            while j < inner.len() {
+                match &inner[j] {
+                    TokenTree::Ident(word) => {
+                        let word = word.to_string();
+                        // `name = "value"` directives
+                        if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                            (inner.get(j + 1), inner.get(j + 2))
+                        {
+                            if eq.as_char() == '=' {
+                                let raw = lit.to_string();
+                                let path = raw.trim_matches('"').to_string();
+                                match word.as_str() {
+                                    "from" => attrs.from = Some(path),
+                                    "into" => attrs.into = Some(path),
+                                    other => panic!(
+                                        "serde shim derive: unsupported attribute `{other} = ...`"
+                                    ),
+                                }
+                                j += 3;
+                                continue;
+                            }
+                        }
+                        match word.as_str() {
+                            "skip" => attrs.skip = true,
+                            other => {
+                                panic!("serde shim derive: unsupported attribute `{other}`")
+                            }
+                        }
+                        j += 1;
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' => j += 1,
+                    other => panic!("serde shim derive: unexpected attribute token `{other}`"),
+                }
+            }
+        }
+        _ => {} // non-serde attribute (docs, derives, ...)
+    }
+}
+
+/// Skip an optional `pub` / `pub(...)` visibility prefix.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+impl Item {
+    fn parse(input: TokenStream) -> Item {
+        let tokens: Vec<TokenTree> = input.into_iter().collect();
+        let mut i = 0;
+        let container = take_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde shim derive: expected `struct` or `enum`, got {other:?}"),
+        };
+        i += 1;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde shim derive: expected item name, got {other:?}"),
+        };
+        i += 1;
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '<' {
+                panic!("serde shim derive: generic type `{name}` is not supported");
+            }
+        }
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!(
+                "serde shim derive: `{name}` must have a brace-delimited body \
+                 (tuple structs unsupported), got {other:?}"
+            ),
+        };
+        let shape = match kind.as_str() {
+            "struct" => Shape::Struct(parse_named_fields(body)),
+            "enum" => Shape::Enum(parse_variants(body)),
+            other => panic!("serde shim derive: unsupported item kind `{other}`"),
+        };
+        Item {
+            name,
+            shape,
+            from: container.from,
+            into: container.into,
+        }
+    }
+
+    fn impl_serialize(&self) -> String {
+        let name = &self.name;
+        if let Some(into) = &self.into {
+            return format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         let wire: {into} = ::std::convert::Into::into(\
+                             ::std::clone::Clone::clone(self));\n\
+                         ::serde::Serialize::serialize(&wire)\n\
+                     }}\n\
+                 }}"
+            );
+        }
+        let body = match &self.shape {
+            Shape::Struct(fields) => {
+                let pushes: String = fields
+                    .iter()
+                    .filter(|f| !f.skip)
+                    .map(|f| {
+                        format!(
+                            "fields.push((\"{0}\".to_string(), \
+                             ::serde::Serialize::serialize(&self.{0})));\n",
+                            f.name
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                     = ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(fields)"
+                )
+            }
+            Shape::Enum(variants) => {
+                let arms: String = variants
+                    .iter()
+                    .map(|v| {
+                        let vn = &v.name;
+                        if v.newtype {
+                            format!(
+                                "{name}::{vn}(inner) => ::serde::Value::Object(vec![(\
+                                 \"{vn}\".to_string(), \
+                                 ::serde::Serialize::serialize(inner))]),\n"
+                            )
+                        } else {
+                            format!("{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n")
+                        }
+                    })
+                    .collect();
+                format!("match self {{\n{arms}}}")
+            }
+        };
+        format!(
+            "#[automatically_derived]\n\
+             impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n\
+             }}"
+        )
+    }
+
+    fn impl_deserialize(&self) -> String {
+        let name = &self.name;
+        if let Some(from) = &self.from {
+            return format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let wire: {from} = ::serde::Deserialize::deserialize(v)?;\n\
+                         ::std::result::Result::Ok(::std::convert::From::from(wire))\n\
+                     }}\n\
+                 }}"
+            );
+        }
+        let body = match &self.shape {
+            Shape::Struct(fields) => {
+                let inits: String = fields
+                    .iter()
+                    .map(|f| {
+                        if f.skip {
+                            format!("{}: ::std::default::Default::default(),\n", f.name)
+                        } else {
+                            format!(
+                                "{0}: match v.get(\"{0}\") {{\n\
+                                     ::std::option::Option::Some(x) => \
+                                     ::serde::Deserialize::deserialize(x)?,\n\
+                                     ::std::option::Option::None => return \
+                                     ::std::result::Result::Err(\
+                                     ::serde::Error::missing_field(\"{0}\")),\n\
+                                 }},\n",
+                                f.name
+                            )
+                        }
+                    })
+                    .collect();
+                format!(
+                    "if v.as_object().is_none() {{\n\
+                         return ::std::result::Result::Err(\
+                         ::serde::Error::expected(\"object for struct {name}\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name} {{\n{inits}}})"
+                )
+            }
+            Shape::Enum(variants) => {
+                let unit_arms: String = variants
+                    .iter()
+                    .filter(|v| !v.newtype)
+                    .map(|v| {
+                        format!(
+                            "\"{0}\" => ::std::result::Result::Ok({name}::{0}),\n",
+                            v.name
+                        )
+                    })
+                    .collect();
+                let newtype_arms: String = variants
+                    .iter()
+                    .filter(|v| v.newtype)
+                    .map(|v| {
+                        format!(
+                            "\"{0}\" => ::std::result::Result::Ok({name}::{0}(\
+                             ::serde::Deserialize::deserialize(&entries[0].1)?)),\n",
+                            v.name
+                        )
+                    })
+                    .collect();
+                format!(
+                    "match v {{\n\
+                         ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                             {unit_arms}\
+                             other => ::std::result::Result::Err(\
+                             ::serde::Error::unknown_variant(other)),\n\
+                         }},\n\
+                         ::serde::Value::Object(entries) if entries.len() == 1 => \
+                         match entries[0].0.as_str() {{\n\
+                             {newtype_arms}\
+                             other => ::std::result::Result::Err(\
+                             ::serde::Error::unknown_variant(other)),\n\
+                         }},\n\
+                         _ => ::std::result::Result::Err(\
+                         ::serde::Error::expected(\"enum {name}\")),\n\
+                     }}"
+                )
+            }
+        };
+        format!(
+            "#[automatically_derived]\n\
+             impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+             }}"
+        )
+    }
+}
+
+/// Parse `{ field: Type, ... }` contents into field records.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde shim derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim derive: expected `:` after `{name}`, got {other:?}"),
+        }
+        // Consume the type: everything until a comma at angle-depth 0.
+        // Parenthesised and bracketed sub-parts arrive as single
+        // groups, so only `<`/`>` nesting needs tracking.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        fields.push(Field {
+            name,
+            skip: attrs.skip,
+        });
+    }
+    fields
+}
+
+/// Parse `{ Variant, Variant(Type), ... }` contents into variants.
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let _attrs = take_attrs(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde shim derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let mut newtype = false;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = 1 + g
+                    .stream()
+                    .into_iter()
+                    .filter(|t| {
+                        matches!(t, TokenTree::Punct(p)
+                        if p.as_char() == ',' && p.spacing() == proc_macro::Spacing::Alone)
+                    })
+                    .count();
+                // A trailing comma would overcount, but none of the
+                // workspace's newtype variants has one.
+                if arity != 1 {
+                    panic!(
+                        "serde shim derive: variant `{name}` has {arity} fields; \
+                         only unit and newtype variants are supported"
+                    );
+                }
+                newtype = true;
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde shim derive: struct variant `{name}` is not supported");
+            }
+            _ => {}
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, newtype });
+    }
+    variants
+}

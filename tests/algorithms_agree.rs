@@ -7,7 +7,10 @@ use fragalign::sim::SimConfig;
 
 fn small_instances() -> Vec<(String, Instance)> {
     let mut out = Vec::new();
-    out.push(("paper".to_owned(), fragalign::model::instance::paper_example()));
+    out.push((
+        "paper".to_owned(),
+        fragalign::model::instance::paper_example(),
+    ));
     for seed in 0..6u64 {
         let cfg = SimConfig {
             regions: 10,
@@ -21,7 +24,10 @@ fn small_instances() -> Vec<(String, Instance)> {
             seed,
             ..SimConfig::default()
         };
-        out.push((format!("sim{seed}"), fragalign::sim::generate(&cfg).instance));
+        out.push((
+            format!("sim{seed}"),
+            fragalign::sim::generate(&cfg).instance,
+        ));
     }
     out
 }
@@ -37,8 +43,7 @@ fn every_solver_is_consistent_on_every_instance() {
             ("border", border_improve(&inst, false).matches),
             ("csr", csr_improve(&inst, false).matches),
         ] {
-            check_consistency(&inst, &sol)
-                .unwrap_or_else(|e| panic!("{algo} on {name}: {e}"));
+            check_consistency(&inst, &sol).unwrap_or_else(|e| panic!("{algo} on {name}: {e}"));
         }
     }
 }
@@ -46,7 +51,14 @@ fn every_solver_is_consistent_on_every_instance() {
 #[test]
 fn guarantees_hold_against_exact() {
     for (name, inst) in small_instances() {
-        let exact = solve_exact(&inst, ExactLimits { max_frags: 4, max_regions: 40 }).score;
+        let exact = solve_exact(
+            &inst,
+            ExactLimits {
+                max_frags: 4,
+                max_regions: 40,
+            },
+        )
+        .score;
         if exact == 0 {
             continue;
         }
@@ -74,11 +86,7 @@ fn improvement_dominates_its_seed() {
     for (name, inst) in small_instances() {
         let four = solve_four_approx(&inst);
         let four_score = four.total_score();
-        let seeded = fragalign::core::improve::improve(
-            &inst,
-            ImproveConfig::default(),
-            four,
-        );
+        let seeded = fragalign::core::improve::improve(&inst, ImproveConfig::default(), four);
         assert!(
             seeded.score >= four_score,
             "{name}: seeding with 4-approx must not lose score"

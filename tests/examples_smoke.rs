@@ -1,0 +1,68 @@
+//! Compile-and-run smoke coverage for the examples.
+//!
+//! `cargo test` already *builds* every registered example; this test
+//! additionally *runs* each example binary (release or debug,
+//! whichever was just built alongside the test) so a panicking
+//! example fails CI rather than only a missing compile. The cheap
+//! quickstart is always exercised; the heavier ones are capped by the
+//! same harness timeout as everything else.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Locate a just-built example binary next to the test executable.
+fn example_bin(name: &str) -> Option<PathBuf> {
+    // target/<profile>/deps/<test> -> target/<profile>/examples/<name>
+    let mut dir = std::env::current_exe().ok()?;
+    dir.pop(); // strip test filename
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    let candidate = dir.join("examples").join(name);
+    candidate.exists().then_some(candidate)
+}
+
+fn run_example(name: &str) {
+    let Some(bin) = example_bin(name) else {
+        // The example was not built in this invocation's profile
+        // (e.g. `cargo test --test examples_smoke` alone); compiling
+        // it is already enforced by the target registration.
+        eprintln!("skipping {name}: binary not present in this profile");
+        return;
+    };
+    let output = Command::new(&bin)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn example {name} at {}: {e}", bin.display()));
+    assert!(
+        output.status.success(),
+        "example {name} exited with {:?}\nstdout:\n{}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}
+
+#[test]
+fn quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn orient_contigs_runs() {
+    run_example("orient_contigs");
+}
+
+#[test]
+fn hardness_gadgets_runs() {
+    run_example("hardness_gadgets");
+}
+
+#[test]
+fn genome_recovery_runs() {
+    run_example("genome_recovery");
+}
+
+#[test]
+fn parallel_speedup_runs() {
+    run_example("parallel_speedup");
+}

@@ -17,7 +17,9 @@ fn fig1_orient_order_inference() {
     let inst = b.build();
     let res = csr_improve(&inst, false);
     assert_eq!(res.score, 18, "both alignments are realisable together");
-    let layout = LayoutBuilder::new(&inst, &DpAligner).layout(&res.matches).unwrap();
+    let layout = LayoutBuilder::new(&inst, &DpAligner)
+        .layout(&res.matches)
+        .unwrap();
     let h = layout.placement(FragId::h(0)).unwrap();
     let m1 = layout.placement(FragId::m(0)).unwrap();
     let m2 = layout.placement(FragId::m(1)).unwrap();
@@ -52,8 +54,18 @@ fn fig2_fig4_running_example_optimum_11() {
 fn fig5_match_decomposition() {
     let inst = fragalign::model::instance::paper_example();
     let s = MatchSet::from_matches(vec![
-        Match::new(Site::new(FragId::h(0), 0, 2), Site::new(FragId::m(0), 0, 2), Orient::Same, 4),
-        Match::new(Site::new(FragId::h(0), 2, 3), Site::new(FragId::m(1), 0, 1), Orient::Same, 5),
+        Match::new(
+            Site::new(FragId::h(0), 0, 2),
+            Site::new(FragId::m(0), 0, 2),
+            Orient::Same,
+            4,
+        ),
+        Match::new(
+            Site::new(FragId::h(0), 2, 3),
+            Site::new(FragId::m(1), 0, 1),
+            Orient::Same,
+            5,
+        ),
         Match::new(
             Site::new(FragId::h(1), 0, 1),
             Site::new(FragId::m(1), 1, 2),
@@ -83,7 +95,12 @@ fn fig3_orientation_conflict_rejected() {
     b.score("b", "dR", 5);
     let inst = b.build();
     let bad = MatchSet::from_matches(vec![
-        Match::new(Site::new(FragId::h(0), 0, 1), Site::new(FragId::m(0), 0, 1), Orient::Same, 5),
+        Match::new(
+            Site::new(FragId::h(0), 0, 1),
+            Site::new(FragId::m(0), 0, 1),
+            Orient::Same,
+            5,
+        ),
         Match::new(
             Site::new(FragId::h(0), 2, 3),
             Site::new(FragId::m(0), 1, 2),
@@ -129,12 +146,18 @@ fn fig6_site_classification_precedence() {
     b.m_frag("m", &["w", "x"]);
     let inst = b.build();
     let h_len = inst.frag_len(FragId::h(0));
-    assert_eq!(Site::new(FragId::h(0), 0, 4).classify(h_len), SiteClass::Full);
+    assert_eq!(
+        Site::new(FragId::h(0), 0, 4).classify(h_len),
+        SiteClass::Full
+    );
     assert_eq!(
         Site::new(FragId::h(0), 0, 2).classify(h_len),
         SiteClass::Border(fragalign::model::End::Left)
     );
-    assert_eq!(Site::new(FragId::h(0), 1, 3).classify(h_len), SiteClass::Inner);
+    assert_eq!(
+        Site::new(FragId::h(0), 1, 3).classify(h_len),
+        SiteClass::Inner
+    );
     // Full site on one side ⇒ full match even though the other side is
     // a border site (ω2/ω3 vs ω1/ω4 in Fig. 6).
     let m = Match::new(

@@ -23,8 +23,9 @@ fn simulate_solve_layout_roundtrip() {
         check_consistency(&sim.instance, &res.matches).unwrap();
 
         // Layout realises exactly the matches' total score.
-        let layout =
-            LayoutBuilder::new(&sim.instance, &DpAligner).layout(&res.matches).unwrap();
+        let layout = LayoutBuilder::new(&sim.instance, &DpAligner)
+            .layout(&res.matches)
+            .unwrap();
         layout.validate(&sim.instance).unwrap();
         assert_eq!(layout.score(&sim.instance), res.score, "seed {seed}");
 
@@ -78,8 +79,16 @@ fn noise_free_instances_recover_order_and_orientation() {
         });
         let res = csr_improve(&sim.instance, false);
         let rep = evaluate_recovery(&sim, &res.matches);
-        assert!(rep.pair_recall >= 0.75, "seed {seed}: recall {}", rep.pair_recall);
-        assert!(rep.orient_accuracy >= 0.8, "seed {seed}: orient {}", rep.orient_accuracy);
+        assert!(
+            rep.pair_recall >= 0.75,
+            "seed {seed}: recall {}",
+            rep.pair_recall
+        );
+        assert!(
+            rep.orient_accuracy >= 0.8,
+            "seed {seed}: orient {}",
+            rep.orient_accuracy
+        );
     }
 }
 

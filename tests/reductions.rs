@@ -2,12 +2,8 @@
 //! Theorem 2 (CSoP), Theorem 3 (concatenation), and the ISP substrate
 //! guarantee feeding Corollary 1.
 
-use fragalign::core::csop::{
-    csop_solution_to_mis, mis_to_csop_solution, reduce_mis_to_csop,
-};
-use fragalign::core::ucsr::{
-    map_solution_back, map_solution_forward, pairs_score, reduce_to_ucsr,
-};
+use fragalign::core::csop::{csop_solution_to_mis, mis_to_csop_solution, reduce_mis_to_csop};
+use fragalign::core::ucsr::{map_solution_back, map_solution_forward, pairs_score, reduce_to_ucsr};
 use fragalign::graph::{dirac_relabel, is_independent_set, max_independent_set, random_regular};
 use fragalign::isp::{solve_exact as isp_exact, solve_tpa, Interval, IspInstance};
 use fragalign::model::Sym;
@@ -31,7 +27,9 @@ fn lemma1_roundtrip_on_simulated_instances() {
             let red = reduce_to_ucsr(inst, eps);
             // Use the solver's aligned pairs as the CSR solution.
             let res = csr_improve(inst, false);
-            let layout = LayoutBuilder::new(inst, &DpAligner).layout(&res.matches).unwrap();
+            let layout = LayoutBuilder::new(inst, &DpAligner)
+                .layout(&res.matches)
+                .unwrap();
             let mut pairs: Vec<(Sym, Sym)> = Vec::new();
             for col in &layout.columns {
                 if let (Some(hc), Some(mc)) = (col.h, col.m) {
@@ -111,8 +109,22 @@ fn theorem3_inequality_on_small_instances() {
             sigma: swapped.sigma.clone(),
             alphabet: swapped.alphabet.clone(),
         };
-        let opt_hm = solve_exact(&concat_m, ExactLimits { max_frags: 3, max_regions: 40 }).score;
-        let opt_mh = solve_exact(&concat_h, ExactLimits { max_frags: 3, max_regions: 40 }).score;
+        let opt_hm = solve_exact(
+            &concat_m,
+            ExactLimits {
+                max_frags: 3,
+                max_regions: 40,
+            },
+        )
+        .score;
+        let opt_mh = solve_exact(
+            &concat_h,
+            ExactLimits {
+                max_frags: 3,
+                max_regions: 40,
+            },
+        )
+        .score;
         assert!(
             opt_hm + opt_mh >= opt,
             "seed {seed}: {opt_hm} + {opt_mh} < {opt}"
