@@ -12,78 +12,99 @@
 
 use fragalign_model::{Score, ScoreTable, Sym};
 
-/// Banded `P_score` with half-width `band` around the rescaled
-/// diagonal. `band >= max(|u|, |v|)` degenerates to the exact DP.
-pub fn p_score_banded(sigma: &ScoreTable, u: &[Sym], v: &[Sym], band: usize) -> Score {
+/// The minimal half-width at which [`p_score_banded`] provably equals
+/// the full DP for *every* score table: the row-`i` window is
+/// `[center(i) − band, center(i) + band]` around the rescaled diagonal
+/// `center(i) = ⌊i·m/n⌋`, and `center(0) = 0`, so covering every
+/// column of every row (hence every DP cell) requires and suffices at
+/// `band = m = |v|`. With the window clamped to `[0, m]` the lossless
+/// fill visits exactly the same `(n+1)·(m+1)` cells as the full DP —
+/// losslessness costs nothing.
+pub fn lossless_band(_u_len: usize, v_len: usize) -> usize {
+    v_len
+}
+
+/// Out-of-band sentinel: small enough that `max` never picks it, large
+/// enough that adding a score cannot wrap.
+const NEG: Score = Score::MIN / 4;
+
+/// The banded recurrence over caller-provided window buffers. Row `i`'s
+/// window covers columns `max(0, c(i)−band) ..= min(m, c(i)+band)`
+/// where `c(i) = ⌊i·m/n⌋`; cells outside a row's window read as
+/// [`NEG`]. Every in-band cell is additionally floored at 0 (a
+/// ⊥-only prefix reaches any cell for free in the full DP), so the
+/// result is a lower bound of `P_score` for any band and equals it
+/// from [`lossless_band`] upward.
+pub(crate) fn fill_banded(
+    sigma: &ScoreTable,
+    u: &[Sym],
+    v: &[Sym],
+    band: usize,
+    prev: &mut Vec<Score>,
+    cur: &mut Vec<Score>,
+) -> Score {
     let n = u.len();
     let m = v.len();
-    if n == 0 || m == 0 {
-        return 0;
+    debug_assert!(n > 0 && m > 0, "caller handles empty words");
+    let center = |i: usize| -> usize { i * m / n };
+    let window = |i: usize| -> (usize, usize) {
+        let c = center(i);
+        (c.saturating_sub(band), (c + band).min(m))
+    };
+    // A window never exceeds min(2·band+1, m+1) cells.
+    let width = (2 * band + 1).min(m + 1);
+    if prev.len() < width {
+        prev.resize(width, 0);
     }
-    // Center of row i: the rescaled diagonal j ≈ i·m/n.
-    let center = |i: usize| -> i64 { ((i as i64) * (m as i64)) / (n as i64).max(1) };
-    let b = band as i64;
-    let width = (2 * b + 1) as usize;
-    // window[i] covers columns center(i)-b ..= center(i)+b clamped to
-    // [0, m]; store flat rows of `width` cells plus a sentinel value
-    // for out-of-band reads.
-    const NEG: Score = Score::MIN / 4;
-    let mut prev = vec![NEG; width + 2];
-    let mut cur = vec![NEG; width + 2];
-    // Row 0: M[0][j] = 0 inside the window.
-    {
-        let c0 = center(0);
-        for (w, cell) in prev.iter_mut().enumerate().take(width) {
-            let j = c0 - b + w as i64;
-            if (0..=m as i64).contains(&j) {
-                *cell = 0;
-            }
-        }
+    if cur.len() < width {
+        cur.resize(width, 0);
     }
+    // Row 0: base cells are 0 inside the window.
+    let (mut plo, mut phi) = window(0);
+    prev[..=(phi - plo)].fill(0);
     for i in 1..=n {
-        let ci = center(i);
-        let cp = center(i - 1);
-        for cell in cur.iter_mut() {
-            *cell = NEG;
-        }
-        for w in 0..width {
-            let j = ci - b + w as i64;
-            if !(0..=m as i64).contains(&j) {
-                continue;
-            }
-            // Base column: M[i][0] = 0.
+        let (lo, hi) = window(i);
+        let ui = u[i - 1];
+        for j in lo..=hi {
             if j == 0 {
-                cur[w] = 0;
+                cur[0] = 0; // base column
                 continue;
             }
-            let read_prev = |jj: i64| -> Score {
-                let idx = jj - (cp - b);
-                if (0..width as i64).contains(&idx) {
-                    prev[idx as usize]
+            let read_prev = |jj: usize| -> Score {
+                if (plo..=phi).contains(&jj) {
+                    prev[jj - plo]
                 } else {
                     NEG
                 }
             };
-            let diag = read_prev(j - 1).saturating_add(sigma.score(u[i - 1], v[j as usize - 1]));
+            let diag = read_prev(j - 1).saturating_add(sigma.score(ui, v[j - 1]));
             let up = read_prev(j);
-            let left = if w > 0 { cur[w - 1] } else { NEG };
-            let best = diag.max(up).max(left);
-            // Clamp to ≥ 0 only where a fresh start is legitimate: the
-            // full DP has M ≥ 0 everywhere because ⊥-only prefixes are
-            // free, and any cell can be reached by skipping.
-            cur[w] = best.max(0);
+            let left = if j > lo { cur[j - 1 - lo] } else { NEG };
+            cur[j - lo] = diag.max(up).max(left).max(0);
         }
-        std::mem::swap(&mut prev, &mut cur);
+        std::mem::swap(prev, cur);
+        (plo, phi) = (lo, hi);
     }
-    let last_idx = (m as i64) - (center(n) - b);
-    if (0..width as i64).contains(&last_idx) {
-        prev[last_idx as usize].max(0)
-    } else {
-        // The final cell fell outside the band; the best in-band value
-        // of the last row is still a valid lower bound (trailing
-        // symbols pair with ⊥).
-        prev.iter().copied().max().unwrap_or(0).max(0)
+    // center(n) = m, so the final cell (n, m) is always in band.
+    debug_assert!(phi == m && plo <= m);
+    prev[m - plo]
+}
+
+/// Banded `P_score` with half-width `band` around the rescaled
+/// diagonal: a lower bound of [`crate::p_score`] for every band, and
+/// exactly equal from [`lossless_band`] upward (in particular,
+/// `band ≥ |v|` is always exact). Row windows are clamped to the
+/// matrix, so the fill never costs more than the full DP. Allocates
+/// its two window rows per call; [`crate::DpWorkspace::p_score_banded`]
+/// is the reusing variant.
+pub fn p_score_banded(sigma: &ScoreTable, u: &[Sym], v: &[Sym], band: usize) -> Score {
+    if u.is_empty() || v.is_empty() {
+        return 0;
     }
+    let width = (2 * band + 1).min(v.len() + 1);
+    let mut prev = Vec::with_capacity(width);
+    let mut cur = Vec::with_capacity(width);
+    fill_banded(sigma, u, v, band, &mut prev, &mut cur)
 }
 
 #[cfg(test)]

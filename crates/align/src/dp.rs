@@ -100,8 +100,42 @@ impl DpMatrix {
     }
 }
 
+/// The rolling-row `P_score` recurrence over caller-provided buffers:
+/// `u` on the row axis, `v` on the column axis, `score(u_i, v_j)` as
+/// the column score. Buffers are grown as needed; on return, `prev`
+/// holds the final DP row (`P_score(u, v[..j])` at index `j`), which
+/// the interval oracle reads off wholesale.
+pub(crate) fn fill_rolling<F: Fn(Sym, Sym) -> Score>(
+    score: F,
+    u: &[Sym],
+    v: &[Sym],
+    prev: &mut Vec<Score>,
+    cur: &mut Vec<Score>,
+) -> Score {
+    let cols = v.len() + 1;
+    if prev.len() < cols {
+        prev.resize(cols, 0);
+    }
+    if cur.len() < cols {
+        cur.resize(cols, 0);
+    }
+    prev[..cols].fill(0);
+    for i in 1..=u.len() {
+        let ui = u[i - 1];
+        cur[0] = 0;
+        for j in 1..cols {
+            let s = score(ui, v[j - 1]);
+            cur[j] = (prev[j - 1] + s).max(prev[j]).max(cur[j - 1]);
+        }
+        std::mem::swap(prev, cur);
+    }
+    prev[cols - 1]
+}
+
 /// `P_score(u, v)` without keeping the matrix: two rolling rows,
 /// `O(min)` memory after choosing the shorter word as the column axis.
+/// Allocates per call; [`crate::DpWorkspace::p_score`] is the reusing
+/// variant.
 pub fn p_score(sigma: &ScoreTable, u: &[Sym], v: &[Sym]) -> Score {
     if u.is_empty() || v.is_empty() {
         return 0;
@@ -112,24 +146,13 @@ pub fn p_score(sigma: &ScoreTable, u: &[Sym], v: &[Sym]) -> Score {
     } else {
         (v, u, true)
     };
-    let cols = b.len() + 1;
-    let mut prev = vec![0 as Score; cols];
-    let mut cur = vec![0 as Score; cols];
-    for i in 1..=a.len() {
-        let ai = a[i - 1];
-        cur[0] = 0;
-        for j in 1..cols {
-            let bj = b[j - 1];
-            let s = if swapped {
-                sigma.score(bj, ai)
-            } else {
-                sigma.score(ai, bj)
-            };
-            cur[j] = (prev[j - 1] + s).max(prev[j]).max(cur[j - 1]);
-        }
-        std::mem::swap(&mut prev, &mut cur);
+    let mut prev = Vec::with_capacity(b.len() + 1);
+    let mut cur = Vec::with_capacity(b.len() + 1);
+    if swapped {
+        fill_rolling(|x, y| sigma.score(y, x), a, b, &mut prev, &mut cur)
+    } else {
+        fill_rolling(|x, y| sigma.score(x, y), a, b, &mut prev, &mut cur)
     }
-    prev[cols - 1]
 }
 
 /// Optimal alignment with traceback: `(score, columns)`.

@@ -15,10 +15,11 @@
 //! Reads take a shared lock; misses fill under a write lock. The
 //! oracle is `Sync` and shared across rayon workers.
 
-use crate::match_score::ms_sites;
-use fragalign_model::symbol::reverse_word;
-use fragalign_model::{FragId, Instance, Orient, Score, Site};
-use parking_lot::RwLock;
+use crate::dp::fill_rolling;
+use crate::workspace::DpWorkspace;
+use fragalign_model::symbol::reverse_word_in_place;
+use fragalign_model::{FragId, Instance, Orient, Score, Site, Sym};
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -73,6 +74,11 @@ pub struct OracleStats {
     pub pair_hits: AtomicU64,
     /// Site-pair scores computed.
     pub pair_misses: AtomicU64,
+    /// DP fills run through pooled workspaces.
+    pub dp_fills: AtomicU64,
+    /// Workspace buffer growth events — the allocations proxy. With
+    /// reuse on this converges; with reuse off it tracks `dp_fills`.
+    pub dp_reallocs: AtomicU64,
 }
 
 /// Shared, thread-safe score oracle over one instance.
@@ -81,18 +87,32 @@ pub struct ScoreOracle<'a> {
     tables: RwLock<HashMap<(FragId, FragId), Arc<IntervalTable>>>,
     pairs: RwLock<HashMap<(Site, Site), (Score, Orient)>>,
     oriented: RwLock<HashMap<(Site, Site, Orient), Score>>,
+    /// Warm DP buffers, one checked out per cache miss. Workers in a
+    /// parallel sweep each pop their own workspace, so fills never
+    /// serialise on this lock.
+    workspaces: Mutex<Vec<DpWorkspace>>,
+    reuse: bool,
     /// Hit/miss counters.
     pub stats: OracleStats,
 }
 
 impl<'a> ScoreOracle<'a> {
-    /// Create an empty oracle for `inst`.
+    /// Create an empty oracle for `inst` (workspace reuse on).
     pub fn new(inst: &'a Instance) -> Self {
+        Self::with_workspace_reuse(inst, true)
+    }
+
+    /// Create an oracle with workspace pooling switched on or off.
+    /// `reuse = false` restores the per-call-allocation behaviour —
+    /// kept as the measurable baseline for `exp_throughput`.
+    pub fn with_workspace_reuse(inst: &'a Instance, reuse: bool) -> Self {
         ScoreOracle {
             inst,
             tables: RwLock::new(HashMap::new()),
             pairs: RwLock::new(HashMap::new()),
             oriented: RwLock::new(HashMap::new()),
+            workspaces: Mutex::new(Vec::new()),
+            reuse,
             stats: OracleStats::default(),
         }
     }
@@ -102,92 +122,137 @@ impl<'a> ScoreOracle<'a> {
         self.inst
     }
 
+    /// Seed the workspace pool with an already-warm workspace. Batch
+    /// solvers hand each worker's workspace to successive instances'
+    /// oracles so buffers stay warm across the whole batch.
+    pub fn adopt_workspace(&self, ws: DpWorkspace) {
+        self.workspaces.lock().push(ws);
+    }
+
+    /// Take a workspace back out of the pool (empty pool yields a
+    /// fresh one). The counterpart of [`ScoreOracle::adopt_workspace`].
+    pub fn reclaim_workspace(&self) -> DpWorkspace {
+        self.workspaces.lock().pop().unwrap_or_default()
+    }
+
+    /// Check a workspace out of the pool, run `f`, return it, and fold
+    /// its fill/realloc deltas into the oracle stats.
+    fn with_pooled<R>(&self, f: impl FnOnce(&mut DpWorkspace) -> R) -> R {
+        let mut ws = if self.reuse {
+            self.workspaces.lock().pop().unwrap_or_default()
+        } else {
+            DpWorkspace::new()
+        };
+        let (fills0, reallocs0) = (ws.fills(), ws.reallocs());
+        let out = f(&mut ws);
+        self.stats
+            .dp_fills
+            .fetch_add(ws.fills() - fills0, Ordering::Relaxed);
+        self.stats
+            .dp_reallocs
+            .fetch_add(ws.reallocs() - reallocs0, Ordering::Relaxed);
+        if self.reuse {
+            self.workspaces.lock().push(ws);
+        }
+        out
+    }
+
     /// The interval table of whole-fragment `plug` against intervals of
     /// `container`. `plug` and `container` may be any two fragments of
     /// opposite species (either order); scores are computed with σ
-    /// applied H-side-first.
+    /// applied H-side-first. Thin wrapper over
+    /// [`ScoreOracle::interval_table_with`] using a pooled workspace.
     pub fn interval_table(&self, plug: FragId, container: FragId) -> Arc<IntervalTable> {
         if let Some(t) = self.tables.read().get(&(plug, container)) {
             self.stats.table_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(t);
         }
+        self.with_pooled(|ws| self.interval_table_with(plug, container, ws))
+    }
+
+    /// [`ScoreOracle::interval_table`] filling through a caller-owned
+    /// workspace on a miss.
+    pub fn interval_table_with(
+        &self,
+        plug: FragId,
+        container: FragId,
+        ws: &mut DpWorkspace,
+    ) -> Arc<IntervalTable> {
+        if let Some(t) = self.tables.read().get(&(plug, container)) {
+            self.stats.table_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(t);
+        }
         self.stats.table_misses.fetch_add(1, Ordering::Relaxed);
-        let table = Arc::new(self.build_table(plug, container));
+        let table = Arc::new(self.build_table(plug, container, ws));
         self.tables
             .write()
             .insert((plug, container), Arc::clone(&table));
         table
     }
 
-    fn build_table(&self, plug: FragId, container: FragId) -> IntervalTable {
+    fn build_table(&self, plug: FragId, container: FragId, ws: &mut DpWorkspace) -> IntervalTable {
         let u_raw = &self.inst.fragment(plug).regions;
         let w_raw = &self.inst.fragment(container).regions;
         let n = w_raw.len();
         let h_first = plug.species == fragalign_model::Species::H;
 
-        // score σ must see (H symbol, M symbol); build a closure-free
-        // shim by swapping words when the plug is the M fragment:
-        // P(u, w[d..e]) with σ(u_i, w_j) when h_first, else σ(w_j, u_i).
-        // DpMatrix applies σ(row, col), so put the H-side word on the
-        // row axis and transpose interval roles accordingly: intervals
-        // are always over `container`, which sits on the column axis
-        // when the plug is H, and on the row axis otherwise. To keep a
-        // single code path we compute with u on rows and re-key σ via a
-        // swapped score table when needed — instead, simpler: when the
-        // plug is the M side we swap arguments position-wise per cell
-        // using the reversed-keyed instance. The cheapest correct route:
-        // materialise σ' with swapped roles once per oracle would cost
-        // memory; we instead run the DP with `container` on columns and
-        // query σ in the right order through a small adapter.
+        // σ must see (H symbol, M symbol): when the plug is the M
+        // fragment the lookup roles are swapped per cell. The tables
+        // below are the oracle's *product* and stay heap-allocated;
+        // only the per-start DP rows and the reversed-pass scratch come
+        // from the workspace.
         let mut score_same = vec![0 as Score; (n + 1) * (n + 1)];
         let mut score_rev = vec![0 as Score; (n + 1) * (n + 1)];
-
-        // Same orientation: for each start d, one DP sweep over w[d..].
         let sigma = &self.inst.sigma;
-        let adapter = |a: fragalign_model::Sym, b: fragalign_model::Sym| {
-            if h_first {
-                sigma.score(a, b)
-            } else {
-                sigma.score(b, a)
-            }
-        };
-        // DpMatrix needs a ScoreTable; for the swapped case we run a
-        // local DP here instead of reusing DpMatrix.
-        let fill = |w: &[fragalign_model::Sym], out: &mut [Score]| {
+
+        // Same orientation: for each start d, one rolling DP sweep over
+        // w[d..]; the final row read off wholesale gives P(u, w[d..e])
+        // for every end e.
+        let sweep = |ws: &mut DpWorkspace, w: &[Sym], out: &mut [Score]| {
             for d in 0..=n {
-                // DP of u vs w[d..]: last row gives P(u, w[d..e]).
                 let v = &w[d.min(w.len())..];
-                let rows = u_raw.len() + 1;
-                let cols = v.len() + 1;
-                let mut prev = vec![0 as Score; cols];
-                let mut cur = vec![0 as Score; cols];
-                for i in 1..rows {
-                    cur[0] = 0;
-                    for j in 1..cols {
-                        let s = adapter(u_raw[i - 1], v[j - 1]);
-                        cur[j] = (prev[j - 1] + s).max(prev[j]).max(cur[j - 1]);
-                    }
-                    std::mem::swap(&mut prev, &mut cur);
+                ws.note_fill(v.len() + 1);
+                if h_first {
+                    fill_rolling(
+                        |a, b| sigma.score(a, b),
+                        u_raw,
+                        v,
+                        &mut ws.prev,
+                        &mut ws.cur,
+                    );
+                } else {
+                    fill_rolling(
+                        |a, b| sigma.score(b, a),
+                        u_raw,
+                        v,
+                        &mut ws.prev,
+                        &mut ws.cur,
+                    );
                 }
-                // prev now holds the last filled row (or the zero row
-                // when u is empty).
+                // ws.prev holds the last filled row (the zero row when
+                // u is empty).
                 for e in d..=n {
-                    out[d * (n + 1) + e] = prev[e - d];
+                    out[d * (n + 1) + e] = ws.prev[e - d];
                 }
             }
         };
-        fill(w_raw, &mut score_same);
+        sweep(ws, w_raw, &mut score_same);
 
         // Reversed orientation: (w[d..e])^R = w^R[n-e..n-d]; fill a
-        // table over w^R and re-index.
-        let w_rev = reverse_word(w_raw);
-        let mut rev_table = vec![0 as Score; (n + 1) * (n + 1)];
-        fill(&w_rev, &mut rev_table);
+        // table over w^R into the workspace grid and re-index.
+        let mut w_rev = std::mem::take(&mut ws.rev);
+        w_rev.clear();
+        w_rev.extend_from_slice(w_raw);
+        reverse_word_in_place(&mut w_rev);
+        let mut rev_table = ws.take_grid((n + 1) * (n + 1));
+        sweep(ws, &w_rev, &mut rev_table);
+        ws.rev = w_rev;
         for d in 0..=n {
             for e in d..=n {
                 score_rev[d * (n + 1) + e] = rev_table[(n - e) * (n + 1) + n - d];
             }
         }
+        ws.put_grid(rev_table);
 
         IntervalTable {
             n,
@@ -197,15 +262,30 @@ impl<'a> ScoreOracle<'a> {
     }
 
     /// `MS(h̄, m̄)` with memoisation. `h` must be an H-species site and
-    /// `m` an M-species site.
+    /// `m` an M-species site. Thin wrapper over
+    /// [`ScoreOracle::ms_with`] using a pooled workspace.
     pub fn ms(&self, h: Site, m: Site) -> (Score, Orient) {
+        if let Some(&v) = self.pairs.read().get(&(h, m)) {
+            self.stats.pair_hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        self.with_pooled(|ws| self.ms_with(h, m, ws))
+    }
+
+    /// [`ScoreOracle::ms`] filling through a caller-owned workspace on
+    /// a miss.
+    pub fn ms_with(&self, h: Site, m: Site, ws: &mut DpWorkspace) -> (Score, Orient) {
         let key = (h, m);
         if let Some(&v) = self.pairs.read().get(&key) {
             self.stats.pair_hits.fetch_add(1, Ordering::Relaxed);
             return v;
         }
         self.stats.pair_misses.fetch_add(1, Ordering::Relaxed);
-        let v = ms_sites(self.inst, h, m);
+        let v = ws.ms_words(
+            &self.inst.sigma,
+            self.inst.site_word(h),
+            self.inst.site_word(m),
+        );
         self.pairs.write().insert(key, v);
         v
     }
@@ -223,15 +303,32 @@ impl<'a> ScoreOracle<'a> {
 
     /// `P_score` under a pinned relative orientation, memoised. Border
     /// matches need this: their orientation is forced by the staircase
-    /// end condition, not free to maximise.
+    /// end condition, not free to maximise. Thin wrapper over
+    /// [`ScoreOracle::ms_oriented_with`] using a pooled workspace.
     pub fn ms_oriented(&self, h: Site, m: Site, orient: Orient) -> Score {
+        if let Some(&v) = self.oriented.read().get(&(h, m, orient)) {
+            self.stats.pair_hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        self.with_pooled(|ws| self.ms_oriented_with(h, m, orient, ws))
+    }
+
+    /// [`ScoreOracle::ms_oriented`] filling through a caller-owned
+    /// workspace on a miss.
+    pub fn ms_oriented_with(
+        &self,
+        h: Site,
+        m: Site,
+        orient: Orient,
+        ws: &mut DpWorkspace,
+    ) -> Score {
         let key = (h, m, orient);
         if let Some(&v) = self.oriented.read().get(&key) {
             self.stats.pair_hits.fetch_add(1, Ordering::Relaxed);
             return v;
         }
         self.stats.pair_misses.fetch_add(1, Ordering::Relaxed);
-        let v = crate::match_score::p_score_oriented(
+        let v = ws.p_score_oriented(
             &self.inst.sigma,
             self.inst.site_word(h),
             self.inst.site_word(m),
@@ -242,6 +339,7 @@ impl<'a> ScoreOracle<'a> {
     }
 
     /// Drop all cached entries (used by the cache ablation bench).
+    /// Pooled workspaces keep their warm buffers.
     pub fn clear(&self) {
         self.tables.write().clear();
         self.pairs.write().clear();

@@ -25,7 +25,8 @@ pub const WAVEFRONT_MIN_CHUNK: usize = 512;
 /// `P_score(u, v)` filled diagonal-by-diagonal with rayon.
 ///
 /// Falls back to the sequential kernel for small inputs where the
-/// fork/join overhead dominates.
+/// fork/join overhead dominates. Allocates its three diagonal buffers
+/// per call; [`p_score_wavefront_with`] reuses a workspace instead.
 pub fn p_score_wavefront(sigma: &ScoreTable, u: &[Sym], v: &[Sym]) -> Score {
     if u.is_empty() || v.is_empty() {
         return 0;
@@ -33,13 +34,50 @@ pub fn p_score_wavefront(sigma: &ScoreTable, u: &[Sym], v: &[Sym]) -> Score {
     if u.len() * v.len() < WAVEFRONT_CUTOFF_CELLS {
         return crate::dp::p_score(sigma, u, v);
     }
+    let mut prev2 = Vec::new();
+    let mut prev1 = Vec::new();
+    let mut cur = Vec::new();
+    wavefront_fill(sigma, u, v, &mut prev2, &mut prev1, &mut cur)
+}
+
+/// [`p_score_wavefront`] into a reused [`crate::DpWorkspace`]:
+/// bit-identical results, no per-call diagonal allocations.
+pub fn p_score_wavefront_with(
+    sigma: &ScoreTable,
+    u: &[Sym],
+    v: &[Sym],
+    ws: &mut crate::DpWorkspace,
+) -> Score {
+    if u.is_empty() || v.is_empty() {
+        return 0;
+    }
+    if u.len() * v.len() < WAVEFRONT_CUTOFF_CELLS {
+        return ws.p_score(sigma, u, v);
+    }
+    let (prev2, prev1, cur) = ws.diagonals(u.len() + 1);
+    wavefront_fill(sigma, u, v, prev2, prev1, cur)
+}
+
+/// The anti-diagonal sweep over caller-provided buffers (grown and
+/// zeroed here as needed).
+fn wavefront_fill(
+    sigma: &ScoreTable,
+    u: &[Sym],
+    v: &[Sym],
+    prev2: &mut Vec<Score>,
+    prev1: &mut Vec<Score>,
+    cur: &mut Vec<Score>,
+) -> Score {
     let n = u.len();
     let m = v.len();
     // Diagonal k holds cells (i, j) with i + j = k, 0 ≤ i ≤ n,
     // 0 ≤ j ≤ m; buffers are indexed by i.
-    let mut prev2 = vec![0 as Score; n + 1]; // diagonal k-2
-    let mut prev1 = vec![0 as Score; n + 1]; // diagonal k-1
-    let mut cur = vec![0 as Score; n + 1];
+    for buf in [&mut *prev2, &mut *prev1, &mut *cur] {
+        if buf.len() < n + 1 {
+            buf.resize(n + 1, 0);
+        }
+        buf[..=n].fill(0);
+    }
     for k in 2..=(n + m) {
         let lo = k.saturating_sub(m).max(1);
         let hi = (k - 1).min(n);
@@ -67,8 +105,8 @@ pub fn p_score_wavefront(sigma: &ScoreTable, u: &[Sym], v: &[Sym]) -> Score {
         if lo > 1 {
             cur[lo - 1] = 0;
         }
-        std::mem::swap(&mut prev2, &mut prev1);
-        std::mem::swap(&mut prev1, &mut cur);
+        std::mem::swap(prev2, prev1);
+        std::mem::swap(prev1, cur);
     }
     // After the final swap the last diagonal (k = n + m), which contains
     // only the cell (n, m), sits in prev1.

@@ -1,0 +1,433 @@
+//! Reusable DP workspaces.
+//!
+//! Every `P_score` fill needs two rolling rows (plus a reversed-word
+//! scratch for the orientation search, and a whole-table scratch for
+//! the oracle's reversed-interval re-indexing). Allocating those per
+//! call dominates the score oracle on the short region words the
+//! simulator produces, so a [`DpWorkspace`] owns the buffers and every
+//! kernel in this crate has an entry point that fills into it instead
+//! of allocating. The allocating free functions ([`crate::p_score`],
+//! [`crate::ms_words`], …) remain as thin per-call wrappers.
+//!
+//! Workspaces are deliberately `!Sync`: one per worker. The oracle
+//! keeps a pool of them and checks one out per cache miss, so shared
+//! oracles stay `Sync` without serialising fills.
+
+use crate::banded::fill_banded;
+use crate::dp::fill_rolling;
+use fragalign_model::symbol::reverse_word_in_place;
+use fragalign_model::{Orient, Score, ScoreTable, Sym};
+
+/// Geometry of the positive-σ cells of one DP matrix, measured in one
+/// `O(|σ| · (|u| + |v|))` scan (σ is sparse; the DP is `O(|u| · |v|)`
+/// hash lookups). Drives the oracle's two shortcuts:
+///
+/// * **early exit** — no positive cell means `P_score = 0` for both
+///   orientations: non-positive columns are never chosen, so the empty
+///   padding is optimal and no DP needs to run at all;
+/// * **provably lossless band** — every positive cell lies within
+///   `dev` of the rescaled diagonal, so a band of half-width
+///   `dev + ⌈m/n⌉ + 1` contains every positive cell, each cell's
+///   diagonal predecessor, and a monotone corridor connecting them to
+///   the base row and the final cell (consecutive row windows shift by
+///   at most `⌈m/n⌉` columns). The banded fill then equals the full
+///   DP, and the oracle selects it whenever the window is narrower
+///   than the full row.
+#[derive(Clone, Copy, Debug)]
+struct PositiveCells {
+    /// Whether any cell of the matrix can score positively.
+    any: bool,
+    /// Max deviation `|j − ⌊i·m/n⌋|` over positive cells, `v` forward.
+    dev_same: usize,
+    /// Same, with `v` reversed (column `j` ↦ `m − 1 − j`).
+    dev_rev: usize,
+}
+
+/// Scan the positive-σ cells of `u` × `v`. Conservative superset: the
+/// orientation flags of the occurrences are ignored (a cell whose ids
+/// match a positive entry counts even if its relative orientation
+/// would miss), which can only widen the band, never lose a cell.
+/// Callers must ensure `sigma.default_score <= 0` (otherwise *every*
+/// cell can be positive) and `u`, `v` non-empty.
+///
+/// Cost: `O(|σ| · |u|)` plus one `|v|` sweep per row occurrence plus
+/// the positive cells actually enumerated. Once both deviations
+/// already rule out every band (`dev > m/2` means the selected band
+/// could not beat the full row), the scan aborts — so repetitive
+/// words whose positive cells span the whole matrix cannot degenerate
+/// into an `O(|σ| · |u| · |v|)` pre-pass in front of the DP they fail
+/// to avoid.
+fn scan_positive_cells(sigma: &ScoreTable, u: &[Sym], v: &[Sym]) -> PositiveCells {
+    let n = u.len();
+    let m = v.len();
+    let mut out = PositiveCells {
+        any: false,
+        dev_same: 0,
+        dev_rev: 0,
+    };
+    // Beyond this deviation, `fill_exact` picks the rolling kernel for
+    // both orientations anyway: band = dev + ⌈m/n⌉ + 1 > m/2.
+    let hopeless = |c: &PositiveCells| c.any && c.dev_same * 2 > m && c.dev_rev * 2 > m;
+    for (a, b, _orient, s) in sigma.iter() {
+        if s <= 0 {
+            continue;
+        }
+        for (i, su) in u.iter().enumerate() {
+            if su.id != a {
+                continue;
+            }
+            let center = (i + 1) * m / n;
+            for (j, sv) in v.iter().enumerate() {
+                if sv.id != b {
+                    continue;
+                }
+                out.any = true;
+                out.dev_same = out.dev_same.max((j + 1).abs_diff(center));
+                out.dev_rev = out.dev_rev.max((m - j).abs_diff(center));
+            }
+            if hopeless(&out) {
+                return out;
+            }
+        }
+        if hopeless(&out) {
+            return out;
+        }
+    }
+    out
+}
+
+/// Arena-style buffers for the `P_score` kernels.
+///
+/// All methods leave the buffers grown to the largest problem seen so
+/// far; repeated fills of similar-sized words allocate nothing.
+#[derive(Debug, Default)]
+pub struct DpWorkspace {
+    /// Rolling DP row `i-1`; after a fill, holds the last row.
+    pub(crate) prev: Vec<Score>,
+    /// Rolling DP row `i`.
+    pub(crate) cur: Vec<Score>,
+    /// Third rolling buffer (wavefront diagonals).
+    pub(crate) aux: Vec<Score>,
+    /// Reversed-word scratch for orientation searches.
+    pub(crate) rev: Vec<Sym>,
+    /// Whole-table scratch for the oracle's reversed-interval pass.
+    pub(crate) grid: Vec<Score>,
+    fills: u64,
+    reallocs: u64,
+}
+
+impl DpWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of DP fills served by this workspace.
+    pub fn fills(&self) -> u64 {
+        self.fills
+    }
+
+    /// Number of buffer growth events — the allocations proxy reported
+    /// by `exp_throughput`. A per-call-allocation baseline performs one
+    /// (or more) allocation per fill; a warmed workspace performs none.
+    pub fn reallocs(&self) -> u64 {
+        self.reallocs
+    }
+
+    /// Reset the fill/realloc counters (buffers stay warm).
+    pub fn reset_stats(&mut self) {
+        self.fills = 0;
+        self.reallocs = 0;
+    }
+
+    /// Record a fill about to run with `cols` DP columns, growing the
+    /// two rolling rows if needed.
+    pub(crate) fn note_fill(&mut self, cols: usize) {
+        self.fills += 1;
+        if self.prev.len() < cols || self.cur.len() < cols {
+            self.reallocs += 1;
+        }
+    }
+
+    /// Count an impending growth of the wavefront's third buffer (the
+    /// sweep itself performs the resize).
+    fn note_aux(&mut self, len: usize) {
+        if self.aux.len() < len {
+            self.reallocs += 1;
+        }
+    }
+
+    /// `P_score(u, v)` into reused buffers; bit-identical to
+    /// [`crate::p_score`].
+    pub fn p_score(&mut self, sigma: &ScoreTable, u: &[Sym], v: &[Sym]) -> Score {
+        if u.is_empty() || v.is_empty() {
+            return 0;
+        }
+        // Shorter word on the column axis, exactly as the free function.
+        let (a, b, swapped) = if v.len() <= u.len() {
+            (u, v, false)
+        } else {
+            (v, u, true)
+        };
+        self.note_fill(b.len() + 1);
+        if swapped {
+            fill_rolling(
+                |x, y| sigma.score(y, x),
+                a,
+                b,
+                &mut self.prev,
+                &mut self.cur,
+            )
+        } else {
+            fill_rolling(
+                |x, y| sigma.score(x, y),
+                a,
+                b,
+                &mut self.prev,
+                &mut self.cur,
+            )
+        }
+    }
+
+    /// Banded `P_score` into reused buffers; bit-identical to
+    /// [`crate::p_score_banded`].
+    pub fn p_score_banded(
+        &mut self,
+        sigma: &ScoreTable,
+        u: &[Sym],
+        v: &[Sym],
+        band: usize,
+    ) -> Score {
+        if u.is_empty() || v.is_empty() {
+            return 0;
+        }
+        self.note_fill((2 * band + 1).min(v.len() + 1));
+        fill_banded(sigma, u, v, band, &mut self.prev, &mut self.cur)
+    }
+
+    /// Whether the positive-cell scan applies: with a positive default
+    /// score every cell can be positive and neither shortcut is sound.
+    #[inline]
+    fn can_scan(sigma: &ScoreTable) -> bool {
+        sigma.default_score <= 0
+    }
+
+    /// Run the provably exact fill for one orientation given the
+    /// positive-cell deviation `dev`: the banded kernel at half-width
+    /// `dev + ⌈m/n⌉ + 1` when that window is narrower than the full
+    /// row, the rolling kernel otherwise.
+    fn fill_exact(&mut self, sigma: &ScoreTable, u: &[Sym], v: &[Sym], dev: usize) -> Score {
+        let n = u.len();
+        let m = v.len();
+        let band = dev + m.div_ceil(n) + 1;
+        if 2 * band + 1 < m + 1 {
+            self.note_fill(2 * band + 1);
+            fill_banded(sigma, u, v, band, &mut self.prev, &mut self.cur)
+        } else {
+            self.p_score(sigma, u, v)
+        }
+    }
+
+    /// `P_score` choosing the cheapest provably exact route: early
+    /// exit when no cell can score positively, the lossless band when
+    /// the positive cells hug the rescaled diagonal, the plain rolling
+    /// fill otherwise. Always equals [`crate::p_score`].
+    pub fn p_score_auto(&mut self, sigma: &ScoreTable, u: &[Sym], v: &[Sym]) -> Score {
+        if u.is_empty() || v.is_empty() {
+            return 0;
+        }
+        if !Self::can_scan(sigma) {
+            return self.p_score(sigma, u, v);
+        }
+        let cells = scan_positive_cells(sigma, u, v);
+        if !cells.any {
+            return 0;
+        }
+        self.fill_exact(sigma, u, v, cells.dev_same)
+    }
+
+    /// `MS(u, v)` — the orientation max — into reused buffers,
+    /// including the reversed-word scratch. One positive-cell scan
+    /// serves both orientations. Bit-identical to [`crate::ms_words`].
+    pub fn ms_words(&mut self, sigma: &ScoreTable, u: &[Sym], v: &[Sym]) -> (Score, Orient) {
+        if u.is_empty() || v.is_empty() {
+            return (0, Orient::Same);
+        }
+        let cells = if Self::can_scan(sigma) {
+            Some(scan_positive_cells(sigma, u, v))
+        } else {
+            None
+        };
+        if let Some(c) = cells {
+            if !c.any {
+                return (0, Orient::Same);
+            }
+        }
+        let same = match cells {
+            Some(c) => self.fill_exact(sigma, u, v, c.dev_same),
+            None => self.p_score(sigma, u, v),
+        };
+        let mut rev = std::mem::take(&mut self.rev);
+        rev.clear();
+        rev.extend_from_slice(v);
+        reverse_word_in_place(&mut rev);
+        let reversed = match cells {
+            Some(c) => self.fill_exact(sigma, u, &rev, c.dev_rev),
+            None => self.p_score(sigma, u, &rev),
+        };
+        self.rev = rev;
+        if reversed > same {
+            (reversed, Orient::Reversed)
+        } else {
+            (same, Orient::Same)
+        }
+    }
+
+    /// `P_score` under a pinned orientation; bit-identical to
+    /// [`crate::match_score::p_score_oriented`].
+    pub fn p_score_oriented(
+        &mut self,
+        sigma: &ScoreTable,
+        u: &[Sym],
+        v: &[Sym],
+        orient: Orient,
+    ) -> Score {
+        match orient {
+            Orient::Same => self.p_score_auto(sigma, u, v),
+            Orient::Reversed => {
+                if u.is_empty() || v.is_empty() {
+                    return 0;
+                }
+                let mut rev = std::mem::take(&mut self.rev);
+                rev.clear();
+                rev.extend_from_slice(v);
+                reverse_word_in_place(&mut rev);
+                let s = if Self::can_scan(sigma) {
+                    let cells = scan_positive_cells(sigma, u, v);
+                    if !cells.any {
+                        0
+                    } else {
+                        self.fill_exact(sigma, u, &rev, cells.dev_rev)
+                    }
+                } else {
+                    self.p_score(sigma, u, &rev)
+                };
+                self.rev = rev;
+                s
+            }
+        }
+    }
+
+    /// Detach the whole-table scratch at `len` cells, zeroed. Pair
+    /// with [`DpWorkspace::put_grid`] so the buffer survives for the
+    /// next fill (detaching sidesteps overlapping field borrows).
+    pub(crate) fn take_grid(&mut self, len: usize) -> Vec<Score> {
+        let mut g = std::mem::take(&mut self.grid);
+        if g.len() < len {
+            self.reallocs += 1;
+            g.resize(len, 0);
+        }
+        g[..len].fill(0);
+        g
+    }
+
+    /// Return the scratch detached by [`DpWorkspace::take_grid`].
+    pub(crate) fn put_grid(&mut self, g: Vec<Score>) {
+        self.grid = g;
+    }
+
+    /// Borrow the three wavefront diagonal buffers. Growth and zeroing
+    /// are the wavefront sweep's job; this only accounts for the fill
+    /// and any growth it is about to cause.
+    pub(crate) fn diagonals(
+        &mut self,
+        len: usize,
+    ) -> (&mut Vec<Score>, &mut Vec<Score>, &mut Vec<Score>) {
+        self.note_fill(len);
+        self.note_aux(len);
+        (&mut self.prev, &mut self.cur, &mut self.aux)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::p_score;
+    use crate::match_score::ms_words;
+
+    fn table(seed: u64, syms: u32) -> ScoreTable {
+        let mut t = ScoreTable::new();
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for a in 0..syms {
+            for b in 0..syms {
+                let r = next() % 9;
+                if r > 3 {
+                    t.set(Sym::fwd(a), Sym::fwd(1000 + b), (r as i64) - 3);
+                }
+            }
+        }
+        t
+    }
+
+    fn word(seed: u64, len: usize, syms: u32, base: u32) -> Vec<Sym> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                Sym {
+                    id: base + (state % syms as u64) as u32,
+                    rev: state.is_multiple_of(5),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn workspace_p_score_matches_free_function() {
+        let t = table(3, 8);
+        let mut ws = DpWorkspace::new();
+        for (lu, lv) in [(0, 5), (5, 0), (1, 1), (7, 3), (3, 7), (20, 20), (31, 9)] {
+            let u = word(lu as u64 + 1, lu, 8, 0);
+            let v = word(lv as u64 + 2, lv, 8, 1000);
+            assert_eq!(ws.p_score(&t, &u, &v), p_score(&t, &u, &v), "{lu}x{lv}");
+            assert_eq!(ws.p_score_auto(&t, &u, &v), p_score(&t, &u, &v));
+        }
+    }
+
+    #[test]
+    fn workspace_ms_matches_free_function() {
+        let t = table(9, 6);
+        let mut ws = DpWorkspace::new();
+        for (lu, lv) in [(4, 4), (9, 2), (2, 9), (12, 5)] {
+            let u = word(lu as u64 + 7, lu, 6, 0);
+            let v = word(lv as u64 + 8, lv, 6, 1000);
+            assert_eq!(ws.ms_words(&t, &u, &v), ms_words(&t, &u, &v), "{lu}x{lv}");
+        }
+    }
+
+    #[test]
+    fn buffers_grow_once_then_stay() {
+        let t = table(5, 4);
+        let u = word(1, 16, 4, 0);
+        let v = word(2, 16, 4, 1000);
+        let mut ws = DpWorkspace::new();
+        let _ = ws.p_score(&t, &u, &v);
+        let after_first = ws.reallocs();
+        assert!(after_first >= 1);
+        for _ in 0..10 {
+            let _ = ws.p_score(&t, &u, &v);
+        }
+        assert_eq!(ws.reallocs(), after_first, "warm fills must not grow");
+        assert_eq!(ws.fills(), 11);
+        ws.reset_stats();
+        assert_eq!(ws.fills(), 0);
+    }
+}

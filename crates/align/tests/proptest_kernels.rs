@@ -1,0 +1,219 @@
+//! Differential property tests: every `P_score` kernel path — full
+//! matrix, rolling rows, banded at the lossless width, wavefront, and
+//! the workspace-reuse variants — must be bit-identical on random
+//! words and score tables, including reversed-orientation cases and
+//! dirty (previously used, differently sized) workspace buffers.
+
+use fragalign_align::{
+    align_words, lossless_band, ms_words, p_score, p_score_banded, p_score_wavefront,
+    p_score_wavefront_with, DpMatrix, DpWorkspace, ScoreOracle,
+};
+use fragalign_model::symbol::reverse_word;
+use fragalign_model::{FragId, Fragment, Instance, Orient, ScoreTable, Site, Sym};
+use proptest::prelude::*;
+
+/// Random σ including negative entries and a non-zero default score
+/// (the workspace shortcuts must stay exact when every absent pair
+/// scores non-zero).
+fn sigma_strategy() -> impl Strategy<Value = ScoreTable> {
+    (
+        prop::collection::vec(((0u32..6), (0u32..6), any::<bool>(), -3i64..7), 0..24),
+        -2i64..=0,
+    )
+        .prop_map(|(entries, default_score)| {
+            let mut t = ScoreTable::new();
+            for (a, b, rev, s) in entries {
+                let m_side = if rev {
+                    Sym::rev(100 + b)
+                } else {
+                    Sym::fwd(100 + b)
+                };
+                t.set(Sym::fwd(a), m_side, s);
+            }
+            t.default_score = default_score;
+            t
+        })
+}
+
+fn word(base: u32) -> impl Strategy<Value = Vec<Sym>> {
+    prop::collection::vec(
+        (0u32..6, any::<bool>()).prop_map(move |(i, r)| Sym {
+            id: base + i,
+            rev: r,
+        }),
+        0..14,
+    )
+}
+
+/// Non-empty variant (fragments may not be empty).
+fn word_nonempty(base: u32) -> impl Strategy<Value = Vec<Sym>> {
+    prop::collection::vec(
+        (0u32..6, any::<bool>()).prop_map(move |(i, r)| Sym {
+            id: base + i,
+            rev: r,
+        }),
+        1..10,
+    )
+}
+
+proptest! {
+    /// Every kernel path agrees with the rolling-row reference.
+    #[test]
+    fn all_kernel_paths_agree(sigma in sigma_strategy(), u in word(0), v in word(100)) {
+        let reference = p_score(&sigma, &u, &v);
+        // Full matrix.
+        prop_assert_eq!(DpMatrix::fill(&sigma, &u, &v).score(), reference);
+        // Traceback-producing path.
+        prop_assert_eq!(align_words(&sigma, &u, &v).0, reference);
+        // Banded at the provably lossless width.
+        prop_assert_eq!(
+            p_score_banded(&sigma, &u, &v, lossless_band(u.len(), v.len())),
+            reference
+        );
+        // Wavefront (sequential fallback region and the real sweep are
+        // both covered by the dedicated size test below).
+        prop_assert_eq!(p_score_wavefront(&sigma, &u, &v), reference);
+        // Workspace-reuse variants, across a dirty buffer: fill a
+        // differently-shaped problem first so stale cells would show.
+        let mut ws = DpWorkspace::new();
+        let big_u: Vec<Sym> = (0..17).map(Sym::fwd).collect();
+        let big_v: Vec<Sym> = (0..19).map(|i| Sym::fwd(100 + i)).collect();
+        let _ = ws.p_score(&sigma, &big_u, &big_v);
+        prop_assert_eq!(ws.p_score(&sigma, &u, &v), reference);
+        prop_assert_eq!(ws.p_score_auto(&sigma, &u, &v), reference);
+        prop_assert_eq!(p_score_wavefront_with(&sigma, &u, &v, &mut ws), reference);
+        prop_assert_eq!(
+            ws.p_score_banded(&sigma, &u, &v, lossless_band(u.len(), v.len())),
+            reference
+        );
+    }
+
+    /// Orientation search: the workspace `MS` (scan + early exit +
+    /// banded routing) matches the allocating free function, and both
+    /// respect the reversal identity `P(u, v) = P(u^R, v^R)`.
+    #[test]
+    fn ms_paths_agree_including_reversed(
+        sigma in sigma_strategy(), u in word(0), v in word(100)
+    ) {
+        let mut ws = DpWorkspace::new();
+        let free = ms_words(&sigma, &u, &v);
+        prop_assert_eq!(ws.ms_words(&sigma, &u, &v), free);
+        // Pinned orientations.
+        let vr = reverse_word(&v);
+        prop_assert_eq!(
+            ws.p_score_oriented(&sigma, &u, &v, Orient::Same),
+            p_score(&sigma, &u, &v)
+        );
+        prop_assert_eq!(
+            ws.p_score_oriented(&sigma, &u, &v, Orient::Reversed),
+            p_score(&sigma, &u, &vr)
+        );
+        // Reversal invariance through the workspace path.
+        let ur = reverse_word(&u);
+        prop_assert_eq!(
+            ws.p_score_auto(&sigma, &ur, &vr),
+            p_score(&sigma, &u, &v)
+        );
+    }
+
+    /// The band is monotone: a wider window never scores less, every
+    /// width is a lower bound of the full DP, and the lossless width
+    /// reaches it.
+    #[test]
+    fn banded_monotone_lower_bound(
+        sigma in sigma_strategy(), u in word(0), v in word(100)
+    ) {
+        let full = p_score(&sigma, &u, &v);
+        let lossless = lossless_band(u.len(), v.len());
+        let mut prev_score = None;
+        for band in 0..=lossless {
+            let banded = p_score_banded(&sigma, &u, &v, band);
+            prop_assert!(banded <= full, "band {band}: {banded} > {full}");
+            if let Some(p) = prev_score {
+                prop_assert!(banded >= p, "band {band} lost score over band {}", band - 1);
+            }
+            prev_score = Some(banded);
+        }
+        prop_assert_eq!(p_score_banded(&sigma, &u, &v, lossless), full);
+    }
+
+    /// Oracle entry points: the pooled-workspace oracle, the
+    /// per-call-allocation oracle, and explicit caller workspaces all
+    /// produce identical interval tables and site-pair scores.
+    #[test]
+    fn oracle_paths_agree(
+        sigma in sigma_strategy(),
+        h0 in word_nonempty(0), h1 in word_nonempty(0),
+        m0 in word_nonempty(100), m1 in word_nonempty(100)
+    ) {
+        let inst = Instance {
+            h: vec![Fragment::new("h0", h0), Fragment::new("h1", h1)],
+            m: vec![Fragment::new("m0", m0), Fragment::new("m1", m1)],
+            sigma,
+            alphabet: Default::default(),
+        };
+        let pooled = ScoreOracle::new(&inst);
+        let baseline = ScoreOracle::with_workspace_reuse(&inst, false);
+        let mut caller_ws = DpWorkspace::new();
+        for plug in inst.all_frag_ids() {
+            for container in inst.all_frag_ids() {
+                if plug.species == container.species {
+                    continue;
+                }
+                let a = pooled.interval_table(plug, container);
+                let b = baseline.interval_table(plug, container);
+                let c = pooled.interval_table_with(plug, container, &mut caller_ws);
+                let n = inst.frag_len(container);
+                for d in 0..=n {
+                    for e in d..=n {
+                        prop_assert_eq!(a.get(d, e), b.get(d, e));
+                        prop_assert_eq!(a.get(d, e), c.get(d, e));
+                    }
+                }
+            }
+        }
+        let h_site = Site::full(FragId::h(0), inst.frag_len(FragId::h(0)));
+        let m_site = Site::full(FragId::m(0), inst.frag_len(FragId::m(0)));
+        prop_assert_eq!(pooled.ms(h_site, m_site), baseline.ms(h_site, m_site));
+        for orient in [Orient::Same, Orient::Reversed] {
+            prop_assert_eq!(
+                pooled.ms_oriented(h_site, m_site, orient),
+                baseline.ms_oriented(h_site, m_site, orient)
+            );
+        }
+    }
+}
+
+/// The wavefront cutoff hides the parallel sweep from small proptest
+/// words; cover the real sweep (and the workspace variant's resized
+/// diagonals) at sizes beyond the cutoff.
+#[test]
+fn wavefront_paths_agree_beyond_cutoff() {
+    let mut sigma = ScoreTable::new();
+    for a in 0..8u32 {
+        for b in 0..8u32 {
+            if (a * 5 + b) % 3 != 0 {
+                sigma.set(Sym::fwd(a), Sym::fwd(100 + b), ((a + 2 * b) % 5) as i64 - 1);
+            }
+        }
+    }
+    let mk = |seed: u64, len: usize, base: u32| -> Vec<Sym> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                Sym::fwd(base + (state % 8) as u32)
+            })
+            .collect()
+    };
+    let mut ws = DpWorkspace::new();
+    for (lu, lv) in [(600, 600), (520, 700)] {
+        let u = mk(lu as u64, lu, 0);
+        let v = mk(lv as u64 + 7, lv, 100);
+        let reference = p_score(&sigma, &u, &v);
+        assert_eq!(p_score_wavefront(&sigma, &u, &v), reference);
+        assert_eq!(p_score_wavefront_with(&sigma, &u, &v, &mut ws), reference);
+    }
+}

@@ -2,17 +2,23 @@
 //!
 //! ```text
 //! fragalign solve  [--algo csr|full|border|four|greedy|matching|exact] [--scaling] <instance.json>
+//! fragalign solve  --batch [--algo ...] [--scaling] <dir|instances.jsonl>
 //! fragalign gen    [--regions N] [--h-frags N] [--m-frags N] [--seed S] [--noise X]
 //! fragalign demo
 //! ```
 //!
 //! * `solve` reads an instance (JSON), runs the chosen solver and
 //!   prints the score, the matches and the two-row layout.
+//! * `solve --batch` reads many instances — every `*.json` file of a
+//!   directory, or one JSON instance per line of a `.jsonl` file — and
+//!   solves them all through the batch pipeline (one summary line per
+//!   instance instead of full layouts).
 //! * `gen` emits a synthetic instance as JSON (pipe into `solve`).
 //! * `demo` runs the paper's Fig. 2 example end to end.
 
 use fragalign_align::DpAligner;
 use fragalign_core as core;
+use fragalign_core::{BatchAlgo, BatchOptions};
 use fragalign_model::{Instance, LayoutBuilder, MatchSet};
 use fragalign_sim::{generate, SimConfig};
 use std::io::Read;
@@ -20,9 +26,16 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  fragalign solve [--algo csr|full|border|four|greedy|matching|exact] [--scaling] <instance.json|->\n  fragalign gen [--regions N] [--h-frags N] [--m-frags N] [--seed S] [--noise X]\n  fragalign demo"
+        "usage:\n  fragalign solve [--algo csr|full|border|four|greedy|matching|exact] [--scaling] <instance.json|->\n  fragalign solve --batch [--algo csr|full|border|four|greedy|matching] [--scaling] <dir|instances.jsonl>\n  fragalign gen [--regions N] [--h-frags N] [--m-frags N] [--seed S] [--noise X]\n  fragalign demo"
     );
     ExitCode::from(2)
+}
+
+fn parse_instance(data: &str) -> Result<Instance, String> {
+    let mut inst: Instance = serde_json::from_str(data).map_err(|e| e.to_string())?;
+    inst.alphabet.rebuild_index();
+    inst.validate()?;
+    Ok(inst)
 }
 
 fn read_instance(path: &str) -> Result<Instance, String> {
@@ -35,10 +48,90 @@ fn read_instance(path: &str) -> Result<Instance, String> {
     } else {
         std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
     };
-    let mut inst: Instance = serde_json::from_str(&data).map_err(|e| e.to_string())?;
-    inst.alphabet.rebuild_index();
-    inst.validate()?;
-    Ok(inst)
+    parse_instance(&data)
+}
+
+/// Load a batch: every `*.json` file of a directory (sorted by name,
+/// so batch order is deterministic), a single `.json` instance file
+/// (a batch of one), or one instance per non-empty line of a JSONL
+/// file.
+fn read_batch(path: &str) -> Result<(Vec<String>, Vec<Instance>), String> {
+    let meta = std::fs::metadata(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut names = Vec::new();
+    let mut instances = Vec::new();
+    if meta.is_dir() {
+        let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(path)
+            .map_err(|e| format!("{path}: {e}"))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+            .collect();
+        files.sort();
+        if files.is_empty() {
+            return Err(format!("{path}: no *.json instances found"));
+        }
+        for file in files {
+            let name = file.display().to_string();
+            let data = std::fs::read_to_string(&file).map_err(|e| format!("{name}: {e}"))?;
+            instances.push(parse_instance(&data).map_err(|e| format!("{name}: {e}"))?);
+            names.push(name);
+        }
+    } else if std::path::Path::new(path)
+        .extension()
+        .is_some_and(|ext| ext == "json")
+    {
+        // A lone instance file (the format `gen` emits is pretty-printed,
+        // so line-wise JSONL parsing would reject it).
+        let data = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        instances.push(parse_instance(&data).map_err(|e| format!("{path}: {e}"))?);
+        names.push(path.to_owned());
+    } else {
+        let data = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        for (lineno, line) in data.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            instances
+                .push(parse_instance(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?);
+            names.push(format!("{path}:{}", lineno + 1));
+        }
+        if instances.is_empty() {
+            return Err(format!("{path}: no instances found"));
+        }
+    }
+    Ok((names, instances))
+}
+
+fn solve_batch_cmd(algo: &str, scaling: bool, path: &str) -> ExitCode {
+    let algo: BatchAlgo = match algo.parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e} (batch mode supports csr|full|border|four|greedy|matching)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (names, instances) = match read_batch(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut opts = BatchOptions::new(algo);
+    opts.scaling = scaling;
+    let start = std::time::Instant::now();
+    let solutions = core::solve_batch(&instances, &opts);
+    let elapsed = start.elapsed();
+    let mut total = 0i64;
+    for (name, sol) in names.iter().zip(&solutions) {
+        println!("{name}: score {}, {} matches", sol.score, sol.matches.len());
+        total += sol.score;
+    }
+    println!(
+        "batch: {} instances, total score {total}, algo {algo}, {:.1} instances/s",
+        solutions.len(),
+        solutions.len() as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+    ExitCode::SUCCESS
 }
 
 fn solve(algo: &str, scaling: bool, inst: &Instance) -> Result<MatchSet, String> {
@@ -97,6 +190,7 @@ fn main() -> ExitCode {
         "solve" => {
             let mut algo = "csr".to_owned();
             let mut scaling = false;
+            let mut batch = false;
             let mut path: Option<String> = None;
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
@@ -106,10 +200,14 @@ fn main() -> ExitCode {
                         None => return usage(),
                     },
                     "--scaling" => scaling = true,
+                    "--batch" => batch = true,
                     other => path = Some(other.to_owned()),
                 }
             }
             let Some(path) = path else { return usage() };
+            if batch {
+                return solve_batch_cmd(&algo, scaling, &path);
+            }
             let inst = match read_instance(&path) {
                 Ok(i) => i,
                 Err(e) => {

@@ -1,0 +1,77 @@
+//! Golden snapshot tests for the CLI: `fragalign demo` and
+//! `fragalign gen --seed 42 | fragalign solve -` must be byte-stable
+//! across runs and match the snapshots under `tests/golden/` at the
+//! repository root — guarding the determinism work of PR 1 (sorted
+//! layouts, deterministic winner selection, seeded generation).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn golden(name: &str) -> String {
+    let path = golden_dir().join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden snapshot {}: {e}", path.display()))
+}
+
+fn run(args: &[&str], stdin: Option<&str>) -> String {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fragalign"));
+    cmd.args(args).stdout(Stdio::piped());
+    match stdin {
+        Some(_) => cmd.stdin(Stdio::piped()),
+        None => cmd.stdin(Stdio::null()),
+    };
+    let mut child = cmd.spawn().expect("spawn fragalign");
+    if let Some(data) = stdin {
+        use std::io::Write;
+        child
+            .stdin
+            .take()
+            .expect("stdin piped")
+            .write_all(data.as_bytes())
+            .expect("feed stdin");
+    }
+    let out = child.wait_with_output().expect("fragalign runs");
+    assert!(out.status.success(), "fragalign {args:?} failed: {out:?}");
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+#[test]
+fn demo_output_is_byte_stable() {
+    let first = run(&["demo"], None);
+    let second = run(&["demo"], None);
+    assert_eq!(first, second, "demo output differs between two runs");
+    assert_eq!(
+        first,
+        golden("demo.txt"),
+        "demo output drifted from snapshot"
+    );
+}
+
+#[test]
+fn gen_seed42_is_byte_stable() {
+    let first = run(&["gen", "--seed", "42"], None);
+    let second = run(&["gen", "--seed", "42"], None);
+    assert_eq!(first, second, "gen output differs between two runs");
+    assert_eq!(
+        first,
+        golden("gen_seed42.json"),
+        "gen --seed 42 drifted from snapshot"
+    );
+}
+
+#[test]
+fn gen_pipe_solve_is_byte_stable() {
+    let instance = run(&["gen", "--seed", "42"], None);
+    let first = run(&["solve", "-"], Some(&instance));
+    let second = run(&["solve", "-"], Some(&instance));
+    assert_eq!(first, second, "solve output differs between two runs");
+    assert_eq!(
+        first,
+        golden("gen_solve_seed42.txt"),
+        "gen | solve drifted from snapshot"
+    );
+}

@@ -5,6 +5,7 @@
 //!
 //! | module | paper artifact |
 //! |--------|----------------|
+//! | [`batch`] | multi-instance pipeline over the solvers below (infrastructure, not paper) |
 //! | [`greedy`] | the greedy heuristic the introduction warns about |
 //! | [`one_csr`] | 1-CSR → ISP reduction (§3.4) solved with TPA |
 //! | [`four_approx`] | Theorem 3 + Corollary 1: the factor-4 algorithm |
@@ -18,6 +19,7 @@
 //! solution can be turned into an explicit two-row layout with
 //! [`fragalign_model::LayoutBuilder`] and the DP aligner.
 
+pub mod batch;
 pub mod border_matching;
 pub mod csop;
 pub mod exact;
@@ -28,6 +30,7 @@ pub mod one_csr;
 pub mod stats;
 pub mod ucsr;
 
+pub use batch::{solve_batch, solve_single, BatchAlgo, BatchOptions, BatchSolution};
 pub use border_matching::border_matching_2approx;
 pub use exact::{solve_exact, ExactLimits};
 pub use four_approx::solve_four_approx;

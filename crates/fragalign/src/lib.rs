@@ -58,17 +58,17 @@ pub use fragalign_sim as sim;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use fragalign_align::{DpAligner, ScoreOracle};
+    pub use fragalign_align::{DpAligner, DpWorkspace, ScoreOracle};
     pub use fragalign_core::{
-        border_improve, border_matching_2approx, csr_improve, full_improve, solve_exact,
-        solve_four_approx, solve_greedy, solve_one_csr, ExactLimits, ImproveConfig, ImproveResult,
-        MethodSet,
+        border_improve, border_matching_2approx, csr_improve, full_improve, solve_batch,
+        solve_exact, solve_four_approx, solve_greedy, solve_one_csr, solve_single, BatchAlgo,
+        BatchOptions, BatchSolution, ExactLimits, ImproveConfig, ImproveResult, MethodSet,
     };
     pub use fragalign_model::{
         check_consistency, FragId, Fragment, Instance, InstanceBuilder, LayoutBuilder, Match,
         MatchSet, Orient, Score, ScoreTable, Site, Species, Sym,
     };
-    pub use fragalign_sim::{evaluate_recovery, generate, SimConfig};
+    pub use fragalign_sim::{evaluate_recovery, gen_batch, generate, SimConfig};
 }
 
 #[cfg(test)]

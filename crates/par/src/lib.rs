@@ -43,6 +43,25 @@ where
     items.into_par_iter().map(f).collect()
 }
 
+/// [`par_map_ordered`] with per-worker scratch state: `init` runs once
+/// per worker and its value is threaded mutably through every item
+/// that worker processes (rayon's `map_init`). The batch solver uses
+/// this to keep one warm DP workspace per worker — shared-nothing, so
+/// results stay deterministic regardless of thread count provided `f`
+/// treats the state as a pure scratch (contents must not influence
+/// results, only speed).
+pub fn par_map_ordered_init<I, O, W, INIT, F>(items: Vec<I>, init: INIT, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    W: Send,
+    INIT: Fn() -> W + Sync + Send,
+    F: Fn(&mut W, I) -> O + Sync + Send,
+{
+    use rayon::prelude::*;
+    items.into_par_iter().map_init(init, f).collect()
+}
+
 /// A two-stage pipeline: a producer thread feeds `items` through a
 /// bounded crossbeam channel while the current thread consumes them;
 /// useful when generation (producer) and solving (consumer) should
@@ -139,6 +158,19 @@ mod tests {
     fn ordered_map_preserves_order() {
         let out = par_map_ordered((0..100).collect(), |x: i32| x * 2);
         assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ordered_map_init_preserves_order() {
+        let out = par_map_ordered_init(
+            (0..64).collect(),
+            || 0u64,
+            |scratch: &mut u64, x: i32| {
+                *scratch += 1; // per-worker state must not affect results
+                x * 3
+            },
+        );
+        assert_eq!(out, (0..64).map(|x| x * 3).collect::<Vec<_>>());
     }
 
     #[test]

@@ -322,9 +322,48 @@ pub fn generate(config: &SimConfig) -> SimInstance {
     }
 }
 
+/// Generate a batch of `count` instances: the shared `base` config
+/// with seeds `base.seed, base.seed + 1, …`. Instance `i` of a batch
+/// is identical to a lone [`generate`] call at seed `base.seed + i`,
+/// so batch workloads are reproducible piecewise.
+pub fn gen_batch(base: &SimConfig, count: usize) -> Vec<SimInstance> {
+    (0..count)
+        .map(|i| {
+            generate(&SimConfig {
+                seed: base.seed.wrapping_add(i as u64),
+                ..base.clone()
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn gen_batch_matches_piecewise_generation() {
+        let base = SimConfig {
+            regions: 12,
+            seed: 40,
+            ..SimConfig::default()
+        };
+        let batch = gen_batch(&base, 3);
+        assert_eq!(batch.len(), 3);
+        for (i, sim) in batch.iter().enumerate() {
+            let lone = generate(&SimConfig {
+                seed: 40 + i as u64,
+                ..base.clone()
+            });
+            assert_eq!(sim.instance.h, lone.instance.h, "instance {i}");
+            assert_eq!(sim.instance.m, lone.instance.m, "instance {i}");
+        }
+        // Different seeds actually vary the data.
+        assert!(
+            batch[0].instance.h != batch[1].instance.h
+                || batch[0].instance.m != batch[1].instance.m
+        );
+    }
 
     #[test]
     fn deterministic_for_seed() {

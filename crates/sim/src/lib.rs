@@ -24,5 +24,5 @@
 pub mod generate;
 pub mod metrics;
 
-pub use generate::{generate, DnaMode, GroundTruth, SimConfig, SimInstance};
+pub use generate::{gen_batch, generate, DnaMode, GroundTruth, SimConfig, SimInstance};
 pub use metrics::{evaluate_recovery, RecoveryReport};

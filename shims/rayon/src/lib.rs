@@ -149,6 +149,42 @@ pub mod prelude {
         {
             Iterator::reduce(self, op)
         }
+
+        /// Rayon's `map_init`: `init` runs once per worker (once total,
+        /// sequentially) and its value is threaded mutably through
+        /// `map_op` — the idiom for per-worker scratch buffers.
+        fn map_init<INIT, T, F, R>(self, init: INIT, map_op: F) -> MapInit<Self, T, F>
+        where
+            INIT: Fn() -> T,
+            F: Fn(&mut T, Self::Item) -> R,
+        {
+            MapInit {
+                iter: self,
+                state: init(),
+                map_op,
+            }
+        }
+    }
+
+    /// Sequential stand-in for rayon's `MapInit` adaptor: one state
+    /// value serves every item (the single "worker" of this shim).
+    pub struct MapInit<I, T, F> {
+        iter: I,
+        state: T,
+        map_op: F,
+    }
+
+    impl<I, T, F, R> Iterator for MapInit<I, T, F>
+    where
+        I: Iterator,
+        F: Fn(&mut T, I::Item) -> R,
+    {
+        type Item = R;
+
+        fn next(&mut self) -> Option<R> {
+            let item = self.iter.next()?;
+            Some((self.map_op)(&mut self.state, item))
+        }
     }
 
     impl<I: Iterator> ParallelIterator for I {}
@@ -170,6 +206,19 @@ mod tests {
             .filter_map(|(i, &x)| (x > 1).then_some((x, i)))
             .reduce_with(|a, b| if b.0 > a.0 { b } else { a });
         assert_eq!(best, Some((5, 4)));
+    }
+
+    #[test]
+    fn map_init_threads_state_through() {
+        let out: Vec<usize> = (0..5usize)
+            .into_par_iter()
+            .map_init(Vec::new, |buf: &mut Vec<usize>, x| {
+                buf.push(x);
+                buf.len() * 10 + x
+            })
+            .collect();
+        // The single sequential "worker" sees its state grow per item.
+        assert_eq!(out, vec![10, 21, 32, 43, 54]);
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Batch pipeline determinism: `solve_batch` must return identical
+//! solutions for a 1-thread pool, an N-thread pool, and per-instance
+//! sequential solves — per-worker workspaces and shared-nothing
+//! oracles are scratch, never signal.
+
+use fragalign::align::DpWorkspace;
+use fragalign::model::Instance;
+use fragalign::par::with_threads;
+use fragalign::prelude::*;
+use fragalign::sim::gen_batch;
+
+fn batch_of_16() -> Vec<Instance> {
+    gen_batch(
+        &SimConfig {
+            regions: 14,
+            h_frags: 3,
+            m_frags: 3,
+            loss_rate: 0.15,
+            shuffles: 2,
+            spurious: 3,
+            seed: 1234,
+            ..SimConfig::default()
+        },
+        16,
+    )
+    .into_iter()
+    .map(|s| s.instance)
+    .collect()
+}
+
+#[test]
+fn batch_is_deterministic_across_thread_counts() {
+    let instances = batch_of_16();
+    for algo in [BatchAlgo::Csr, BatchAlgo::Four] {
+        let opts = BatchOptions::new(algo);
+        let insts_1 = instances.clone();
+        let (single_thread, _) = with_threads(1, move || solve_batch(&insts_1, &opts));
+        let insts_n = instances.clone();
+        let (many_threads, _) = with_threads(8, move || solve_batch(&insts_n, &opts));
+        assert_eq!(
+            single_thread, many_threads,
+            "{algo}: thread count changed batch results"
+        );
+
+        // ... and both match plain per-instance sequential solves with
+        // one long-lived workspace.
+        let mut ws = DpWorkspace::new();
+        let sequential: Vec<BatchSolution> = instances
+            .iter()
+            .map(|inst| solve_single(inst, &opts, &mut ws))
+            .collect();
+        assert_eq!(single_thread, sequential, "{algo}: batch != sequential");
+
+        // Solutions are consistent and scores match their match sets.
+        for (inst, sol) in instances.iter().zip(&single_thread) {
+            check_consistency(inst, &sol.matches).unwrap();
+            assert_eq!(sol.score, sol.matches.total_score());
+        }
+    }
+}
+
+#[test]
+fn batch_allocation_baseline_is_equivalent() {
+    // The reuse knob is purely mechanical: flipping it must never
+    // change a solution, only the allocation count.
+    let instances = batch_of_16();
+    let reuse = solve_batch(&instances, &BatchOptions::new(BatchAlgo::Csr));
+    let mut opts = BatchOptions::new(BatchAlgo::Csr);
+    opts.reuse_workspaces = false;
+    let baseline = solve_batch(&instances, &opts);
+    assert_eq!(reuse, baseline);
+}
+
+#[test]
+fn batch_preserves_input_order() {
+    // Seeds differ per instance, so equal outputs in order imply the
+    // pipeline did not shuffle results.
+    let instances = batch_of_16();
+    let batch = solve_batch(&instances, &BatchOptions::new(BatchAlgo::Greedy));
+    assert_eq!(batch.len(), instances.len());
+    let mut ws = DpWorkspace::new();
+    for (inst, sol) in instances.iter().zip(&batch) {
+        let lone = solve_single(inst, &BatchOptions::new(BatchAlgo::Greedy), &mut ws);
+        assert_eq!(sol, &lone);
+    }
+}
