@@ -29,6 +29,6 @@ pub mod workspace;
 pub use banded::{lossless_band, p_score_banded};
 pub use dp::{align_words, p_score, DpAligner, DpMatrix};
 pub use match_score::{ms_sites, ms_words, site_laid_word};
-pub use oracle::ScoreOracle;
+pub use oracle::{OracleStats, OracleStatsSnapshot, ScoreOracle};
 pub use wavefront::{p_score_wavefront, p_score_wavefront_with};
 pub use workspace::DpWorkspace;

@@ -81,6 +81,62 @@ pub struct OracleStats {
     pub dp_reallocs: AtomicU64,
 }
 
+/// Plain-integer copy of [`OracleStats`], for folding one oracle's
+/// counters into another's. Solvers that build internal oracles over
+/// derived instances (the factor-4 concatenations, portfolio racers)
+/// absorb the inner counters so telemetry reports the whole solve.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OracleStatsSnapshot {
+    /// Interval-table lookups served from cache.
+    pub table_hits: u64,
+    /// Interval tables computed.
+    pub table_misses: u64,
+    /// Site-pair lookups served from cache.
+    pub pair_hits: u64,
+    /// Site-pair scores computed.
+    pub pair_misses: u64,
+    /// DP fills run through pooled workspaces.
+    pub dp_fills: u64,
+    /// Workspace buffer growth events.
+    pub dp_reallocs: u64,
+}
+
+impl std::ops::AddAssign for OracleStatsSnapshot {
+    fn add_assign(&mut self, rhs: Self) {
+        self.table_hits += rhs.table_hits;
+        self.table_misses += rhs.table_misses;
+        self.pair_hits += rhs.pair_hits;
+        self.pair_misses += rhs.pair_misses;
+        self.dp_fills += rhs.dp_fills;
+        self.dp_reallocs += rhs.dp_reallocs;
+    }
+}
+
+impl OracleStats {
+    /// Read every counter at once (relaxed; exact when no fills race).
+    pub fn snapshot(&self) -> OracleStatsSnapshot {
+        OracleStatsSnapshot {
+            table_hits: self.table_hits.load(Ordering::Relaxed),
+            table_misses: self.table_misses.load(Ordering::Relaxed),
+            pair_hits: self.pair_hits.load(Ordering::Relaxed),
+            pair_misses: self.pair_misses.load(Ordering::Relaxed),
+            dp_fills: self.dp_fills.load(Ordering::Relaxed),
+            dp_reallocs: self.dp_reallocs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fold a snapshot's counts into these counters.
+    pub fn absorb(&self, s: &OracleStatsSnapshot) {
+        self.table_hits.fetch_add(s.table_hits, Ordering::Relaxed);
+        self.table_misses
+            .fetch_add(s.table_misses, Ordering::Relaxed);
+        self.pair_hits.fetch_add(s.pair_hits, Ordering::Relaxed);
+        self.pair_misses.fetch_add(s.pair_misses, Ordering::Relaxed);
+        self.dp_fills.fetch_add(s.dp_fills, Ordering::Relaxed);
+        self.dp_reallocs.fetch_add(s.dp_reallocs, Ordering::Relaxed);
+    }
+}
+
 /// Shared, thread-safe score oracle over one instance.
 pub struct ScoreOracle<'a> {
     inst: &'a Instance,
@@ -120,6 +176,14 @@ impl<'a> ScoreOracle<'a> {
     /// The instance the oracle scores.
     pub fn instance(&self) -> &'a Instance {
         self.inst
+    }
+
+    /// Whether this oracle pools workspaces across fills. Solvers that
+    /// build internal oracles over derived instances propagate the
+    /// flag so the per-call-allocation baseline stays honest end to
+    /// end.
+    pub fn workspace_reuse(&self) -> bool {
+        self.reuse
     }
 
     /// Seed the workspace pool with an already-warm workspace. Batch

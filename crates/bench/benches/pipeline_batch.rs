@@ -35,7 +35,7 @@ fn bench_batch(c: &mut Criterion) {
             BenchmarkId::new("solve_batch_reuse", &label),
             &instances,
             |b, insts| {
-                let opts = BatchOptions::new(BatchAlgo::Csr);
+                let opts = BatchOptions::new("csr");
                 b.iter(|| solve_batch(black_box(insts), &opts))
             },
         );
@@ -43,8 +43,8 @@ fn bench_batch(c: &mut Criterion) {
             BenchmarkId::new("solve_batch_alloc_baseline", &label),
             &instances,
             |b, insts| {
-                let mut opts = BatchOptions::new(BatchAlgo::Csr);
-                opts.reuse_workspaces = false;
+                let mut opts = BatchOptions::new("csr");
+                opts.engine.reuse_workspaces = false;
                 b.iter(|| solve_batch(black_box(insts), &opts))
             },
         );
@@ -52,7 +52,7 @@ fn bench_batch(c: &mut Criterion) {
             BenchmarkId::new("sequential_loop", &label),
             &instances,
             |b, insts| {
-                let opts = BatchOptions::new(BatchAlgo::Csr);
+                let opts = BatchOptions::new("csr");
                 b.iter(|| {
                     let mut ws = DpWorkspace::new();
                     insts
@@ -60,6 +60,14 @@ fn bench_batch(c: &mut Criterion) {
                         .map(|inst| solve_single(black_box(inst), &opts, &mut ws))
                         .collect::<Vec<_>>()
                 })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("solve_batch_portfolio", &label),
+            &instances,
+            |b, insts| {
+                let opts = BatchOptions::new("portfolio");
+                b.iter(|| solve_batch(black_box(insts), &opts))
             },
         );
     }

@@ -107,7 +107,7 @@ fn main() {
     } else {
         (32, 24, 4, 200)
     };
-    let algo = BatchAlgo::Csr;
+    let algo = "csr";
 
     println!("exp_throughput: batch pipeline ({n_instances} instances, {regions} regions, {frags} frags, algo {algo}, smoke={smoke})");
 
@@ -129,18 +129,18 @@ fn main() {
     // Warm-up: one untimed solve so neither timed mode pays the
     // first-touch cost (page faults, branch history) for the other.
     let mut baseline_opts = BatchOptions::new(algo);
-    baseline_opts.reuse_workspaces = false;
+    baseline_opts.engine.reuse_workspaces = false;
     let _ = solve_batch(&instances[..n_instances.min(2)], &baseline_opts);
 
     // Stage 2: solve with the per-call-allocation baseline.
     let t0 = Instant::now();
-    let baseline = solve_batch(&instances, &baseline_opts);
+    let baseline = solve_batch(&instances, &baseline_opts).expect("csr is registered");
     let solve_baseline_s = t0.elapsed().as_secs_f64();
 
     // Stage 3: solve with pooled workspaces.
     let reuse_opts = BatchOptions::new(algo);
     let t0 = Instant::now();
-    let reused = solve_batch(&instances, &reuse_opts);
+    let reused = solve_batch(&instances, &reuse_opts).expect("csr is registered");
     let solve_reuse_s = t0.elapsed().as_secs_f64();
     assert_eq!(baseline, reused, "workspace reuse must not change results");
 

@@ -1,32 +1,44 @@
 //! `fragalign` — solve CSR instances from the command line.
 //!
 //! ```text
-//! fragalign solve  [--algo csr|full|border|four|greedy|matching|exact] [--scaling] <instance.json>
-//! fragalign solve  --batch [--algo ...] [--scaling] <dir|instances.jsonl>
+//! fragalign solve  [--algo NAME] [--scaling] [--report json] <instance.json|->
+//! fragalign solve  --batch [--algo NAME] [--scaling] [--report json] <dir|instances.jsonl>
 //! fragalign gen    [--regions N] [--h-frags N] [--m-frags N] [--seed S] [--noise X]
 //! fragalign demo
+//! fragalign solvers
 //! ```
 //!
 //! * `solve` reads an instance (JSON), runs the chosen solver and
-//!   prints the score, the matches and the two-row layout.
+//!   prints the score, the matches and the two-row layout. `--algo`
+//!   takes any name the [`SolverRegistry`] knows — including
+//!   `one-csr`, `exact` (small instances) and the racing `portfolio`
+//!   meta-solver; `--report json` emits the engine's uniform
+//!   telemetry record instead of the human-readable layout.
 //! * `solve --batch` reads many instances — every `*.json` file of a
 //!   directory, or one JSON instance per line of a `.jsonl` file — and
 //!   solves them all through the batch pipeline (one summary line per
 //!   instance instead of full layouts).
 //! * `gen` emits a synthetic instance as JSON (pipe into `solve`).
 //! * `demo` runs the paper's Fig. 2 example end to end.
+//! * `solvers` lists every registered solver with its paper reference.
 
 use fragalign_align::DpAligner;
 use fragalign_core as core;
-use fragalign_core::{BatchAlgo, BatchOptions};
+use fragalign_core::{BatchOptions, EngineOptions, SolveReport, SolverRegistry};
 use fragalign_model::{Instance, LayoutBuilder, MatchSet};
 use fragalign_sim::{generate, SimConfig};
+use serde::Serialize;
 use std::io::Read;
 use std::process::ExitCode;
 
+fn algo_names() -> String {
+    SolverRegistry::global().names().join("|")
+}
+
 fn usage() -> ExitCode {
+    let names = algo_names();
     eprintln!(
-        "usage:\n  fragalign solve [--algo csr|full|border|four|greedy|matching|exact] [--scaling] <instance.json|->\n  fragalign solve --batch [--algo csr|full|border|four|greedy|matching] [--scaling] <dir|instances.jsonl>\n  fragalign gen [--regions N] [--h-frags N] [--m-frags N] [--seed S] [--noise X]\n  fragalign demo"
+        "usage:\n  fragalign solve [--algo {names}] [--scaling] [--report json] <instance.json|->\n  fragalign solve --batch [--algo {names}] [--scaling] [--report json] <dir|instances.jsonl>\n  fragalign gen [--regions N] [--h-frags N] [--m-frags N] [--seed S] [--noise X]\n  fragalign demo\n  fragalign solvers"
     );
     ExitCode::from(2)
 }
@@ -101,14 +113,25 @@ fn read_batch(path: &str) -> Result<(Vec<String>, Vec<Instance>), String> {
     Ok((names, instances))
 }
 
-fn solve_batch_cmd(algo: &str, scaling: bool, path: &str) -> ExitCode {
-    let algo: BatchAlgo = match algo.parse() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("error: {e} (batch mode supports csr|full|border|four|greedy|matching)");
-            return ExitCode::FAILURE;
-        }
-    };
+/// One instance of the batch JSON report: the input name (file path
+/// or `file:line` for JSONL) plus the engine's telemetry record.
+#[derive(Serialize)]
+struct BatchResult {
+    name: String,
+    report: SolveReport,
+}
+
+/// The batch summary `--batch --report json` emits.
+#[derive(Serialize)]
+struct BatchReport {
+    solver: String,
+    instances: usize,
+    total_score: i64,
+    instances_per_sec: f64,
+    results: Vec<BatchResult>,
+}
+
+fn solve_batch_cmd(algo: &str, scaling: bool, json: bool, path: &str) -> ExitCode {
     let (names, instances) = match read_batch(path) {
         Ok(b) => b,
         Err(e) => {
@@ -117,42 +140,47 @@ fn solve_batch_cmd(algo: &str, scaling: bool, path: &str) -> ExitCode {
         }
     };
     let mut opts = BatchOptions::new(algo);
-    opts.scaling = scaling;
+    opts.engine.scaling = scaling;
     let start = std::time::Instant::now();
-    let solutions = core::solve_batch(&instances, &opts);
+    let solutions = match core::solve_batch_reports(&instances, &opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let elapsed = start.elapsed();
-    let mut total = 0i64;
-    for (name, sol) in names.iter().zip(&solutions) {
+    let total: i64 = solutions.iter().map(|(sol, _)| sol.score).sum();
+    let per_sec = solutions.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+    if json {
+        let report = BatchReport {
+            solver: algo.to_owned(),
+            instances: solutions.len(),
+            total_score: total,
+            instances_per_sec: per_sec,
+            results: names
+                .into_iter()
+                .zip(solutions)
+                .map(|(name, (_, report))| BatchResult { name, report })
+                .collect(),
+        };
+        match serde_json::to_string_pretty(&report) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    for (name, (sol, _)) in names.iter().zip(&solutions) {
         println!("{name}: score {}, {} matches", sol.score, sol.matches.len());
-        total += sol.score;
     }
     println!(
-        "batch: {} instances, total score {total}, algo {algo}, {:.1} instances/s",
+        "batch: {} instances, total score {total}, algo {algo}, {per_sec:.1} instances/s",
         solutions.len(),
-        solutions.len() as f64 / elapsed.as_secs_f64().max(1e-9)
     );
     ExitCode::SUCCESS
-}
-
-fn solve(algo: &str, scaling: bool, inst: &Instance) -> Result<MatchSet, String> {
-    Ok(match algo {
-        "csr" => core::csr_improve(inst, scaling).matches,
-        "full" => core::full_improve(inst, scaling).matches,
-        "border" => core::border_improve(inst, scaling).matches,
-        "four" => core::solve_four_approx(inst),
-        "greedy" => core::solve_greedy(inst),
-        "matching" => core::border_matching_2approx(inst),
-        "exact" => {
-            let limits = core::ExactLimits::default();
-            let sol = core::solve_exact(inst, limits);
-            eprintln!(
-                "exact score: {} (arrangement only; showing csr matches)",
-                sol.score
-            );
-            core::csr_improve(inst, scaling).matches
-        }
-        other => return Err(format!("unknown algorithm '{other}'")),
-    })
 }
 
 fn report(inst: &Instance, matches: &MatchSet) {
@@ -174,6 +202,37 @@ fn report(inst: &Instance, matches: &MatchSet) {
     }
 }
 
+fn solve_cmd(algo: &str, scaling: bool, json: bool, inst: &Instance) -> ExitCode {
+    let opts = EngineOptions {
+        scaling,
+        ..EngineOptions::default()
+    };
+    let run = match SolverRegistry::global().solve(algo, inst, opts) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        return match serde_json::to_string_pretty(&run.report) {
+            Ok(s) => {
+                println!("{s}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if let Some(winner) = &run.report.winner {
+        println!("portfolio winner: {winner}");
+    }
+    report(inst, &run.matches);
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -183,14 +242,17 @@ fn main() -> ExitCode {
         "demo" => {
             let inst = fragalign_model::instance::paper_example();
             println!("instance: the paper's Fig. 2 example");
-            let result = core::csr_improve(&inst, false);
-            report(&inst, &result.matches);
+            solve_cmd("csr", false, false, &inst)
+        }
+        "solvers" => {
+            print!("{}", SolverRegistry::global().markdown_table());
             ExitCode::SUCCESS
         }
         "solve" => {
             let mut algo = "csr".to_owned();
             let mut scaling = false;
             let mut batch = false;
+            let mut json = false;
             let mut path: Option<String> = None;
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
@@ -199,6 +261,10 @@ fn main() -> ExitCode {
                         Some(v) => algo = v.clone(),
                         None => return usage(),
                     },
+                    "--report" => match it.next().map(String::as_str) {
+                        Some("json") => json = true,
+                        _ => return usage(),
+                    },
                     "--scaling" => scaling = true,
                     "--batch" => batch = true,
                     other => path = Some(other.to_owned()),
@@ -206,7 +272,7 @@ fn main() -> ExitCode {
             }
             let Some(path) = path else { return usage() };
             if batch {
-                return solve_batch_cmd(&algo, scaling, &path);
+                return solve_batch_cmd(&algo, scaling, json, &path);
             }
             let inst = match read_instance(&path) {
                 Ok(i) => i,
@@ -215,16 +281,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            match solve(&algo, scaling, &inst) {
-                Ok(matches) => {
-                    report(&inst, &matches);
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    ExitCode::FAILURE
-                }
-            }
+            solve_cmd(&algo, scaling, json, &inst)
         }
         "gen" => {
             let mut cfg = SimConfig::default();

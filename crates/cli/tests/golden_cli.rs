@@ -64,6 +64,67 @@ fn gen_seed42_is_byte_stable() {
 }
 
 #[test]
+fn one_csr_gen_pipe_solve_is_byte_stable() {
+    // The 1-CSR/ISP reduction is reachable end to end now that the
+    // registry dispatches the CLI: a single-M generated instance
+    // solves under `--algo one-csr` and both artifacts stay
+    // byte-stable.
+    let instance = run(
+        &[
+            "gen",
+            "--seed",
+            "7",
+            "--m-frags",
+            "1",
+            "--regions",
+            "8",
+            "--h-frags",
+            "3",
+        ],
+        None,
+    );
+    assert_eq!(
+        instance,
+        golden("one_csr_seed7.json"),
+        "single-M gen drifted from snapshot"
+    );
+    let first = run(&["solve", "--algo", "one-csr", "-"], Some(&instance));
+    let second = run(&["solve", "--algo", "one-csr", "-"], Some(&instance));
+    assert_eq!(first, second, "one-csr output differs between two runs");
+    assert_eq!(
+        first,
+        golden("one_csr_solve_seed7.txt"),
+        "one-csr solve drifted from snapshot"
+    );
+}
+
+#[test]
+fn report_json_is_machine_readable() {
+    // `--report json` replaces the layout with the engine's uniform
+    // telemetry record. Wall time varies, so this parses instead of
+    // snapshotting.
+    let instance = run(&["gen", "--seed", "42"], None);
+    for algo in ["csr", "portfolio"] {
+        let out = run(
+            &["solve", "--algo", algo, "--report", "json", "-"],
+            Some(&instance),
+        );
+        assert!(out.contains(&format!("\"solver\": \"{algo}\"")), "{out}");
+        for field in [
+            "\"score\"",
+            "\"rounds\"",
+            "\"attempts\"",
+            "\"dp_fills\"",
+            "\"dp_reallocs\"",
+            "\"wall_secs\"",
+            "\"winner\"",
+        ] {
+            assert!(out.contains(field), "{algo}: report lacks {field}: {out}");
+        }
+    }
+}
+
+#[test]
 fn gen_pipe_solve_is_byte_stable() {
     let instance = run(&["gen", "--seed", "42"], None);
     let first = run(&["solve", "-"], Some(&instance));

@@ -2,97 +2,46 @@
 //!
 //! The simulator (and any real scaffolding service) produces many
 //! small instances at once; solving them one at a time leaves workers
-//! idle and re-allocates DP buffers per score. [`solve_batch`] runs a
-//! slice of instances through [`fragalign_par::par_map_ordered_init`]
-//! with one warm [`DpWorkspace`] per worker and one *shared-nothing*
-//! [`ScoreOracle`] per instance: no cache line is shared between
-//! instances, so results are deterministic regardless of thread count
-//! and identical to per-instance sequential solves.
+//! idle and re-allocates DP buffers per score. [`solve_batch`] is a
+//! thin loop over the [`SolverRegistry`](crate::SolverRegistry): it
+//! resolves the solver name once, then maps the instances over
+//! [`fragalign_par::par_map_ordered_init`] with one warm
+//! [`DpWorkspace`] per worker and one *shared-nothing* solve context
+//! per instance — no cache line is shared between instances, so
+//! results are deterministic regardless of thread count and identical
+//! to per-instance sequential solves. Any registered solver batches,
+//! including `one-csr`, `exact`, and `portfolio`.
 
-use fragalign_align::{DpWorkspace, ScoreOracle};
+use crate::engine::{EngineError, EngineOptions, SolveReport, SolverRegistry};
+use fragalign_align::DpWorkspace;
 use fragalign_model::{Instance, MatchSet, Score};
 use fragalign_par::par_map_ordered_init;
 
-/// Which solver a batch runs — mirrors the CLI's `--algo` values.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum BatchAlgo {
-    /// CSR_Improve (§4.4): all improvement methods, ratio 3 + ε.
-    #[default]
-    Csr,
-    /// Full_Improve (§4.2): method I1 only.
-    Full,
-    /// Border_Improve (§4.3): methods I2/I3 only.
-    Border,
-    /// The Corollary 1 factor-4 algorithm.
-    Four,
-    /// The greedy baseline.
-    Greedy,
-    /// Border CSR 2-approximation via matching (Lemma 9).
-    Matching,
-}
-
-impl std::str::FromStr for BatchAlgo {
-    type Err = String;
-
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
-        Ok(match s {
-            "csr" => BatchAlgo::Csr,
-            "full" => BatchAlgo::Full,
-            "border" => BatchAlgo::Border,
-            "four" => BatchAlgo::Four,
-            "greedy" => BatchAlgo::Greedy,
-            "matching" => BatchAlgo::Matching,
-            other => return Err(format!("unknown algorithm '{other}'")),
-        })
-    }
-}
-
-impl std::fmt::Display for BatchAlgo {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            BatchAlgo::Csr => "csr",
-            BatchAlgo::Full => "full",
-            BatchAlgo::Border => "border",
-            BatchAlgo::Four => "four",
-            BatchAlgo::Greedy => "greedy",
-            BatchAlgo::Matching => "matching",
-        })
-    }
-}
-
-/// Options for a batch run.
-#[derive(Clone, Copy, Debug)]
+/// Options for a batch run: which registered solver, plus the engine
+/// knobs every solve shares.
+#[derive(Clone, Debug)]
 pub struct BatchOptions {
-    /// The solver to run on every instance.
-    pub algo: BatchAlgo,
-    /// Enable the §4.1 scaling step (improvement algorithms only).
-    pub scaling: bool,
-    /// Reuse DP workspaces across fills and instances (default).
-    /// `false` restores the per-call-allocation baseline that
-    /// `exp_throughput` measures against. Only the improvement family
-    /// ([`BatchAlgo::Csr`]/[`BatchAlgo::Full`]/[`BatchAlgo::Border`])
-    /// accepts an external oracle today, so the knob and the worker
-    /// workspace are inert for [`BatchAlgo::Four`],
-    /// [`BatchAlgo::Greedy`] (internal oracle, reuse always on) and
-    /// [`BatchAlgo::Matching`].
-    pub reuse_workspaces: bool,
+    /// Registered solver name (see [`SolverRegistry::names`]).
+    pub solver: String,
+    /// Engine knobs (scaling, workspace reuse, exact limits).
+    pub engine: EngineOptions,
 }
 
 impl BatchOptions {
-    /// Options for `algo` with workspace reuse on.
-    pub fn new(algo: BatchAlgo) -> Self {
+    /// Options for the named solver with engine defaults (workspace
+    /// reuse on, unscaled).
+    pub fn new(solver: impl Into<String>) -> Self {
         BatchOptions {
-            algo,
-            scaling: false,
-            reuse_workspaces: true,
+            solver: solver.into(),
+            engine: EngineOptions::default(),
         }
     }
 }
 
 impl Default for BatchOptions {
-    /// CSR_Improve, unscaled, workspace reuse on.
+    /// CSR_Improve, engine defaults.
     fn default() -> Self {
-        BatchOptions::new(BatchAlgo::default())
+        BatchOptions::new("csr")
     }
 }
 
@@ -106,61 +55,67 @@ pub struct BatchSolution {
 }
 
 /// Solve one instance with a caller-owned workspace. The workspace is
-/// scratch only: it never changes results, just skips allocations —
-/// and only the improvement family actually borrows it (see
-/// [`BatchOptions::reuse_workspaces`]).
-pub fn solve_single(inst: &Instance, opts: &BatchOptions, ws: &mut DpWorkspace) -> BatchSolution {
-    let matches = match opts.algo {
-        BatchAlgo::Csr | BatchAlgo::Full | BatchAlgo::Border => {
-            let methods = match opts.algo {
-                BatchAlgo::Csr => crate::MethodSet::All,
-                BatchAlgo::Full => crate::MethodSet::FullOnly,
-                _ => crate::MethodSet::BorderOnly,
-            };
-            let oracle = ScoreOracle::with_workspace_reuse(inst, opts.reuse_workspaces);
-            if opts.reuse_workspaces {
-                // Lend the worker's warm buffers to this instance's
-                // oracle, and take them back (warmer) afterwards.
-                oracle.adopt_workspace(std::mem::take(ws));
-            }
-            let result = crate::improve::improve_with_oracle(
-                &oracle,
-                crate::ImproveConfig {
-                    methods,
-                    scaling: opts.scaling,
-                    ..Default::default()
-                },
-                MatchSet::new(),
-            );
-            if opts.reuse_workspaces {
-                *ws = oracle.reclaim_workspace();
-            }
-            result.matches
-        }
-        BatchAlgo::Four => crate::solve_four_approx(inst),
-        BatchAlgo::Greedy => crate::solve_greedy(inst),
-        BatchAlgo::Matching => crate::border_matching_2approx(inst),
-    };
-    BatchSolution {
-        score: matches.total_score(),
-        matches,
-    }
+/// scratch only: it seeds the run's oracle pool and never changes
+/// results. Every oracle-driven solver borrows it (`csr`/`full`/
+/// `border`, `four`, `greedy`, `matching`, `one-csr`); `exact` runs
+/// oracle-free and `portfolio` racers pool their own workspaces, so
+/// for those two the knob is inert — allocation counts, never
+/// results, are at stake either way.
+pub fn solve_single(
+    inst: &Instance,
+    opts: &BatchOptions,
+    ws: &mut DpWorkspace,
+) -> Result<BatchSolution, EngineError> {
+    solve_single_report(inst, opts, ws).map(|(solution, _)| solution)
+}
+
+/// [`solve_single`] keeping the engine's telemetry record.
+pub fn solve_single_report(
+    inst: &Instance,
+    opts: &BatchOptions,
+    ws: &mut DpWorkspace,
+) -> Result<(BatchSolution, SolveReport), EngineError> {
+    let run = SolverRegistry::global().solve_with_workspace(&opts.solver, inst, opts.engine, ws)?;
+    Ok((
+        BatchSolution {
+            matches: run.matches,
+            score: run.score,
+        },
+        run.report,
+    ))
 }
 
 /// Solve every instance of a batch on the current rayon pool.
 ///
-/// Results come back in input order; each instance gets its own
-/// oracle (shared-nothing) and each worker keeps one warm workspace
+/// Results come back in input order; each instance gets its own solve
+/// context (shared-nothing) and each worker keeps one warm workspace
 /// for the instances it happens to process, so the output is
 /// byte-identical for 1 worker, N workers, or a plain sequential loop
-/// of [`solve_single`].
-pub fn solve_batch(instances: &[Instance], opts: &BatchOptions) -> Vec<BatchSolution> {
-    let opts = *opts;
-    par_map_ordered_init(
+/// of [`solve_single`]. Fails fast on an unknown solver name; an
+/// instance a solver cannot handle (e.g. `one-csr` on a multi-M
+/// instance) surfaces as the first per-instance error.
+pub fn solve_batch(
+    instances: &[Instance],
+    opts: &BatchOptions,
+) -> Result<Vec<BatchSolution>, EngineError> {
+    let reports = solve_batch_reports(instances, opts)?;
+    Ok(reports.into_iter().map(|(solution, _)| solution).collect())
+}
+
+/// [`solve_batch`] keeping each instance's telemetry record.
+pub fn solve_batch_reports(
+    instances: &[Instance],
+    opts: &BatchOptions,
+) -> Result<Vec<(BatchSolution, SolveReport)>, EngineError> {
+    // Resolve once so an unknown name fails before any work runs.
+    SolverRegistry::global().spec(&opts.solver)?;
+    let opts = opts.clone();
+    let results = par_map_ordered_init(
         (0..instances.len()).collect(),
         DpWorkspace::new,
-        move |ws, idx| solve_single(&instances[idx], &opts, ws),
-    )
+        move |ws, idx| solve_single_report(&instances[idx], &opts, ws),
+    );
+    results.into_iter().collect()
 }
 
 #[cfg(test)]
@@ -168,49 +123,55 @@ mod tests {
     use super::*;
     use fragalign_model::check_consistency;
     use fragalign_model::instance::paper_example;
-    use std::str::FromStr;
 
     #[test]
-    fn algo_round_trips_through_strings() {
-        for name in ["csr", "full", "border", "four", "greedy", "matching"] {
-            let algo = BatchAlgo::from_str(name).unwrap();
-            assert_eq!(algo.to_string(), name);
-        }
-        assert!(BatchAlgo::from_str("simulated-annealing").is_err());
+    fn unknown_solver_fails_before_solving() {
+        let insts = [paper_example()];
+        let err = solve_batch(&insts, &BatchOptions::new("simulated-annealing")).unwrap_err();
+        assert!(matches!(err, EngineError::UnknownSolver { .. }));
     }
 
     #[test]
     fn batch_matches_individual_solves() {
         let insts: Vec<Instance> = (0..3).map(|_| paper_example()).collect();
-        for algo in [BatchAlgo::Csr, BatchAlgo::Four, BatchAlgo::Greedy] {
-            let opts = BatchOptions::new(algo);
-            let batch = solve_batch(&insts, &opts);
+        for name in ["csr", "four", "greedy", "portfolio"] {
+            let opts = BatchOptions::new(name);
+            let batch = solve_batch(&insts, &opts).unwrap();
             assert_eq!(batch.len(), 3);
             for (inst, sol) in insts.iter().zip(&batch) {
                 check_consistency(inst, &sol.matches).unwrap();
                 let mut fresh = DpWorkspace::new();
-                let single = solve_single(inst, &opts, &mut fresh);
-                assert_eq!(sol, &single, "{algo}");
+                let single = solve_single(inst, &opts, &mut fresh).unwrap();
+                assert_eq!(sol, &single, "{name}");
             }
         }
         // The improvement family reaches the paper optimum.
-        let csr = solve_batch(&insts, &BatchOptions::new(BatchAlgo::Csr));
+        let csr = solve_batch(&insts, &BatchOptions::new("csr")).unwrap();
         assert!(csr.iter().all(|s| s.score == 11));
     }
 
     #[test]
     fn workspace_reuse_does_not_change_results() {
         let insts: Vec<Instance> = (0..2).map(|_| paper_example()).collect();
-        let mut baseline_opts = BatchOptions::new(BatchAlgo::Csr);
-        baseline_opts.reuse_workspaces = false;
-        let baseline = solve_batch(&insts, &baseline_opts);
-        let reused = solve_batch(&insts, &BatchOptions::new(BatchAlgo::Csr));
-        assert_eq!(baseline, reused);
+        for name in ["csr", "four", "greedy", "matching"] {
+            let mut baseline_opts = BatchOptions::new(name);
+            baseline_opts.engine.reuse_workspaces = false;
+            let baseline = solve_batch(&insts, &baseline_opts).unwrap();
+            let reused = solve_batch(&insts, &BatchOptions::new(name)).unwrap();
+            assert_eq!(baseline, reused, "{name}");
+        }
+    }
+
+    #[test]
+    fn unsupported_instances_surface_as_errors() {
+        let insts = [paper_example()]; // two M fragments
+        let err = solve_batch(&insts, &BatchOptions::new("one-csr")).unwrap_err();
+        assert!(matches!(err, EngineError::Unsupported { .. }));
     }
 
     #[test]
     fn empty_batch_is_fine() {
-        let out = solve_batch(&[], &BatchOptions::default());
+        let out = solve_batch(&[], &BatchOptions::default()).unwrap();
         assert!(out.is_empty());
     }
 }

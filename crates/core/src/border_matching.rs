@@ -8,17 +8,27 @@
 //! fragments against `M` fragments with edge weight `MS(h, m)` (full
 //! sites) and keep the positive pairs.
 
-use fragalign_align::ms_sites;
+use fragalign_align::ScoreOracle;
 use fragalign_matching::{max_weight_matching, WeightMatrix};
 use fragalign_model::{FragId, Instance, Match, MatchSet, Site};
 
 /// The Lemma 9 algorithm. Returns full–full matches only.
 pub fn border_matching_2approx(inst: &Instance) -> MatchSet {
+    let oracle = ScoreOracle::new(inst);
+    border_matching_2approx_with_oracle(&oracle)
+}
+
+/// [`border_matching_2approx`] with a caller-provided oracle: the
+/// full-fragment `MS` weights fill through the oracle's pooled
+/// workspaces (and are memoised for the second pass). Bit-identical to
+/// the free-function route — the oracle scores through the same
+/// kernels.
+pub fn border_matching_2approx_with_oracle(oracle: &ScoreOracle<'_>) -> MatchSet {
+    let inst = oracle.instance();
     let mut w = WeightMatrix::new(inst.h.len(), inst.m.len());
     for (i, hf) in inst.h.iter().enumerate() {
         for (j, mf) in inst.m.iter().enumerate() {
-            let (score, _) = ms_sites(
-                inst,
+            let (score, _) = oracle.ms(
                 Site::full(FragId::h(i), hf.len()),
                 Site::full(FragId::m(j), mf.len()),
             );
@@ -30,7 +40,7 @@ pub fn border_matching_2approx(inst: &Instance) -> MatchSet {
     for (i, j, score) in matching.pairs {
         let h = Site::full(FragId::h(i), inst.h[i].len());
         let m = Site::full(FragId::m(j), inst.m[j].len());
-        let (ms, orient) = ms_sites(inst, h, m);
+        let (ms, orient) = oracle.ms(h, m);
         debug_assert_eq!(ms, score);
         out.push(Match::new(h, m, orient, score));
     }

@@ -1,0 +1,211 @@
+//! The solver engine layer: one object-safe interface, one registry,
+//! one telemetry shape for every CSR solver.
+//!
+//! The paper presents a *family* of algorithms for the same instances
+//! — greedy, the factor-4 algorithm (Theorem 3), the 1-CSR/ISP
+//! reduction (§3.4), the three §4 improvement variants, the Border
+//! matching 2-approximation (Lemma 9), and the exhaustive optimum.
+//! Before this module, the CLI and the batch pipeline each hard-coded
+//! their own dispatch over a subset of them. Now:
+//!
+//! * [`Solver`] is the uniform interface: `solve(inst, &mut SolveCtx)`
+//!   with an injected memoising [`ScoreOracle`] (which owns the
+//!   pooled [`DpWorkspace`](fragalign_align::DpWorkspace)s) and the
+//!   run options;
+//! * [`SolverRegistry`] is the single source of truth mapping names to
+//!   solver factories plus paper metadata — the CLI, the batch loop,
+//!   the bench matrix, and the README table all read it;
+//! * [`SolveReport`] is the uniform telemetry record every run emits:
+//!   score, rounds, attempts, DP fill/realloc counts pulled from the
+//!   oracle stats, and wall time;
+//! * [`Portfolio`] is a meta-solver racing a configurable solver set
+//!   in parallel and keeping the best-scoring result, with ties broken
+//!   by registry order so the outcome never depends on thread timing.
+
+mod portfolio;
+mod registry;
+mod solvers;
+
+pub use portfolio::Portfolio;
+pub use registry::{SolverRegistry, SolverSpec};
+
+use crate::ExactLimits;
+use fragalign_align::ScoreOracle;
+use fragalign_model::{Instance, MatchSet, Score};
+use serde::Serialize;
+
+/// Knobs shared by every engine run.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineOptions {
+    /// Enable the §4.1 scaling step (improvement solvers only).
+    pub scaling: bool,
+    /// Pool DP workspaces across fills and instances (default). Off
+    /// restores the per-call-allocation baseline `exp_throughput`
+    /// measures against; results never change either way.
+    pub reuse_workspaces: bool,
+    /// Instance-size guard for the exhaustive solver.
+    pub exact_limits: ExactLimits,
+}
+
+impl Default for EngineOptions {
+    /// Unscaled, workspace reuse on, default exact limits.
+    fn default() -> Self {
+        EngineOptions {
+            scaling: false,
+            reuse_workspaces: true,
+            exact_limits: ExactLimits::default(),
+        }
+    }
+}
+
+/// Per-run context injected into [`Solver::solve`]: the memoising
+/// score oracle (whose internal pool holds the warm DP workspaces) and
+/// the run options. One context per instance per run — contexts are
+/// never shared between instances, so batch results stay deterministic
+/// regardless of thread count.
+pub struct SolveCtx<'a> {
+    /// Shared-per-run memoising score oracle over the instance.
+    pub oracle: ScoreOracle<'a>,
+    /// The options of this run.
+    pub opts: EngineOptions,
+}
+
+impl<'a> SolveCtx<'a> {
+    /// A fresh context for `inst` (empty caches, empty workspace pool).
+    pub fn new(inst: &'a Instance, opts: EngineOptions) -> Self {
+        SolveCtx {
+            oracle: ScoreOracle::with_workspace_reuse(inst, opts.reuse_workspaces),
+            opts,
+        }
+    }
+
+    /// The instance this context solves.
+    pub fn instance(&self) -> &'a Instance {
+        self.oracle.instance()
+    }
+}
+
+/// What a solver hands back: the consistent match set plus whatever
+/// work counters the algorithm naturally tracks (zero where a solver
+/// has no notion of rounds or attempts).
+#[derive(Clone, Debug)]
+pub struct SolveOutcome {
+    /// The consistent match set.
+    pub matches: MatchSet,
+    /// Committed improvement rounds (improvement family; 0 elsewhere).
+    pub rounds: usize,
+    /// Candidate attempts evaluated (improvement family; summed over
+    /// racers for the portfolio; 0 elsewhere).
+    pub attempts: usize,
+    /// The racer that produced `matches` (portfolio only).
+    pub winner: Option<&'static str>,
+}
+
+impl SolveOutcome {
+    /// An outcome carrying only a match set.
+    pub fn from_matches(matches: MatchSet) -> Self {
+        SolveOutcome {
+            matches,
+            rounds: 0,
+            attempts: 0,
+            winner: None,
+        }
+    }
+}
+
+/// The uniform solver interface. Implementations must be deterministic
+/// (identical results for any thread count) and return a consistent
+/// match set; the context's oracle is scratch plus memoisation only
+/// and never changes results.
+pub trait Solver: Send + Sync {
+    /// `Err(reason)` when this solver cannot run on `inst` — the
+    /// 1-CSR reduction needs a single M fragment, the exhaustive
+    /// solver refuses oversized instances. The registry turns a
+    /// failure into [`EngineError::Unsupported`]; the portfolio skips
+    /// the racer.
+    fn supports(&self, _inst: &Instance, _opts: &EngineOptions) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Solve `inst` through the injected context.
+    fn solve(&self, inst: &Instance, ctx: &mut SolveCtx<'_>) -> SolveOutcome;
+}
+
+/// Uniform telemetry for one engine run, serialisable for
+/// `fragalign solve --report json` and the solver-matrix experiment.
+#[derive(Clone, Debug, Serialize)]
+pub struct SolveReport {
+    /// Registered solver name.
+    pub solver: String,
+    /// Total score of the returned match set.
+    pub score: Score,
+    /// Number of matches returned.
+    pub matches: usize,
+    /// Committed improvement rounds (0 for one-shot solvers).
+    pub rounds: usize,
+    /// Attempts evaluated (improvement family; summed over racers
+    /// for the portfolio; 0 for one-shot solvers).
+    pub attempts: usize,
+    /// DP fills served through the run's oracle(s), nested oracles
+    /// included.
+    pub dp_fills: u64,
+    /// Workspace buffer growth events — the allocations proxy.
+    pub dp_reallocs: u64,
+    /// Interval tables computed.
+    pub table_misses: u64,
+    /// Site-pair scores computed.
+    pub pair_misses: u64,
+    /// Wall-clock seconds of the solve call.
+    pub wall_secs: f64,
+    /// The racer that won (portfolio runs only).
+    pub winner: Option<String>,
+}
+
+/// A finished engine run: the solution and its telemetry.
+#[derive(Clone, Debug)]
+pub struct SolveRun {
+    /// The consistent match set the solver returned.
+    pub matches: MatchSet,
+    /// Its total score (duplicated from the report for convenience).
+    pub score: Score,
+    /// The uniform telemetry record.
+    pub report: SolveReport,
+}
+
+/// Why the engine refused to run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// No registered solver has the requested name.
+    UnknownSolver {
+        /// The name that failed to resolve.
+        name: String,
+        /// Every registered name, in registry order.
+        known: Vec<&'static str>,
+    },
+    /// The solver exists but cannot run on this instance.
+    Unsupported {
+        /// The registered solver name.
+        solver: &'static str,
+        /// The solver's own explanation.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownSolver { name, known } => {
+                write!(
+                    f,
+                    "unknown solver '{name}' (registered: {})",
+                    known.join("|")
+                )
+            }
+            EngineError::Unsupported { solver, reason } => {
+                write!(f, "solver '{solver}' cannot run here: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

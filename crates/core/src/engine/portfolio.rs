@@ -1,0 +1,136 @@
+//! The racing portfolio meta-solver.
+//!
+//! Strategy choice is instance-dependent (Allali et al., "Chaining
+//! fragments in sequences: to sweep or not"): on dense instances the
+//! improvement family wins, on disjoint full-fragment instances the
+//! matching 2-approximation already ties it at a fraction of the
+//! cost, and greedy occasionally lucks out. The portfolio runs a
+//! configurable set of registered solvers — in parallel over the
+//! rayon pool — and keeps the best-scoring consistent result.
+//! Determinism: racers are ordered by registry position and the
+//! best-score tie goes to the lowest position, never to whichever
+//! thread finished first.
+
+use super::{EngineError, EngineOptions, SolveCtx, SolveOutcome, Solver, SolverRegistry};
+use fragalign_model::Instance;
+use fragalign_par::par_map_ordered;
+
+/// Meta-solver racing a set of registered solvers and returning the
+/// best-scoring result (ties: lowest registry position).
+pub struct Portfolio {
+    /// Member names, sorted by registry position.
+    members: Vec<&'static str>,
+}
+
+impl Portfolio {
+    /// The default racer set: every registry entry flagged
+    /// `in_portfolio` (the exhaustive solver and the portfolio itself
+    /// are excluded).
+    pub fn new() -> Self {
+        let members = SolverRegistry::global()
+            .specs()
+            .iter()
+            .filter(|s| s.in_portfolio)
+            .map(|s| s.name)
+            .collect();
+        Portfolio { members }
+    }
+
+    /// Race a custom member set. Every name must be registered;
+    /// duplicates collapse and members race in registry order
+    /// regardless of argument order, so the tie-break stays the
+    /// registry's, not the caller's.
+    pub fn with_members(names: &[&str]) -> Result<Self, EngineError> {
+        let reg = SolverRegistry::global();
+        let mut positions = Vec::with_capacity(names.len());
+        for name in names {
+            let pos = reg
+                .position(name)
+                .ok_or_else(|| EngineError::UnknownSolver {
+                    name: (*name).to_owned(),
+                    known: reg.names(),
+                })?;
+            positions.push(pos);
+        }
+        positions.sort_unstable();
+        positions.dedup();
+        Ok(Portfolio {
+            members: positions.into_iter().map(|p| reg.specs()[p].name).collect(),
+        })
+    }
+
+    /// The member names, in race (registry) order.
+    pub fn members(&self) -> &[&'static str] {
+        &self.members
+    }
+}
+
+impl Default for Portfolio {
+    fn default() -> Self {
+        Portfolio::new()
+    }
+}
+
+impl Solver for Portfolio {
+    fn supports(&self, inst: &Instance, opts: &EngineOptions) -> Result<(), String> {
+        let reg = SolverRegistry::global();
+        for name in &self.members {
+            if let Ok(spec) = reg.spec(name) {
+                if spec.build().supports(inst, opts).is_ok() {
+                    return Ok(());
+                }
+            }
+        }
+        Err("no portfolio member supports this instance".to_owned())
+    }
+
+    fn solve(&self, inst: &Instance, ctx: &mut SolveCtx<'_>) -> SolveOutcome {
+        let reg = SolverRegistry::global();
+        let opts = ctx.opts;
+        // Racers that can run here, in registry order; each gets its
+        // own shared-nothing context so no cache line crosses racers.
+        let racers: Vec<&'static str> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|name| {
+                reg.spec(name)
+                    .is_ok_and(|s| s.build().supports(inst, &opts).is_ok())
+            })
+            .collect();
+        let runs = par_map_ordered(racers.clone(), move |name| {
+            let solver = reg.spec(name).expect("racer is registered").build();
+            let mut sub = SolveCtx::new(inst, opts);
+            let out = solver.solve(inst, &mut sub);
+            (out, sub.oracle.stats.snapshot())
+        });
+
+        let mut best: Option<(usize, SolveOutcome)> = None;
+        let mut attempts = 0;
+        for (idx, (out, stats)) in runs.into_iter().enumerate() {
+            // Fold each racer's oracle work into the portfolio's
+            // context so the report shows the whole race.
+            ctx.oracle.stats.absorb(&stats);
+            attempts += out.attempts;
+            let better = match &best {
+                None => true,
+                // Strict: the earliest racer keeps ties.
+                Some((_, b)) => out.matches.total_score() > b.matches.total_score(),
+            };
+            if better {
+                best = Some((idx, out));
+            }
+        }
+        match best {
+            Some((idx, out)) => SolveOutcome {
+                winner: Some(racers[idx]),
+                rounds: out.rounds,
+                attempts,
+                matches: out.matches,
+            },
+            // supports() rejects instances no member can run, so this
+            // only guards direct Solver-trait use.
+            None => SolveOutcome::from_matches(fragalign_model::MatchSet::new()),
+        }
+    }
+}

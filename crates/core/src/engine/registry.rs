@@ -1,0 +1,301 @@
+//! Name → solver-factory registry: the single source of truth the
+//! CLI, the batch pipeline, the solver-matrix experiment, and the
+//! README solver table all read. Registering a solver here is the
+//! whole integration: every front end picks it up.
+
+use super::solvers::{BorderMatching, Exact, FourApprox, Greedy, Improve, OneCsr};
+use super::{
+    EngineError, EngineOptions, Portfolio, SolveCtx, SolveOutcome, SolveReport, SolveRun, Solver,
+};
+use crate::MethodSet;
+use fragalign_align::DpWorkspace;
+use fragalign_model::Instance;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+type Factory = fn() -> Box<dyn Solver>;
+
+/// One registered solver: the public name, paper metadata for docs
+/// and reports, and the factory.
+pub struct SolverSpec {
+    /// Registered name (the CLI's `--algo` value).
+    pub name: &'static str,
+    /// Which paper artifact the solver implements.
+    pub paper: &'static str,
+    /// Proven approximation ratio, as prose.
+    pub ratio: &'static str,
+    /// Whether the default [`Portfolio`] races this solver. The
+    /// exhaustive solver sits out (worst-case factorial work) and the
+    /// portfolio cannot race itself.
+    pub in_portfolio: bool,
+    factory: Factory,
+}
+
+impl SolverSpec {
+    /// Instantiate the solver.
+    pub fn build(&self) -> Box<dyn Solver> {
+        (self.factory)()
+    }
+}
+
+/// The name → factory registry. Order matters: it is the portfolio's
+/// tie-break and every front end's display order.
+pub struct SolverRegistry {
+    entries: Vec<SolverSpec>,
+}
+
+impl SolverRegistry {
+    /// Every solver this workspace ships, in canonical order
+    /// (strongest guarantees first, so portfolio ties resolve to the
+    /// best-understood algorithm).
+    pub fn builtin() -> SolverRegistry {
+        let entries = vec![
+            SolverSpec {
+                name: "csr",
+                paper: "CSR_Improve (§4.4, Theorem 6)",
+                ratio: "3 + ε",
+                in_portfolio: true,
+                factory: || Box::new(Improve(MethodSet::All)),
+            },
+            SolverSpec {
+                name: "full",
+                paper: "Full_Improve (§4.2, Theorem 4)",
+                ratio: "3 + ε (Full CSR)",
+                in_portfolio: true,
+                factory: || Box::new(Improve(MethodSet::FullOnly)),
+            },
+            SolverSpec {
+                name: "border",
+                paper: "Border_Improve (§4.3, Theorem 5)",
+                ratio: "3 + ε (Border CSR)",
+                in_portfolio: true,
+                factory: || Box::new(Improve(MethodSet::BorderOnly)),
+            },
+            SolverSpec {
+                name: "four",
+                paper: "factor-4 algorithm (Theorem 3, Corollary 1)",
+                ratio: "4",
+                in_portfolio: true,
+                factory: || Box::new(FourApprox),
+            },
+            SolverSpec {
+                name: "one-csr",
+                paper: "1-CSR → ISP reduction solved with TPA (§3.4)",
+                ratio: "2 (single-M instances)",
+                in_portfolio: true,
+                factory: || Box::new(OneCsr),
+            },
+            SolverSpec {
+                name: "matching",
+                paper: "bipartite-matching 2-approx (Lemma 9)",
+                ratio: "2 (Border CSR)",
+                in_portfolio: true,
+                factory: || Box::new(BorderMatching),
+            },
+            SolverSpec {
+                name: "greedy",
+                paper: "the greedy baseline the introduction warns about",
+                ratio: "unbounded",
+                in_portfolio: true,
+                factory: || Box::new(Greedy),
+            },
+            SolverSpec {
+                name: "exact",
+                paper: "exhaustive conjecture-pair search",
+                ratio: "1 (optimum; small instances only)",
+                in_portfolio: false,
+                factory: || Box::new(Exact),
+            },
+            SolverSpec {
+                name: "portfolio",
+                paper: "races every solver above, keeps the best",
+                ratio: "min over members",
+                in_portfolio: false,
+                factory: || Box::new(Portfolio::new()),
+            },
+        ];
+        SolverRegistry { entries }
+    }
+
+    /// The process-wide registry (built on first use).
+    pub fn global() -> &'static SolverRegistry {
+        static GLOBAL: OnceLock<SolverRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(SolverRegistry::builtin)
+    }
+
+    /// Every entry, in canonical order.
+    pub fn specs(&self) -> &[SolverSpec] {
+        &self.entries
+    }
+
+    /// Every registered name, in canonical order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|s| s.name).collect()
+    }
+
+    /// Position of `name` in the canonical order.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.entries.iter().position(|s| s.name == name)
+    }
+
+    /// Look a solver up by name.
+    pub fn spec(&self, name: &str) -> Result<&SolverSpec, EngineError> {
+        self.entries
+            .iter()
+            .find(|s| s.name == name)
+            .ok_or_else(|| EngineError::UnknownSolver {
+                name: name.to_owned(),
+                known: self.names(),
+            })
+    }
+
+    /// Run the named solver on `inst` with a throwaway workspace.
+    pub fn solve(
+        &self,
+        name: &str,
+        inst: &Instance,
+        opts: EngineOptions,
+    ) -> Result<SolveRun, EngineError> {
+        let mut ws = DpWorkspace::new();
+        self.solve_with_workspace(name, inst, opts, &mut ws)
+    }
+
+    /// Run the named solver on `inst`, lending `ws` to the run's
+    /// oracle pool (and taking it back, warmer, afterwards — the batch
+    /// loop threads one workspace per worker through here). The
+    /// workspace is scratch only: it never changes results.
+    pub fn solve_with_workspace(
+        &self,
+        name: &str,
+        inst: &Instance,
+        opts: EngineOptions,
+        ws: &mut DpWorkspace,
+    ) -> Result<SolveRun, EngineError> {
+        let spec = self.spec(name)?;
+        let solver = spec.build();
+        solver
+            .supports(inst, &opts)
+            .map_err(|reason| EngineError::Unsupported {
+                solver: spec.name,
+                reason,
+            })?;
+        let mut ctx = SolveCtx::new(inst, opts);
+        if opts.reuse_workspaces {
+            ctx.oracle.adopt_workspace(std::mem::take(ws));
+        }
+        let start = Instant::now();
+        let out = solver.solve(inst, &mut ctx);
+        let wall_secs = start.elapsed().as_secs_f64();
+        if opts.reuse_workspaces {
+            *ws = ctx.oracle.reclaim_workspace();
+        }
+        Ok(self.finish_run(spec, out, &ctx, wall_secs))
+    }
+
+    /// Assemble the uniform report from an outcome and its context.
+    fn finish_run(
+        &self,
+        spec: &SolverSpec,
+        out: SolveOutcome,
+        ctx: &SolveCtx<'_>,
+        wall_secs: f64,
+    ) -> SolveRun {
+        let stats = ctx.oracle.stats.snapshot();
+        let score = out.matches.total_score();
+        SolveRun {
+            score,
+            report: SolveReport {
+                solver: spec.name.to_owned(),
+                score,
+                matches: out.matches.len(),
+                rounds: out.rounds,
+                attempts: out.attempts,
+                dp_fills: stats.dp_fills,
+                dp_reallocs: stats.dp_reallocs,
+                table_misses: stats.table_misses,
+                pair_misses: stats.pair_misses,
+                wall_secs,
+                winner: out.winner.map(str::to_owned),
+            },
+            matches: out.matches,
+        }
+    }
+
+    /// The README solver table, generated from the registry so docs
+    /// cannot drift from code (`tests/engine_registry.rs` pins the
+    /// README to this exact string).
+    pub fn markdown_table(&self) -> String {
+        let mut out = String::from(
+            "| solver | paper artifact | approximation ratio |\n| --- | --- | --- |\n",
+        );
+        for s in &self.entries {
+            out.push_str(&format!("| `{}` | {} | {} |\n", s.name, s.paper, s.ratio));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fragalign_model::instance::paper_example;
+
+    #[test]
+    fn every_name_resolves_and_builds() {
+        let reg = SolverRegistry::global();
+        assert!(reg.names().len() >= 9);
+        for name in reg.names() {
+            let spec = reg.spec(name).unwrap();
+            assert_eq!(spec.name, name);
+            let _ = spec.build();
+        }
+        assert!(matches!(
+            reg.spec("simulated-annealing"),
+            Err(EngineError::UnknownSolver { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_reports_telemetry() {
+        let reg = SolverRegistry::global();
+        let inst = paper_example();
+        let run = reg
+            .solve("csr", &inst, EngineOptions::default())
+            .expect("csr runs everywhere");
+        assert_eq!(run.score, 11);
+        assert_eq!(run.report.solver, "csr");
+        assert_eq!(run.report.score, 11);
+        assert!(run.report.rounds > 0);
+        assert!(run.report.attempts > 0);
+        assert!(run.report.dp_fills > 0);
+        assert!(run.report.wall_secs >= 0.0);
+        assert!(run.report.winner.is_none());
+    }
+
+    #[test]
+    fn unsupported_solvers_error_cleanly() {
+        let reg = SolverRegistry::global();
+        let inst = paper_example(); // two M fragments
+        let err = reg
+            .solve("one-csr", &inst, EngineOptions::default())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Unsupported {
+                solver: "one-csr",
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("one M fragment"));
+    }
+
+    #[test]
+    fn markdown_table_has_one_row_per_solver() {
+        let reg = SolverRegistry::global();
+        let table = reg.markdown_table();
+        assert_eq!(table.lines().count(), 2 + reg.specs().len());
+        for name in reg.names() {
+            assert!(table.contains(&format!("| `{name}` |")), "{name}");
+        }
+    }
+}

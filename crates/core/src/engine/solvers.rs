@@ -1,0 +1,97 @@
+//! [`Solver`] adapters for every algorithm the paper presents. Each
+//! adapter routes through the `_with_oracle` entry point of its
+//! algorithm, so the context's pooled workspaces (and memoised scores)
+//! serve the whole run — and each is bit-identical to the legacy free
+//! function it wraps (`tests/engine_registry.rs` proves it).
+
+use super::{EngineOptions, SolveCtx, SolveOutcome, Solver};
+use crate::{ImproveConfig, MethodSet};
+use fragalign_model::{Instance, MatchSet};
+
+/// The §4 iterative-improvement family; the method set picks the
+/// variant (Full_Improve, Border_Improve, CSR_Improve).
+pub struct Improve(pub MethodSet);
+
+impl Solver for Improve {
+    fn solve(&self, _inst: &Instance, ctx: &mut SolveCtx<'_>) -> SolveOutcome {
+        let result = crate::improve::improve_with_oracle(
+            &ctx.oracle,
+            ImproveConfig {
+                methods: self.0,
+                scaling: ctx.opts.scaling,
+                ..Default::default()
+            },
+            MatchSet::new(),
+        );
+        SolveOutcome {
+            matches: result.matches,
+            rounds: result.rounds,
+            attempts: result.attempts_evaluated,
+            winner: None,
+        }
+    }
+}
+
+/// The Corollary 1 factor-4 algorithm.
+pub struct FourApprox;
+
+impl Solver for FourApprox {
+    fn solve(&self, _inst: &Instance, ctx: &mut SolveCtx<'_>) -> SolveOutcome {
+        SolveOutcome::from_matches(crate::solve_four_approx_with_oracle(&ctx.oracle))
+    }
+}
+
+/// The greedy baseline the introduction warns about.
+pub struct Greedy;
+
+impl Solver for Greedy {
+    fn solve(&self, _inst: &Instance, ctx: &mut SolveCtx<'_>) -> SolveOutcome {
+        SolveOutcome::from_matches(crate::solve_greedy_with_oracle(&ctx.oracle))
+    }
+}
+
+/// The Lemma 9 Border-CSR 2-approximation via bipartite matching.
+pub struct BorderMatching;
+
+impl Solver for BorderMatching {
+    fn solve(&self, _inst: &Instance, ctx: &mut SolveCtx<'_>) -> SolveOutcome {
+        SolveOutcome::from_matches(crate::border_matching_2approx_with_oracle(&ctx.oracle))
+    }
+}
+
+/// The §3.4 1-CSR → ISP reduction solved with TPA (ratio 2). Only
+/// instances with exactly one M fragment qualify.
+pub struct OneCsr;
+
+impl Solver for OneCsr {
+    fn supports(&self, inst: &Instance, _opts: &EngineOptions) -> Result<(), String> {
+        if inst.m.len() == 1 {
+            Ok(())
+        } else {
+            Err(format!(
+                "1-CSR needs exactly one M fragment (instance has {})",
+                inst.m.len()
+            ))
+        }
+    }
+
+    fn solve(&self, _inst: &Instance, ctx: &mut SolveCtx<'_>) -> SolveOutcome {
+        SolveOutcome::from_matches(crate::solve_one_csr_with_oracle(&ctx.oracle))
+    }
+}
+
+/// The exhaustive optimum, materialised as a match set (Definition 2
+/// over the winning arrangements). Guarded by
+/// [`EngineOptions::exact_limits`].
+pub struct Exact;
+
+impl Solver for Exact {
+    fn supports(&self, inst: &Instance, opts: &EngineOptions) -> Result<(), String> {
+        opts.exact_limits.check(inst)
+    }
+
+    fn solve(&self, inst: &Instance, ctx: &mut SolveCtx<'_>) -> SolveOutcome {
+        let sol = crate::solve_exact(inst, ctx.opts.exact_limits);
+        SolveOutcome::from_matches(crate::exact::exact_matches(inst, &sol))
+    }
+}

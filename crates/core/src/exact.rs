@@ -7,9 +7,10 @@
 //! the H arrangements across cores. Used by `exp_ratio` to measure the
 //! empirical approximation ratios against Theorems 4–6.
 
-use fragalign_align::dp::p_score;
+use fragalign_align::dp::{align_words, p_score};
+use fragalign_model::conjecture::PairAssembler;
 use fragalign_model::symbol::reverse_word;
-use fragalign_model::{Fragment, Instance, Score, Sym};
+use fragalign_model::{FragId, Fragment, Instance, MatchSet, Score, Species, Sym};
 use rayon::prelude::*;
 
 /// Safety limits for the exhaustive search.
@@ -27,6 +28,31 @@ impl Default for ExactLimits {
             max_frags: 5,
             max_regions: 80,
         }
+    }
+}
+
+impl ExactLimits {
+    /// `Err(reason)` when `inst` exceeds these limits — the predicate
+    /// behind [`solve_exact`]'s panic, split out so the engine layer
+    /// (and the portfolio racer) can skip oversized instances instead
+    /// of crashing.
+    pub fn check(&self, inst: &Instance) -> Result<(), String> {
+        if inst.h.len() > self.max_frags || inst.m.len() > self.max_frags {
+            return Err(format!(
+                "exact solver limited to {} fragments per species (instance has {} H, {} M)",
+                self.max_frags,
+                inst.h.len(),
+                inst.m.len()
+            ));
+        }
+        if inst.total_regions() > self.max_regions {
+            return Err(format!(
+                "exact solver limited to {} total regions (instance has {})",
+                self.max_regions,
+                inst.total_regions()
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -102,16 +128,9 @@ fn arrangements(frags: &[Fragment]) -> Vec<(Arrangement, Vec<Sym>)> {
 /// Compute the exact CSR optimum. Panics when the instance exceeds
 /// `limits`.
 pub fn solve_exact(inst: &Instance, limits: ExactLimits) -> ExactSolution {
-    assert!(
-        inst.h.len() <= limits.max_frags && inst.m.len() <= limits.max_frags,
-        "exact solver limited to {} fragments per species",
-        limits.max_frags
-    );
-    assert!(
-        inst.total_regions() <= limits.max_regions,
-        "exact solver limited to {} total regions",
-        limits.max_regions
-    );
+    if let Err(reason) = limits.check(inst) {
+        panic!("{reason}");
+    }
     let hs = arrangements(&inst.h);
     let ms = arrangements(&inst.m);
     let best = hs
@@ -135,9 +154,64 @@ pub fn solve_exact(inst: &Instance, limits: ExactLimits) -> ExactSolution {
     }
 }
 
+/// Spell the laid concatenation of an arrangement, plus the cell
+/// (fragment, original region index, laid reversed) behind each
+/// concatenation position.
+fn lay_arrangement(
+    frags: &[Fragment],
+    arr: &Arrangement,
+    species: Species,
+) -> (Vec<Sym>, Vec<(FragId, usize, bool)>) {
+    let mut word = Vec::new();
+    let mut cells = Vec::new();
+    for (pos, &fi) in arr.order.iter().enumerate() {
+        let f = &frags[fi];
+        let flip = arr.flips[pos];
+        let id = match species {
+            Species::H => FragId::h(fi),
+            Species::M => FragId::m(fi),
+        };
+        if flip {
+            word.extend(reverse_word(&f.regions));
+            cells.extend((0..f.len()).rev().map(|i| (id, i, true)));
+        } else {
+            word.extend_from_slice(&f.regions);
+            cells.extend((0..f.len()).map(|i| (id, i, false)));
+        }
+    }
+    (word, cells)
+}
+
+/// Materialise the optimum as a consistent [`MatchSet`]: lay both
+/// winning arrangements out, trace back one optimal alignment of the
+/// two concatenations, and derive matches with Definition 2. By
+/// Remark 1 the derived set scores exactly `sol.score`, so the
+/// exhaustive solver plugs into the engine layer like every
+/// approximation algorithm instead of reporting an arrangement-only
+/// score.
+pub fn exact_matches(inst: &Instance, sol: &ExactSolution) -> MatchSet {
+    let (hw, hc) = lay_arrangement(&inst.h, &sol.h_arrangement, Species::H);
+    let (mw, mc) = lay_arrangement(&inst.m, &sol.m_arrangement, Species::M);
+    if hw.is_empty() || mw.is_empty() {
+        return MatchSet::new();
+    }
+    let (score, cols) = align_words(&inst.sigma, &hw, &mw);
+    debug_assert_eq!(score, sol.score, "alignment must realise the optimum");
+    let mut asm = PairAssembler::new();
+    for (uo, vo) in cols {
+        asm.push(uo.map(|o| hc[o]), vo.map(|o| mc[o]));
+    }
+    let pair = asm.finish();
+    debug_assert!(pair.validate(inst).is_ok(), "{:?}", pair.validate(inst));
+    let derived = pair.derive_matches(inst);
+    debug_assert_eq!(derived.total_score(), sol.score, "Remark 1");
+    derived
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fragalign_model::check_consistency;
     use fragalign_model::instance::paper_example;
 
     #[test]
@@ -154,6 +228,31 @@ mod tests {
         assert_eq!(permutations(1).len(), 1);
         assert_eq!(permutations(3).len(), 6);
         assert_eq!(permutations(4).len(), 24);
+    }
+
+    #[test]
+    fn exact_matches_realise_the_optimum() {
+        let inst = paper_example();
+        let sol = solve_exact(&inst, ExactLimits::default());
+        let matches = exact_matches(&inst, &sol);
+        check_consistency(&inst, &matches).unwrap();
+        assert_eq!(matches.total_score(), sol.score);
+    }
+
+    #[test]
+    fn limits_check_reports_reasons() {
+        let inst = paper_example();
+        assert!(ExactLimits::default().check(&inst).is_ok());
+        let tight = ExactLimits {
+            max_frags: 1,
+            max_regions: 80,
+        };
+        assert!(tight.check(&inst).unwrap_err().contains("fragments"));
+        let tiny = ExactLimits {
+            max_frags: 5,
+            max_regions: 1,
+        };
+        assert!(tiny.check(&inst).unwrap_err().contains("regions"));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! (Remark 1).
 
 use fragalign_align::dp::align_words;
+use fragalign_align::{DpWorkspace, OracleStatsSnapshot, ScoreOracle};
 use fragalign_model::conjecture::PairAssembler;
 use fragalign_model::symbol::reverse_word;
 use fragalign_model::{FragId, Instance, Match, MatchSet, Site, Species};
@@ -32,8 +33,17 @@ fn concat_coord(lens: &[usize], pos: usize) -> (usize, usize) {
 
 /// Solve `(H, concat(M))` with 1-CSR/TPA and translate the solution
 /// back into the original instance. `swap` = solve `(M, concat(H))`
-/// instead.
-fn one_sided(inst: &Instance, swap: bool) -> MatchSet {
+/// instead. The caller-owned workspace seeds the inner concat
+/// oracle's pool (scratch only: never changes results); the inner
+/// oracle's counters are folded into `stats` so end-to-end telemetry
+/// sees the real fill work.
+fn one_sided(
+    inst: &Instance,
+    swap: bool,
+    reuse: bool,
+    ws: &mut DpWorkspace,
+    stats: &mut OracleStatsSnapshot,
+) -> MatchSet {
     let base = if swap { inst.swapped() } else { inst.clone() };
     let lens: Vec<usize> = base.m.iter().map(|f| f.len()).collect();
     let concat = base.concat_species(Species::M);
@@ -43,7 +53,15 @@ fn one_sided(inst: &Instance, swap: bool) -> MatchSet {
         sigma: base.sigma.clone(),
         alphabet: base.alphabet.clone(),
     };
-    let sol = crate::one_csr::solve_one_csr(&concat_inst);
+    let inner = ScoreOracle::with_workspace_reuse(&concat_inst, reuse);
+    if reuse {
+        inner.adopt_workspace(std::mem::take(ws));
+    }
+    let sol = crate::one_csr::solve_one_csr_with_oracle(&inner);
+    if reuse {
+        *ws = inner.reclaim_workspace();
+    }
+    *stats += inner.stats.snapshot();
 
     // Lay the solution over the original fragments of `base`:
     // the M row is the concatenation in order; each selected H
@@ -127,8 +145,31 @@ fn one_sided(inst: &Instance, swap: bool) -> MatchSet {
 
 /// The Corollary 1 algorithm: ratio 4 for general CSR.
 pub fn solve_four_approx(inst: &Instance) -> MatchSet {
-    let a = one_sided(inst, false);
-    let b = one_sided(inst, true);
+    let oracle = ScoreOracle::new(inst);
+    solve_four_approx_with_oracle(&oracle)
+}
+
+/// [`solve_four_approx`] with a caller-provided oracle. The two
+/// concatenation sides build their own oracles over derived instances
+/// (the tables key on different fragments), but they borrow the
+/// caller's pooled workspace — so batch workspace reuse reaches the
+/// factor-4 solver — and fold their counters back into the caller's
+/// stats. Bit-identical to [`solve_four_approx`].
+pub fn solve_four_approx_with_oracle(oracle: &ScoreOracle<'_>) -> MatchSet {
+    let inst = oracle.instance();
+    let reuse = oracle.workspace_reuse();
+    let mut ws = if reuse {
+        oracle.reclaim_workspace()
+    } else {
+        DpWorkspace::new()
+    };
+    let mut stats = OracleStatsSnapshot::default();
+    let a = one_sided(inst, false, reuse, &mut ws, &mut stats);
+    let b = one_sided(inst, true, reuse, &mut ws, &mut stats);
+    if reuse {
+        oracle.adopt_workspace(ws);
+    }
+    oracle.stats.absorb(&stats);
     if a.total_score() >= b.total_score() {
         a
     } else {
@@ -157,8 +198,26 @@ mod tests {
     fn both_sides_consistent() {
         let inst = paper_example();
         for swap in [false, true] {
-            let sol = one_sided(&inst, swap);
+            let mut ws = DpWorkspace::new();
+            let mut stats = OracleStatsSnapshot::default();
+            let sol = one_sided(&inst, swap, true, &mut ws, &mut stats);
             check_consistency(&inst, &sol).unwrap_or_else(|e| panic!("swap={swap}: {e}"));
+            assert!(stats.dp_fills > 0, "swap={swap}: inner fills not counted");
+        }
+    }
+
+    #[test]
+    fn external_oracle_matches_internal_and_counts_fills() {
+        let inst = paper_example();
+        let internal = solve_four_approx(&inst);
+        for reuse in [true, false] {
+            let oracle = ScoreOracle::with_workspace_reuse(&inst, reuse);
+            let external = solve_four_approx_with_oracle(&oracle);
+            assert_eq!(internal, external, "reuse={reuse}");
+            assert!(
+                oracle.stats.snapshot().dp_fills > 0,
+                "reuse={reuse}: inner oracle fills must be absorbed"
+            );
         }
     }
 

@@ -97,9 +97,18 @@ fn candidates(oracle: &ScoreOracle<'_>, set: &MatchSet) -> Vec<Match> {
 /// Greedy: best-scoring feasible addition until none improves.
 pub fn solve_greedy(inst: &Instance) -> MatchSet {
     let oracle = ScoreOracle::new(inst);
+    solve_greedy_with_oracle(&oracle)
+}
+
+/// [`solve_greedy`] with a caller-provided oracle, so batch runs share
+/// one warm workspace pool per worker instead of allocating fresh DP
+/// buffers per instance. The oracle is scratch plus memoisation only:
+/// results are bit-identical to [`solve_greedy`].
+pub fn solve_greedy_with_oracle(oracle: &ScoreOracle<'_>) -> MatchSet {
+    let inst = oracle.instance();
     let mut set = MatchSet::new();
     loop {
-        let mut cands = candidates(&oracle, &set);
+        let mut cands = candidates(oracle, &set);
         cands.sort_by_key(|m| (std::cmp::Reverse(m.score), m.h, m.m));
         let mut added = false;
         for c in cands {

@@ -5,7 +5,8 @@
 //!
 //! | module | paper artifact |
 //! |--------|----------------|
-//! | [`batch`] | multi-instance pipeline over the solvers below (infrastructure, not paper) |
+//! | [`engine`] | solver trait + registry + telemetry + racing portfolio (infrastructure, not paper) |
+//! | [`batch`] | multi-instance pipeline over the registry (infrastructure, not paper) |
 //! | [`greedy`] | the greedy heuristic the introduction warns about |
 //! | [`one_csr`] | 1-CSR → ISP reduction (§3.4) solved with TPA |
 //! | [`four_approx`] | Theorem 3 + Corollary 1: the factor-4 algorithm |
@@ -22,6 +23,7 @@
 pub mod batch;
 pub mod border_matching;
 pub mod csop;
+pub mod engine;
 pub mod exact;
 pub mod four_approx;
 pub mod greedy;
@@ -30,13 +32,20 @@ pub mod one_csr;
 pub mod stats;
 pub mod ucsr;
 
-pub use batch::{solve_batch, solve_single, BatchAlgo, BatchOptions, BatchSolution};
-pub use border_matching::border_matching_2approx;
-pub use exact::{solve_exact, ExactLimits};
-pub use four_approx::solve_four_approx;
-pub use greedy::solve_greedy;
+pub use batch::{
+    solve_batch, solve_batch_reports, solve_single, solve_single_report, BatchOptions,
+    BatchSolution,
+};
+pub use border_matching::{border_matching_2approx, border_matching_2approx_with_oracle};
+pub use engine::{
+    EngineError, EngineOptions, Portfolio, SolveCtx, SolveOutcome, SolveReport, SolveRun, Solver,
+    SolverRegistry, SolverSpec,
+};
+pub use exact::{exact_matches, solve_exact, ExactLimits};
+pub use four_approx::{solve_four_approx, solve_four_approx_with_oracle};
+pub use greedy::{solve_greedy, solve_greedy_with_oracle};
 pub use improve::{
     border_improve, csr_improve, full_improve, ImproveConfig, ImproveResult, MethodSet,
 };
-pub use one_csr::solve_one_csr;
+pub use one_csr::{solve_one_csr, solve_one_csr_with_oracle};
 pub use stats::{solution_stats, SolutionStats};

@@ -63,8 +63,15 @@ fn selection_to_matches(
 /// instance has exactly one M fragment.
 pub fn solve_one_csr(inst: &Instance) -> MatchSet {
     let oracle = ScoreOracle::new(inst);
-    let (isp, tags) = build_isp(&oracle);
-    selection_to_matches(&oracle, &tags, &solve_tpa(&isp))
+    solve_one_csr_with_oracle(&oracle)
+}
+
+/// [`solve_one_csr`] with a caller-provided oracle (shares interval
+/// tables and pooled workspaces with the caller; bit-identical
+/// results). Panics unless the instance has exactly one M fragment.
+pub fn solve_one_csr_with_oracle(oracle: &ScoreOracle<'_>) -> MatchSet {
+    let (isp, tags) = build_isp(oracle);
+    selection_to_matches(oracle, &tags, &solve_tpa(&isp))
 }
 
 /// Exact 1-CSR through exhaustive ISP (small instances only: the

@@ -23,8 +23,9 @@
 //! * [`graph`] — 3-regular graphs and maximum independent set (for the
 //!   hardness reduction);
 //! * [`core`] — the CSR solvers: greedy, 1-CSR, the factor-4
-//!   algorithm, the 3 + ε improvement algorithms, exact search, and
-//!   the UCSR/CSoP reductions;
+//!   algorithm, the 3 + ε improvement algorithms, exact search, the
+//!   UCSR/CSoP reductions, and the solver engine (registry, uniform
+//!   telemetry, racing portfolio meta-solver, batch pipeline);
 //! * [`sim`] — a fragmented-genome simulator with ground truth;
 //! * [`par`] — parallel sweep utilities and speedup measurement.
 //!
@@ -61,8 +62,10 @@ pub mod prelude {
     pub use fragalign_align::{DpAligner, DpWorkspace, ScoreOracle};
     pub use fragalign_core::{
         border_improve, border_matching_2approx, csr_improve, full_improve, solve_batch,
-        solve_exact, solve_four_approx, solve_greedy, solve_one_csr, solve_single, BatchAlgo,
-        BatchOptions, BatchSolution, ExactLimits, ImproveConfig, ImproveResult, MethodSet,
+        solve_batch_reports, solve_exact, solve_four_approx, solve_greedy, solve_one_csr,
+        solve_single, solve_single_report, BatchOptions, BatchSolution, EngineError, EngineOptions,
+        ExactLimits, ImproveConfig, ImproveResult, MethodSet, Portfolio, SolveCtx, SolveOutcome,
+        SolveReport, SolveRun, Solver, SolverRegistry, SolverSpec,
     };
     pub use fragalign_model::{
         check_consistency, FragId, Fragment, Instance, InstanceBuilder, LayoutBuilder, Match,

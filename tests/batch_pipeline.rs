@@ -1,7 +1,8 @@
 //! Batch pipeline determinism: `solve_batch` must return identical
 //! solutions for a 1-thread pool, an N-thread pool, and per-instance
 //! sequential solves — per-worker workspaces and shared-nothing
-//! oracles are scratch, never signal.
+//! oracles are scratch, never signal. Solvers resolve through the
+//! registry, so the same loop covers every registered name.
 
 use fragalign::align::DpWorkspace;
 use fragalign::model::Instance;
@@ -31,15 +32,17 @@ fn batch_of_16() -> Vec<Instance> {
 #[test]
 fn batch_is_deterministic_across_thread_counts() {
     let instances = batch_of_16();
-    for algo in [BatchAlgo::Csr, BatchAlgo::Four] {
-        let opts = BatchOptions::new(algo);
+    for name in ["csr", "four"] {
+        let opts = BatchOptions::new(name);
         let insts_1 = instances.clone();
-        let (single_thread, _) = with_threads(1, move || solve_batch(&insts_1, &opts));
+        let opts_1 = opts.clone();
+        let (single_thread, _) = with_threads(1, move || solve_batch(&insts_1, &opts_1).unwrap());
         let insts_n = instances.clone();
-        let (many_threads, _) = with_threads(8, move || solve_batch(&insts_n, &opts));
+        let opts_n = opts.clone();
+        let (many_threads, _) = with_threads(8, move || solve_batch(&insts_n, &opts_n).unwrap());
         assert_eq!(
             single_thread, many_threads,
-            "{algo}: thread count changed batch results"
+            "{name}: thread count changed batch results"
         );
 
         // ... and both match plain per-instance sequential solves with
@@ -47,9 +50,9 @@ fn batch_is_deterministic_across_thread_counts() {
         let mut ws = DpWorkspace::new();
         let sequential: Vec<BatchSolution> = instances
             .iter()
-            .map(|inst| solve_single(inst, &opts, &mut ws))
+            .map(|inst| solve_single(inst, &opts, &mut ws).unwrap())
             .collect();
-        assert_eq!(single_thread, sequential, "{algo}: batch != sequential");
+        assert_eq!(single_thread, sequential, "{name}: batch != sequential");
 
         // Solutions are consistent and scores match their match sets.
         for (inst, sol) in instances.iter().zip(&single_thread) {
@@ -62,13 +65,17 @@ fn batch_is_deterministic_across_thread_counts() {
 #[test]
 fn batch_allocation_baseline_is_equivalent() {
     // The reuse knob is purely mechanical: flipping it must never
-    // change a solution, only the allocation count.
+    // change a solution, only the allocation count — for every
+    // registered solver, now that all of them accept an external
+    // oracle.
     let instances = batch_of_16();
-    let reuse = solve_batch(&instances, &BatchOptions::new(BatchAlgo::Csr));
-    let mut opts = BatchOptions::new(BatchAlgo::Csr);
-    opts.reuse_workspaces = false;
-    let baseline = solve_batch(&instances, &opts);
-    assert_eq!(reuse, baseline);
+    for name in ["csr", "four", "greedy", "matching"] {
+        let reuse = solve_batch(&instances, &BatchOptions::new(name)).unwrap();
+        let mut opts = BatchOptions::new(name);
+        opts.engine.reuse_workspaces = false;
+        let baseline = solve_batch(&instances, &opts).unwrap();
+        assert_eq!(reuse, baseline, "{name}");
+    }
 }
 
 #[test]
@@ -76,11 +83,24 @@ fn batch_preserves_input_order() {
     // Seeds differ per instance, so equal outputs in order imply the
     // pipeline did not shuffle results.
     let instances = batch_of_16();
-    let batch = solve_batch(&instances, &BatchOptions::new(BatchAlgo::Greedy));
+    let batch = solve_batch(&instances, &BatchOptions::new("greedy")).unwrap();
     assert_eq!(batch.len(), instances.len());
     let mut ws = DpWorkspace::new();
     for (inst, sol) in instances.iter().zip(&batch) {
-        let lone = solve_single(inst, &BatchOptions::new(BatchAlgo::Greedy), &mut ws);
+        let lone = solve_single(inst, &BatchOptions::new("greedy"), &mut ws).unwrap();
         assert_eq!(sol, &lone);
+    }
+}
+
+#[test]
+fn batch_reports_carry_uniform_telemetry() {
+    let instances: Vec<Instance> = batch_of_16().into_iter().take(4).collect();
+    let reports = solve_batch_reports(&instances, &BatchOptions::new("csr")).unwrap();
+    assert_eq!(reports.len(), instances.len());
+    for (sol, report) in &reports {
+        assert_eq!(report.solver, "csr");
+        assert_eq!(report.score, sol.score);
+        assert_eq!(report.matches, sol.matches.len());
+        assert!(report.dp_fills > 0, "oracle work must be visible");
     }
 }

@@ -1,0 +1,265 @@
+//! The engine layer's contract: every registered solver is
+//! bit-identical to the legacy direct entry point it wraps, workspace
+//! reuse is live for every solver (not just the improvement family),
+//! the racing portfolio dominates its members deterministically, and
+//! batch runs of the newly registered solvers (`one-csr`, `exact`,
+//! `portfolio`) stay identical across thread counts.
+
+use fragalign::align::DpWorkspace;
+use fragalign::model::{check_consistency, Instance, InstanceBuilder};
+use fragalign::par::with_threads;
+use fragalign::prelude::*;
+use fragalign::sim::gen_batch;
+
+/// Paper example plus a few seeded sim instances (multi-fragment).
+fn multi_m_instances() -> Vec<(String, Instance)> {
+    let mut out = vec![(
+        "paper".to_owned(),
+        fragalign::model::instance::paper_example(),
+    )];
+    for seed in [3u64, 17, 40] {
+        let sim = fragalign::sim::generate(&SimConfig {
+            regions: 8,
+            h_frags: 3,
+            m_frags: 3,
+            loss_rate: 0.1,
+            shuffles: 1,
+            spurious: 2,
+            seed,
+            ..SimConfig::default()
+        });
+        out.push((format!("sim{seed}"), sim.instance));
+    }
+    out
+}
+
+/// Instances with exactly one M fragment, where `one-csr` applies.
+fn single_m_instances() -> Vec<(String, Instance)> {
+    let mut b = InstanceBuilder::new();
+    b.h_frag("h1", &["a", "b"]);
+    b.h_frag("h2", &["c"]);
+    b.h_frag("h3", &["d"]);
+    b.m_frag("m", &["p", "q", "r", "s"]);
+    b.score("a", "p", 3);
+    b.score("b", "q", 4);
+    b.score("c", "r", 5);
+    b.score("d", "qR", 6);
+    let mut out = vec![("handmade".to_owned(), b.build())];
+    for (i, sim) in gen_batch(
+        &SimConfig {
+            regions: 8,
+            h_frags: 3,
+            m_frags: 1,
+            seed: 2002,
+            ..SimConfig::default()
+        },
+        3,
+    )
+    .into_iter()
+    .enumerate()
+    {
+        assert_eq!(sim.instance.m.len(), 1, "sim batch must stay single-M");
+        out.push((format!("sim1m{i}"), sim.instance));
+    }
+    out
+}
+
+fn engine_solve(name: &str, inst: &Instance) -> MatchSet {
+    SolverRegistry::global()
+        .solve(name, inst, EngineOptions::default())
+        .unwrap_or_else(|e| panic!("{name}: {e}"))
+        .matches
+}
+
+#[test]
+fn registered_solvers_match_their_legacy_entry_points() {
+    for (iname, inst) in multi_m_instances() {
+        let legacy: Vec<(&str, MatchSet)> = vec![
+            ("csr", csr_improve(&inst, false).matches),
+            ("full", full_improve(&inst, false).matches),
+            ("border", border_improve(&inst, false).matches),
+            ("four", solve_four_approx(&inst)),
+            ("matching", border_matching_2approx(&inst)),
+            ("greedy", solve_greedy(&inst)),
+        ];
+        for (name, expected) in legacy {
+            let got = engine_solve(name, &inst);
+            assert_eq!(got, expected, "{name} diverged from legacy on {iname}");
+            check_consistency(&inst, &got).unwrap_or_else(|e| panic!("{name}/{iname}: {e}"));
+        }
+        // Scaling flows through the engine options too.
+        let scaled_opts = EngineOptions {
+            scaling: true,
+            ..EngineOptions::default()
+        };
+        let scaled = SolverRegistry::global()
+            .solve("csr", &inst, scaled_opts)
+            .unwrap();
+        assert_eq!(
+            scaled.matches,
+            csr_improve(&inst, true).matches,
+            "scaled csr diverged on {iname}"
+        );
+    }
+}
+
+#[test]
+fn one_csr_registered_and_matches_legacy() {
+    for (iname, inst) in single_m_instances() {
+        let got = engine_solve("one-csr", &inst);
+        assert_eq!(
+            got,
+            solve_one_csr(&inst),
+            "one-csr diverged from legacy on {iname}"
+        );
+        check_consistency(&inst, &got).unwrap();
+    }
+}
+
+#[test]
+fn exact_registered_and_realises_the_optimum() {
+    for (iname, inst) in multi_m_instances() {
+        let sol = solve_exact(&inst, ExactLimits::default());
+        let got = engine_solve("exact", &inst);
+        check_consistency(&inst, &got).unwrap_or_else(|e| panic!("exact/{iname}: {e}"));
+        assert_eq!(
+            got.total_score(),
+            sol.score,
+            "exact match set must score the optimum on {iname}"
+        );
+        assert_eq!(got, fragalign::core::exact_matches(&inst, &sol), "{iname}");
+    }
+}
+
+#[test]
+fn portfolio_dominates_every_registered_solver_on_the_demo() {
+    let inst = fragalign::model::instance::paper_example();
+    let reg = SolverRegistry::global();
+    let opts = EngineOptions::default();
+    let portfolio = reg.solve("portfolio", &inst, opts).unwrap();
+    check_consistency(&inst, &portfolio.matches).unwrap();
+    for spec in reg.specs() {
+        if spec.name == "portfolio" || spec.build().supports(&inst, &opts).is_err() {
+            continue;
+        }
+        let run = reg.solve(spec.name, &inst, opts).unwrap();
+        assert!(
+            portfolio.score >= run.score,
+            "portfolio ({}) lost to {} ({})",
+            portfolio.score,
+            spec.name,
+            run.score
+        );
+    }
+    // The paper optimum, with the tie broken by registry order: `csr`
+    // reaches 11 and precedes every other 11-scorer.
+    assert_eq!(portfolio.score, 11);
+    assert_eq!(portfolio.report.winner.as_deref(), Some("csr"));
+    assert_eq!(portfolio.matches, engine_solve("csr", &inst));
+}
+
+#[test]
+fn portfolio_members_race_in_registry_order() {
+    // Argument order and duplicates must not matter.
+    let p = Portfolio::with_members(&["greedy", "four", "greedy"]).unwrap();
+    assert_eq!(p.members(), ["four", "greedy"]);
+    assert!(matches!(
+        Portfolio::with_members(&["no-such-solver"]),
+        Err(EngineError::UnknownSolver { .. })
+    ));
+    // A custom race returns the better member's exact result.
+    let inst = fragalign::model::instance::paper_example();
+    let mut ctx = SolveCtx::new(&inst, EngineOptions::default());
+    let out = p.solve(&inst, &mut ctx);
+    let four = solve_four_approx(&inst);
+    let greedy = solve_greedy(&inst);
+    let best = if greedy.total_score() > four.total_score() {
+        greedy
+    } else {
+        four
+    };
+    assert_eq!(out.matches, best);
+}
+
+#[test]
+fn workspace_reuse_is_live_for_every_one_shot_solver() {
+    // Satellite of the engine refactor: `four`, `greedy` and
+    // `matching` now accept an external oracle, so a worker's warm
+    // workspace serves them across instances. Solve the same instance
+    // twice through one workspace: the second run must not grow a
+    // single buffer (and flipping reuse off must not change results).
+    let inst = fragalign::sim::generate(&SimConfig {
+        regions: 12,
+        h_frags: 3,
+        m_frags: 3,
+        seed: 99,
+        ..SimConfig::default()
+    })
+    .instance;
+    let single = single_m_instances().swap_remove(0).1;
+    let reg = SolverRegistry::global();
+    for name in ["four", "greedy", "matching", "one-csr"] {
+        let inst = if name == "one-csr" { &single } else { &inst };
+        let mut ws = DpWorkspace::new();
+        let opts = EngineOptions::default();
+        let cold = reg
+            .solve_with_workspace(name, inst, opts, &mut ws)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(cold.report.dp_fills > 0, "{name}: no tracked fills");
+        assert!(cold.report.dp_reallocs > 0, "{name}: cold run must grow");
+        let warm = reg.solve_with_workspace(name, inst, opts, &mut ws).unwrap();
+        assert_eq!(warm.matches, cold.matches, "{name}: reuse changed results");
+        assert_eq!(
+            warm.report.dp_reallocs, 0,
+            "{name}: warm run may not allocate"
+        );
+        let baseline_opts = EngineOptions {
+            reuse_workspaces: false,
+            ..EngineOptions::default()
+        };
+        let baseline = reg.solve(name, inst, baseline_opts).unwrap();
+        assert_eq!(baseline.matches, cold.matches, "{name}: baseline differs");
+    }
+}
+
+#[test]
+fn newly_registered_solvers_batch_deterministically() {
+    // one-csr over a single-M batch; exact and portfolio over a small
+    // multi-M batch: 1 thread == 8 threads == sequential loop.
+    let single_m: Vec<Instance> = single_m_instances().into_iter().map(|(_, i)| i).collect();
+    let multi_m: Vec<Instance> = multi_m_instances().into_iter().map(|(_, i)| i).collect();
+    for (name, instances) in [
+        ("one-csr", &single_m),
+        ("exact", &multi_m),
+        ("portfolio", &multi_m),
+    ] {
+        let opts = BatchOptions::new(name);
+        let insts_1 = instances.clone();
+        let opts_1 = opts.clone();
+        let (one_thread, _) = with_threads(1, move || solve_batch(&insts_1, &opts_1).unwrap());
+        let insts_8 = instances.clone();
+        let opts_8 = opts.clone();
+        let (eight_threads, _) = with_threads(8, move || solve_batch(&insts_8, &opts_8).unwrap());
+        assert_eq!(one_thread, eight_threads, "{name}: thread count leaked");
+        let mut ws = DpWorkspace::new();
+        let sequential: Vec<BatchSolution> = instances
+            .iter()
+            .map(|inst| solve_single(inst, &opts, &mut ws).unwrap())
+            .collect();
+        assert_eq!(one_thread, sequential, "{name}: batch != sequential");
+        for (inst, sol) in instances.iter().zip(&one_thread) {
+            check_consistency(inst, &sol.matches).unwrap();
+        }
+    }
+}
+
+#[test]
+fn readme_solver_table_is_generated_from_the_registry() {
+    let readme = include_str!("../README.md");
+    let table = SolverRegistry::global().markdown_table();
+    assert!(
+        readme.contains(&table),
+        "README solver table drifted from the registry; regenerate it with \
+         `fragalign solvers` (expected block:\n{table})"
+    );
+}
