@@ -3,6 +3,7 @@
 //! ```text
 //! fragalign solve  [--algo NAME] [--scaling] [--report json] <instance.json|->
 //! fragalign solve  --batch [--algo NAME] [--scaling] [--report json] <dir|instances.jsonl>
+//! fragalign serve  [--addr A] [--workers N] [--queue-depth N] [--cache-mb N] [--default-solver NAME]
 //! fragalign gen    [--regions N] [--h-frags N] [--m-frags N] [--seed S] [--noise X]
 //! fragalign demo
 //! fragalign solvers
@@ -18,6 +19,11 @@
 //!   directory, or one JSON instance per line of a `.jsonl` file — and
 //!   solves them all through the batch pipeline (one summary line per
 //!   instance instead of full layouts).
+//! * `serve` runs the concurrent HTTP alignment service
+//!   (`fragalign-serve`): a fixed worker pool behind a bounded queue
+//!   (503 when full), the sharded result cache, and the JSON
+//!   endpoints listed in its startup banner. SIGINT/ctrl-c drains
+//!   in-flight requests before exiting.
 //! * `gen` emits a synthetic instance as JSON (pipe into `solve`).
 //! * `demo` runs the paper's Fig. 2 example end to end.
 //! * `solvers` lists every registered solver with its paper reference.
@@ -26,9 +32,10 @@ use fragalign_align::DpAligner;
 use fragalign_core as core;
 use fragalign_core::{BatchOptions, EngineOptions, SolveReport, SolverRegistry};
 use fragalign_model::{Instance, LayoutBuilder, MatchSet};
+use fragalign_serve::{ServeConfig, Server};
 use fragalign_sim::{generate, SimConfig};
 use serde::Serialize;
-use std::io::Read;
+use std::io::{Read, Write};
 use std::process::ExitCode;
 
 fn algo_names() -> String {
@@ -38,7 +45,7 @@ fn algo_names() -> String {
 fn usage() -> ExitCode {
     let names = algo_names();
     eprintln!(
-        "usage:\n  fragalign solve [--algo {names}] [--scaling] [--report json] <instance.json|->\n  fragalign solve --batch [--algo {names}] [--scaling] [--report json] <dir|instances.jsonl>\n  fragalign gen [--regions N] [--h-frags N] [--m-frags N] [--seed S] [--noise X]\n  fragalign demo\n  fragalign solvers"
+        "usage:\n  fragalign solve [--algo {names}] [--scaling] [--report json] <instance.json|->\n  fragalign solve --batch [--algo {names}] [--scaling] [--report json] <dir|instances.jsonl>\n  fragalign serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--cache-mb N] [--default-solver {names}]\n  fragalign gen [--regions N] [--h-frags N] [--m-frags N] [--seed S] [--noise X]\n  fragalign demo\n  fragalign solvers"
     );
     ExitCode::from(2)
 }
@@ -233,6 +240,118 @@ fn solve_cmd(algo: &str, scaling: bool, json: bool, inst: &Instance) -> ExitCode
     ExitCode::SUCCESS
 }
 
+/// Cooperative SIGINT/SIGTERM handling without a signals crate: the
+/// handler just flips an atomic, and the serve loop polls it. Storing
+/// an `AtomicBool` is async-signal-safe; everything else (draining
+/// workers, printing) happens on the main thread afterwards.
+#[cfg(unix)]
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn flag_shutdown(_signum: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        // std links libc, so `signal` is declarable directly — the
+        // container has no crate registry for the `libc` crate.
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, flag_shutdown);
+            signal(SIGTERM, flag_shutdown);
+        }
+    }
+
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
+
+/// Whether a graceful stop was requested. Only unix delivers one
+/// (SIGINT/SIGTERM); elsewhere `serve` runs until the process is
+/// killed, and this indirection keeps the shutdown path compiled (and
+/// warning-free) on every target.
+fn shutdown_requested() -> bool {
+    #[cfg(unix)]
+    {
+        sigint::requested()
+    }
+    #[cfg(not(unix))]
+    {
+        false
+    }
+}
+
+fn serve_cmd(args: &[String]) -> ExitCode {
+    let mut cfg = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => cfg.addr = v.clone(),
+                None => return usage(),
+            },
+            "--workers" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.workers = v,
+                None => return usage(),
+            },
+            "--queue-depth" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.queue_depth = v,
+                None => return usage(),
+            },
+            "--cache-mb" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.cache_mb = v,
+                None => return usage(),
+            },
+            "--default-solver" => match it.next() {
+                Some(v) => cfg.default_solver = v.clone(),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    #[cfg(unix)]
+    sigint::install();
+    let banner_cfg = cfg.clone();
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("fragalign-serve listening on http://{}", server.addr());
+    println!(
+        "  workers {} | queue depth {} | cache {} MiB in {} shards | default solver {}",
+        banner_cfg.workers.max(1),
+        banner_cfg.queue_depth.max(1),
+        banner_cfg.cache_mb,
+        banner_cfg.cache_shards,
+        banner_cfg.default_solver
+    );
+    println!(
+        "  endpoints: POST /v1/solve, POST /v1/batch, GET /v1/solvers, GET /healthz, GET /metrics"
+    );
+    println!("  press ctrl-c to drain and stop");
+    // Stdout is block-buffered when piped; the banner must reach
+    // process supervisors (and the golden test) before the first
+    // request arrives.
+    let _ = std::io::stdout().flush();
+    while !shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    println!("fragalign-serve: draining workers and stopping");
+    server.shutdown();
+    println!("fragalign-serve: stopped cleanly");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -248,6 +367,7 @@ fn main() -> ExitCode {
             print!("{}", SolverRegistry::global().markdown_table());
             ExitCode::SUCCESS
         }
+        "serve" => serve_cmd(&args[1..]),
         "solve" => {
             let mut algo = "csr".to_owned();
             let mut scaling = false;

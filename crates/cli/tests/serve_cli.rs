@@ -1,0 +1,134 @@
+//! The `fragalign serve` subcommand end to end: the startup banner is
+//! pinned by a golden snapshot (port normalised — the test binds port
+//! 0), the served endpoints answer over real sockets, and SIGINT
+//! drains the worker pool and exits 0. Unix-only: the graceful-stop
+//! contract is SIGINT/ctrl-c, delivered here with `kill -INT`.
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn golden(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden snapshot {}: {e}", path.display()))
+}
+
+/// Wait for exit, polling so a hung shutdown fails the test instead
+/// of wedging it.
+fn wait_with_deadline(child: &mut Child, deadline: Duration) -> std::process::ExitStatus {
+    let start = Instant::now();
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status;
+        }
+        if start.elapsed() > deadline {
+            let _ = child.kill();
+            panic!("serve did not exit within {deadline:?} of SIGINT");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn serve_banner_is_pinned_and_sigint_drains() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_fragalign"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--queue-depth",
+            "8",
+            "--cache-mb",
+            "16",
+        ])
+        .stdout(Stdio::piped())
+        .stdin(Stdio::null())
+        .spawn()
+        .expect("spawn fragalign serve");
+
+    let mut reader = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut lines: Vec<String> = Vec::new();
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("read banner line");
+        assert!(n > 0, "serve exited before the banner completed: {lines:?}");
+        lines.push(line.trim_end_matches('\n').to_string());
+        if lines.last().unwrap().contains("press ctrl-c") {
+            break;
+        }
+        assert!(lines.len() < 16, "banner never ended: {lines:?}");
+    }
+
+    // The banner's first line carries the actual bound port.
+    let port: u16 = lines[0]
+        .rsplit(':')
+        .next()
+        .and_then(|p| p.parse().ok())
+        .unwrap_or_else(|| panic!("no port in banner line {:?}", lines[0]));
+    let addr = std::net::SocketAddr::from(([127, 0, 0, 1], port));
+
+    // The advertised endpoints are really up.
+    let health = fragalign_serve::client::get(addr, "/healthz").expect("healthz answers");
+    assert_eq!(health.status, 200);
+    assert!(health.body.contains("\"status\":\"ok\""));
+    let solvers = fragalign_serve::client::get(addr, "/v1/solvers").expect("solvers answers");
+    assert!(solvers.body.contains("\"name\": \"csr\""));
+
+    // ctrl-c: drain and stop, exit 0, say so on stdout.
+    let pid = child.id().to_string();
+    let kill = Command::new("kill")
+        .args(["-INT", &pid])
+        .status()
+        .expect("send SIGINT");
+    assert!(kill.success(), "kill -INT failed");
+    let status = wait_with_deadline(&mut child, Duration::from_secs(10));
+    assert!(status.success(), "serve exited non-zero: {status:?}");
+    for line in reader.lines() {
+        lines.push(line.expect("read shutdown line"));
+    }
+
+    // Pin the whole transcript, normalising only the ephemeral port.
+    let port_str = format!(":{port}");
+    let transcript: String = lines
+        .iter()
+        .map(|l| l.replace(&port_str, ":{port}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n";
+    assert_eq!(
+        transcript,
+        golden("serve_banner.txt"),
+        "serve banner/shutdown transcript drifted from snapshot"
+    );
+}
+
+#[test]
+fn serve_rejects_bad_flags_and_unknown_default_solver() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fragalign"))
+        .args(["serve", "--workres", "2"])
+        .output()
+        .expect("run fragalign serve");
+    assert_eq!(out.status.code(), Some(2), "bad flag should hit usage()");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+
+    let out = Command::new(env!("CARGO_BIN_EXE_fragalign"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--default-solver",
+            "greddy",
+        ])
+        .output()
+        .expect("run fragalign serve");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("did you mean 'greedy'?"), "{stderr}");
+}

@@ -181,6 +181,9 @@ pub enum EngineError {
         name: String,
         /// Every registered name, in registry order.
         known: Vec<&'static str>,
+        /// The registered name closest to the typo, when one is close
+        /// enough to be a plausible intent (edit distance ≤ 2).
+        suggestion: Option<&'static str>,
     },
     /// The solver exists but cannot run on this instance.
     Unsupported {
@@ -194,12 +197,20 @@ pub enum EngineError {
 impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            EngineError::UnknownSolver { name, known } => {
+            EngineError::UnknownSolver {
+                name,
+                known,
+                suggestion,
+            } => {
                 write!(
                     f,
                     "unknown solver '{name}' (registered: {})",
                     known.join("|")
-                )
+                )?;
+                match suggestion {
+                    Some(s) => write!(f, " — did you mean '{s}'?"),
+                    None => Ok(()),
+                }
             }
             EngineError::Unsupported { solver, reason } => {
                 write!(f, "solver '{solver}' cannot run here: {reason}")

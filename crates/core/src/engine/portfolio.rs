@@ -49,6 +49,7 @@ impl Portfolio {
                 .ok_or_else(|| EngineError::UnknownSolver {
                     name: (*name).to_owned(),
                     known: reg.names(),
+                    suggestion: reg.suggest(name),
                 })?;
             positions.push(pos);
         }

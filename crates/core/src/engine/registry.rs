@@ -138,7 +138,10 @@ impl SolverRegistry {
         self.entries.iter().position(|s| s.name == name)
     }
 
-    /// Look a solver up by name.
+    /// Look a solver up by name. The error carries every registered
+    /// name plus a did-you-mean suggestion for near-miss typos, so
+    /// front ends (CLI, batch, the HTTP service's 400 body) stay
+    /// friendly without re-deriving the hint.
     pub fn spec(&self, name: &str) -> Result<&SolverSpec, EngineError> {
         self.entries
             .iter()
@@ -146,7 +149,20 @@ impl SolverRegistry {
             .ok_or_else(|| EngineError::UnknownSolver {
                 name: name.to_owned(),
                 known: self.names(),
+                suggestion: self.suggest(name),
             })
+    }
+
+    /// The registered name closest to `name` by edit distance, when
+    /// close enough (≤ 2 edits) to be a plausible typo. Ties resolve
+    /// to the earlier registry entry, keeping the hint deterministic.
+    pub fn suggest(&self, name: &str) -> Option<&'static str> {
+        self.entries
+            .iter()
+            .map(|s| (edit_distance(name, s.name), s.name))
+            .filter(|(d, _)| *d <= 2)
+            .min_by_key(|(d, _)| *d)
+            .map(|(_, n)| n)
     }
 
     /// Run the named solver on `inst` with a throwaway workspace.
@@ -235,6 +251,23 @@ impl SolverRegistry {
     }
 }
 
+/// Levenshtein distance over bytes (solver names are ASCII); one
+/// rolling row, O(|a|·|b|) time.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut diag = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = diag + usize::from(ca != cb);
+            diag = row[j + 1];
+            row[j + 1] = sub.min(diag + 1).min(row[j] + 1);
+        }
+    }
+    row[b.len()]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +286,32 @@ mod tests {
             reg.spec("simulated-annealing"),
             Err(EngineError::UnknownSolver { .. })
         ));
+    }
+
+    #[test]
+    fn unknown_solver_suggests_near_misses() {
+        let reg = SolverRegistry::global();
+        let err = reg.spec("greddy").map(|s| s.name).unwrap_err();
+        assert!(matches!(
+            &err,
+            EngineError::UnknownSolver {
+                suggestion: Some("greedy"),
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("did you mean 'greedy'?"));
+        // Nothing is within two edits of this; no hint offered.
+        let far = reg.spec("simulated-annealing").map(|s| s.name).unwrap_err();
+        assert!(matches!(
+            far,
+            EngineError::UnknownSolver {
+                suggestion: None,
+                ..
+            }
+        ));
+        assert_eq!(edit_distance("csr", "one-csr"), 4);
+        assert_eq!(edit_distance("", "csr"), 3);
+        assert_eq!(reg.suggest("cse"), Some("csr"));
     }
 
     #[test]

@@ -27,7 +27,10 @@
 //!   UCSR/CSoP reductions, and the solver engine (registry, uniform
 //!   telemetry, racing portfolio meta-solver, batch pipeline);
 //! * [`sim`] — a fragmented-genome simulator with ground truth;
-//! * [`par`] — parallel sweep utilities and speedup measurement.
+//! * [`par`] — parallel sweep utilities and speedup measurement;
+//! * [`serve`] — the concurrent HTTP alignment service: worker pool
+//!   with bounded-queue backpressure, sharded LRU result cache,
+//!   JSON wire format over the engine registry.
 //!
 //! ## Quickstart
 //!
@@ -55,6 +58,7 @@ pub use fragalign_isp as isp;
 pub use fragalign_matching as matching;
 pub use fragalign_model as model;
 pub use fragalign_par as par;
+pub use fragalign_serve as serve;
 pub use fragalign_sim as sim;
 
 /// The most common imports in one place.

@@ -1,0 +1,139 @@
+//! A tiny blocking HTTP/1.1 client — just enough to drive the
+//! service from the integration tests and the `exp_service` load
+//! generator without external dependencies. One request per
+//! connection, mirroring the server's `Connection: close` discipline.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Default socket timeout: generous enough for a cold release-mode
+/// solve, short enough that a wedged server fails a test instead of
+/// hanging it.
+const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A parsed response: status code, lower-cased headers, body.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// The status code from the status line.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The response body (the service always sends UTF-8 JSON).
+    pub body: String,
+}
+
+impl Response {
+    /// First value of header `name` (ASCII case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// `GET path` with the default timeout.
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<Response> {
+    request(addr, "GET", path, None, DEFAULT_TIMEOUT)
+}
+
+/// `POST path` with a JSON body and the default timeout.
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<Response> {
+    request(addr, "POST", path, Some(body), DEFAULT_TIMEOUT)
+}
+
+/// One full request/response exchange over a fresh connection.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.set_nodelay(true)?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+/// Send raw bytes and return without waiting for a response — the
+/// backpressure test uses this to park half-written requests on the
+/// server.
+pub fn connect_and_send(addr: SocketAddr, bytes: &[u8]) -> std::io::Result<TcpStream> {
+    let mut stream = TcpStream::connect_timeout(&addr, DEFAULT_TIMEOUT)?;
+    stream.set_read_timeout(Some(DEFAULT_TIMEOUT))?;
+    stream.set_nodelay(true)?;
+    stream.write_all(bytes)?;
+    stream.flush()?;
+    Ok(stream)
+}
+
+fn bad(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn parse_response(raw: &[u8]) -> std::io::Result<Response> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("response head never ended"))?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| bad("empty response"))?;
+    // Interim 1xx responses (100 Continue) precede the real one; this
+    // client never asks for them, so the first status line is final.
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("bad status line"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or_else(|| bad("bad header line"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let body =
+        String::from_utf8(raw[head_end + 4..].to_vec()).map_err(|_| bad("body is not UTF-8"))?;
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_response() {
+        let raw = b"HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nRetry-After: 1\r\n\r\n{\"error\":\"busy\"}";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.header("RETRY-AFTER"), Some("1"));
+        assert_eq!(resp.body, "{\"error\":\"busy\"}");
+    }
+
+    #[test]
+    fn rejects_torn_responses() {
+        assert!(parse_response(b"HTTP/1.1 200 OK\r\n").is_err());
+        assert!(parse_response(b"garbage\r\n\r\n").is_err());
+    }
+}

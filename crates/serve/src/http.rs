@@ -1,0 +1,321 @@
+//! Minimal HTTP/1.1 framing: request parsing and response writing.
+//!
+//! Scope is exactly what the service needs — `GET`/`POST` with
+//! `Content-Length` bodies, one request per connection, `Connection:
+//! close` on every response. Chunked transfer encoding is refused
+//! with `501`, and `Expect: 100-continue` (which `curl` sends for
+//! large instance uploads) is honoured so command-line sessions work
+//! out of the box.
+
+use std::io::{Read, Write};
+
+/// Hard cap on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 32 * 1024;
+
+/// A parsed request: method, path, lower-cased headers, UTF-8 body.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Upper-case method token (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target as sent (query strings are not interpreted).
+    pub path: String,
+    /// Header `(name, value)` pairs; names lower-cased at parse time.
+    pub headers: Vec<(String, String)>,
+    /// The request body, decoded as UTF-8 (JSON is UTF-8 by spec).
+    pub body: String,
+}
+
+impl Request {
+    /// First value of header `name` (ASCII case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read. The server maps `Malformed` to
+/// `400`, `Unimplemented` to `501`, `BodyTooLarge` to `413`, and
+/// drops the connection on raw I/O failure.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The socket failed mid-read (client went away, timeout).
+    Io(std::io::Error),
+    /// The bytes were not an HTTP/1.x request this parser accepts.
+    Malformed(String),
+    /// A feature outside this parser's scope (chunked encoding).
+    Unimplemented(String),
+    /// `Content-Length` exceeded the configured body cap.
+    BodyTooLarge {
+        /// The configured cap, for the error response.
+        limit: usize,
+    },
+}
+
+impl From<std::io::Error> for RequestError {
+    fn from(e: std::io::Error) -> Self {
+        RequestError::Io(e)
+    }
+}
+
+/// Read and parse one request from `stream`, answering `Expect:
+/// 100-continue` inline (the stream must be writable for that).
+pub fn read_request<S: Read + Write>(
+    stream: &mut S,
+    max_body: usize,
+) -> Result<Request, RequestError> {
+    // Accumulate until the blank line that ends the head.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(RequestError::Malformed(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(RequestError::Malformed(
+                "connection closed before the request head completed".into(),
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| RequestError::Malformed("request head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| RequestError::Malformed("empty request".into()))?;
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => {
+            return Err(RequestError::Malformed(format!(
+                "bad request line: {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Malformed(format!(
+            "unsupported protocol version {version:?}"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(RequestError::Malformed(format!(
+                "bad header line: {line:?}"
+            )));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let request = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: String::new(),
+    };
+
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(RequestError::Unimplemented(
+            "chunked transfer encoding is not supported; send Content-Length".into(),
+        ));
+    }
+    let content_length: usize = match request.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse()
+            .map_err(|_| RequestError::Malformed(format!("bad Content-Length {v:?}")))?,
+    };
+    if content_length > max_body {
+        return Err(RequestError::BodyTooLarge { limit: max_body });
+    }
+    if content_length > 0
+        && request
+            .header("expect")
+            .is_some_and(|v| v.to_ascii_lowercase().contains("100-continue"))
+    {
+        stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
+        stream.flush()?;
+    }
+
+    // The body: whatever followed the head in the buffer, then the rest.
+    let mut body = buf[head_end + 4..].to_vec();
+    if body.len() > content_length {
+        return Err(RequestError::Malformed(
+            "request body longer than Content-Length".into(),
+        ));
+    }
+    let already = body.len();
+    body.resize(content_length, 0);
+    stream.read_exact(&mut body[already..])?;
+    let body = String::from_utf8(body)
+        .map_err(|_| RequestError::Malformed("request body is not UTF-8".into()))?;
+
+    Ok(Request { body, ..request })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// The canonical reason phrase for the status codes this service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete JSON response: status line, standard headers
+/// (`Content-Type: application/json`, `Content-Length`, `Connection:
+/// close`), any `extra` headers, then `body`.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    extra: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A duplex test stream: reads from a script, records writes.
+    struct Pipe {
+        input: std::io::Cursor<Vec<u8>>,
+        output: Vec<u8>,
+    }
+
+    impl Pipe {
+        fn new(input: &str) -> Self {
+            Pipe {
+                input: std::io::Cursor::new(input.as_bytes().to_vec()),
+                output: Vec::new(),
+            }
+        }
+    }
+
+    impl Read for Pipe {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.input.read(buf)
+        }
+    }
+
+    impl Write for Pipe {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.output.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let mut pipe =
+            Pipe::new("POST /v1/solve HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}");
+        let req = read_request(&mut pipe, 1024).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/solve");
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert_eq!(req.body, "{\"a\":1}");
+    }
+
+    #[test]
+    fn answers_expect_100_continue() {
+        let mut pipe = Pipe::new(
+            "POST /v1/solve HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 2\r\n\r\n{}",
+        );
+        let req = read_request(&mut pipe, 1024).unwrap();
+        assert_eq!(req.body, "{}");
+        assert!(String::from_utf8(pipe.output)
+            .unwrap()
+            .starts_with("HTTP/1.1 100 Continue"));
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_and_chunked_encoding() {
+        let mut pipe = Pipe::new("POST / HTTP/1.1\r\nContent-Length: 999\r\n\r\n");
+        assert!(matches!(
+            read_request(&mut pipe, 100),
+            Err(RequestError::BodyTooLarge { limit: 100 })
+        ));
+        let mut pipe = Pipe::new("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+        assert!(matches!(
+            read_request(&mut pipe, 100),
+            Err(RequestError::Unimplemented(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_torn_and_malformed_requests() {
+        let mut pipe = Pipe::new("GET /healthz HTTP/1.1\r\n"); // head never ends
+        assert!(matches!(
+            read_request(&mut pipe, 1024),
+            Err(RequestError::Malformed(_))
+        ));
+        let mut pipe = Pipe::new("NONSENSE\r\n\r\n");
+        assert!(matches!(
+            read_request(&mut pipe, 1024),
+            Err(RequestError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn response_has_framing_headers() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            503,
+            &[("Retry-After", "1")],
+            "{\"error\":\"busy\"}",
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Content-Length: 16\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"error\":\"busy\"}"));
+    }
+}

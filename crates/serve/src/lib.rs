@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! # fragalign-serve
+//!
+//! A concurrent alignment service: fragment-alignment queries over
+//! HTTP, answered by the solver engine behind a sharded result cache.
+//!
+//! The ROADMAP's north star is serving heavy query traffic, and the
+//! engine layer made that a dispatch problem: every solver is a
+//! registry name, every run emits the same telemetry record. This
+//! crate adds the serving layer on top — deliberately dependency-free
+//! (the build container has no crate registry, see `shims/README.md`),
+//! so the whole stack is hand-rolled over `std::net`:
+//!
+//! * [`server`] — an HTTP/1.1 server over `std::net::TcpListener`
+//!   with a fixed worker pool fed through a bounded crossbeam channel.
+//!   The bounded queue is the backpressure valve: when it is full the
+//!   acceptor answers `503 Service Unavailable` immediately instead
+//!   of letting latency grow without bound. Unlike the sequential
+//!   rayon shim, the crossbeam shim is genuinely concurrent, so the
+//!   worker pool is this workspace's first real parallelism win.
+//! * [`cache`] — a sharded, byte-budgeted LRU over finished response
+//!   bodies, keyed by a 128-bit fingerprint of (solver, options,
+//!   canonical instance JSON). Repeat queries skip the DP entirely;
+//!   per-worker DP workspaces stay shared-nothing beneath it, exactly
+//!   as in the batch pipeline.
+//! * [`http`] — minimal request parsing and response writing;
+//! * [`metrics`] — uptime, per-solver request counts, approximate
+//!   p50/p99 latency, queue depth and cache hit rate for `/metrics`;
+//! * [`client`] — a tiny blocking HTTP client for the integration
+//!   tests and the `exp_service` load generator.
+//!
+//! ## Endpoints
+//!
+//! | route | method | body |
+//! |-------|--------|------|
+//! | `/v1/solve` | POST | `{"instance": …, "solver"?: name, "options"?: {…}}` → score, matches, report |
+//! | `/v1/batch` | POST | `{"instances": […], "solver"?, "options"?}` → per-instance results |
+//! | `/v1/solvers` | GET | the registry: name, paper artifact, ratio |
+//! | `/healthz` | GET | liveness + uptime |
+//! | `/metrics` | GET | counters, latency quantiles, queue, cache |
+//!
+//! Every `/v1/solve` response carries an `X-Fragalign-Cache: hit|miss`
+//! header; hit and miss bodies for the same request are byte-identical
+//! (the cache stores the serialized body, wall-clock report included),
+//! so caching is observable but never changes results.
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod server;
+
+pub use cache::{CacheStats, ResultCache};
+pub use client::{get, post, Response};
+pub use http::Request;
+pub use metrics::Telemetry;
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,319 @@
+//! Service telemetry: request counters, queue gauges, and an
+//! approximate latency histogram, all lock-free atomics so the hot
+//! path never serialises on a metrics mutex.
+
+use crate::cache::CacheStats;
+use fragalign_core::SolverRegistry;
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Power-of-two microsecond buckets: bucket `i` holds latencies in
+/// `[2^i, 2^(i+1))` µs. 40 buckets reach ~12.7 days — effectively
+/// unbounded for a request.
+const BUCKETS: usize = 40;
+
+/// A fixed-bucket log₂ latency histogram. Quantiles are read as the
+/// upper bound of the bucket where the cumulative count crosses the
+/// quantile, so reported p50/p99 are conservative (never understated)
+/// and at most 2× the true value.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Count one observation.
+    pub fn record(&self, d: Duration) {
+        let micros = d.as_micros().max(1) as u64;
+        let idx = (micros.ilog2() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Approximate quantile `q ∈ (0, 1]` in milliseconds; 0 when empty.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0;
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Upper bound of bucket i, in milliseconds.
+                return 2f64.powi(i as i32 + 1) / 1000.0;
+            }
+        }
+        unreachable!("cumulative count reaches total");
+    }
+}
+
+/// All service counters (see module docs). One instance per server,
+/// shared by the acceptor and every worker.
+pub struct Telemetry {
+    start: Instant,
+    requests: AtomicU64,
+    rejected_busy: AtomicU64,
+    client_errors: AtomicU64,
+    unknown_solver: AtomicU64,
+    batch_requests: AtomicU64,
+    /// `/v1/solve` requests per registered solver, registry order.
+    solve_requests: Vec<AtomicU64>,
+    queue_depth: AtomicUsize,
+    busy_workers: AtomicUsize,
+    latency: Histogram,
+}
+
+impl Telemetry {
+    /// Fresh counters; the per-solver table is sized from the global
+    /// registry.
+    pub fn new() -> Self {
+        Telemetry {
+            start: Instant::now(),
+            requests: AtomicU64::new(0),
+            rejected_busy: AtomicU64::new(0),
+            client_errors: AtomicU64::new(0),
+            unknown_solver: AtomicU64::new(0),
+            batch_requests: AtomicU64::new(0),
+            solve_requests: SolverRegistry::global()
+                .names()
+                .iter()
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            queue_depth: AtomicUsize::new(0),
+            busy_workers: AtomicUsize::new(0),
+            latency: Histogram::new(),
+        }
+    }
+
+    /// A connection entered the worker queue.
+    pub fn note_queued(&self) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection left the worker queue (picked up or rejected).
+    pub fn note_dequeued(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Connections currently waiting in the worker queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// A worker started (`true`) or finished (`false`) a connection.
+    pub fn note_busy(&self, busy: bool) {
+        if busy {
+            self.busy_workers.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.busy_workers.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Workers currently handling a connection.
+    pub fn busy_workers(&self) -> usize {
+        self.busy_workers.load(Ordering::Relaxed)
+    }
+
+    /// A worker finished a connection with response `status`.
+    pub fn record_response(&self, status: u16) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if (400..500).contains(&status) {
+            self.client_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The acceptor turned a connection away with `503` (queue full).
+    pub fn record_rejected(&self) {
+        self.rejected_busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A `/v1/solve` request resolved to the solver at registry
+    /// position `pos`.
+    pub fn record_solve(&self, pos: usize) {
+        self.solve_requests[pos].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A `/v1/solve` request named an unregistered solver.
+    pub fn record_unknown_solver(&self) {
+        self.unknown_solver.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A `/v1/batch` request arrived.
+    pub fn record_batch(&self) {
+        self.batch_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One end-to-end observation (queue wait + handling).
+    pub fn record_latency(&self, d: Duration) {
+        self.latency.record(d);
+    }
+
+    /// Assemble the `/metrics` document.
+    pub fn snapshot(
+        &self,
+        workers: usize,
+        queue_capacity: usize,
+        cache: CacheStats,
+    ) -> MetricsSnapshot {
+        MetricsSnapshot {
+            uptime_secs: self.start.elapsed().as_secs_f64(),
+            requests_total: self.requests.load(Ordering::Relaxed),
+            rejected_503: self.rejected_busy.load(Ordering::Relaxed),
+            client_errors_4xx: self.client_errors.load(Ordering::Relaxed),
+            unknown_solver_requests: self.unknown_solver.load(Ordering::Relaxed),
+            batch_requests: self.batch_requests.load(Ordering::Relaxed),
+            solve_requests: SolverRegistry::global()
+                .names()
+                .iter()
+                .zip(&self.solve_requests)
+                .map(|(name, count)| SolverRequests {
+                    solver: (*name).to_string(),
+                    requests: count.load(Ordering::Relaxed),
+                })
+                .collect(),
+            latency: LatencySnapshot {
+                count: self.latency.count(),
+                p50_ms: self.latency.quantile_ms(0.50),
+                p99_ms: self.latency.quantile_ms(0.99),
+            },
+            queue: QueueSnapshot {
+                depth: self.queue_depth(),
+                capacity: queue_capacity,
+                workers,
+                busy_workers: self.busy_workers(),
+            },
+            cache,
+        }
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+/// `/v1/solve` traffic for one registered solver.
+#[derive(Serialize)]
+pub struct SolverRequests {
+    /// Registered solver name.
+    pub solver: String,
+    /// Fully-validated `/v1/solve` requests that asked for it
+    /// (cache hits included; batch traffic and requests rejected
+    /// during validation are not counted here).
+    pub requests: u64,
+}
+
+/// Latency summary over every worker-handled connection.
+#[derive(Serialize)]
+pub struct LatencySnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Approximate median, milliseconds (bucket upper bound).
+    pub p50_ms: f64,
+    /// Approximate 99th percentile, milliseconds (bucket upper bound).
+    pub p99_ms: f64,
+}
+
+/// Worker-queue occupancy at snapshot time.
+#[derive(Serialize)]
+pub struct QueueSnapshot {
+    /// Connections waiting in the bounded queue.
+    pub depth: usize,
+    /// The queue's capacity (`--queue-depth`).
+    pub capacity: usize,
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Workers currently mid-connection.
+    pub busy_workers: usize,
+}
+
+/// The `/metrics` document.
+#[derive(Serialize)]
+pub struct MetricsSnapshot {
+    /// Seconds since the server started.
+    pub uptime_secs: f64,
+    /// Connections handled by workers (any status).
+    pub requests_total: u64,
+    /// Connections rejected by the acceptor because the queue was full.
+    pub rejected_503: u64,
+    /// Worker responses with a 4xx status.
+    pub client_errors_4xx: u64,
+    /// `/v1/solve` requests naming an unregistered solver.
+    pub unknown_solver_requests: u64,
+    /// `/v1/batch` requests.
+    pub batch_requests: u64,
+    /// `/v1/solve` traffic per registered solver, registry order.
+    pub solve_requests: Vec<SolverRequests>,
+    /// End-to-end latency (queue wait + handling).
+    pub latency: LatencySnapshot,
+    /// Worker-queue occupancy.
+    pub queue: QueueSnapshot,
+    /// Result-cache counters.
+    pub cache: CacheStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_conservative() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100)); // bucket [64, 128) µs
+        }
+        h.record(Duration::from_millis(80)); // bucket [65.5, 131) ms
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_ms(0.50);
+        assert!((0.1..=0.2).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile_ms(0.99);
+        assert!((0.1..=0.2).contains(&p99), "p99 = {p99}");
+        let p100 = h.quantile_ms(1.0);
+        assert!((80.0..=160.0).contains(&p100), "p100 = {p100}");
+        assert_eq!(Histogram::new().quantile_ms(0.5), 0.0);
+    }
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let t = Telemetry::new();
+        t.record_response(200);
+        t.record_response(400);
+        t.record_rejected();
+        t.record_solve(0);
+        t.record_solve(0);
+        t.record_batch();
+        t.record_latency(Duration::from_millis(3));
+        t.note_queued();
+        let snap = t.snapshot(4, 64, crate::ResultCache::new(2, 1024).stats());
+        assert_eq!(snap.requests_total, 2);
+        assert_eq!(snap.client_errors_4xx, 1);
+        assert_eq!(snap.rejected_503, 1);
+        assert_eq!(snap.solve_requests[0].requests, 2);
+        assert_eq!(snap.batch_requests, 1);
+        assert_eq!(snap.latency.count, 1);
+        assert_eq!(snap.queue.depth, 1);
+        assert_eq!(snap.queue.capacity, 64);
+        // The whole document serialises.
+        assert!(serde_json::to_string(&snap)
+            .unwrap()
+            .contains("uptime_secs"));
+    }
+}

@@ -1,0 +1,901 @@
+//! The service: a TCP acceptor, a bounded connection queue, and a
+//! fixed worker pool, with the sharded result cache in front of the
+//! solver engine.
+//!
+//! ## Concurrency model
+//!
+//! One acceptor thread blocks in `accept` and *tries* to enqueue each
+//! connection into a `crossbeam::channel::bounded` queue. `try_send`
+//! is the backpressure valve: when every worker is busy and the queue
+//! is at capacity, the acceptor answers `503 Service Unavailable`
+//! immediately — the client learns to back off in microseconds
+//! instead of waiting in an unbounded line. Workers block in `recv`,
+//! so an idle pool costs nothing.
+//!
+//! Each worker owns one [`DpWorkspace`] for its whole lifetime — the
+//! same shared-nothing reuse discipline as the batch pipeline, so two
+//! concurrent requests never share a DP buffer and results are
+//! bit-identical to a direct [`solve_single_report`] call. The result
+//! cache above the workers is the only cross-request state, and it
+//! stores finished response bodies keyed by (solver, options,
+//! canonical instance) — solvers are deterministic, so a hit is
+//! byte-identical to the miss that populated it.
+
+use crate::cache::{self, ResultCache};
+use crate::http::{self, Request, RequestError};
+use crate::metrics::Telemetry;
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use fragalign_align::DpWorkspace;
+use fragalign_core::{
+    solve_single_report, BatchOptions, EngineError, EngineOptions, SolveReport, SolverRegistry,
+};
+use fragalign_model::{Instance, MatchSet, Score};
+use serde::{Serialize, Value};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Everything `fragalign serve` exposes as a flag.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks a free port (see [`Server::addr`]).
+    pub addr: String,
+    /// Worker-pool size (each worker owns a warm DP workspace).
+    pub workers: usize,
+    /// Bounded connection-queue capacity; beyond it the acceptor
+    /// answers 503.
+    pub queue_depth: usize,
+    /// Result-cache budget in MiB (0 disables caching).
+    pub cache_mb: usize,
+    /// Result-cache shard count.
+    pub cache_shards: usize,
+    /// Solver used when a request names none.
+    pub default_solver: String,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Per-connection socket read/write timeout, seconds — a stalled
+    /// client can hold a worker at most this long.
+    pub io_timeout_secs: u64,
+}
+
+impl Default for ServeConfig {
+    /// Loopback, 4 workers, queue of 64, 32 MiB cache over 16 shards,
+    /// `csr` by default.
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            cache_mb: 32,
+            cache_shards: 16,
+            default_solver: "csr".to_string(),
+            max_body_bytes: 16 * 1024 * 1024,
+            io_timeout_secs: 10,
+        }
+    }
+}
+
+/// State shared by the acceptor and every worker. Tests and the
+/// `exp_service` load generator read the gauges through
+/// [`Server::state`].
+pub struct ServeState {
+    /// All counters and gauges.
+    pub telemetry: Telemetry,
+    /// The sharded result cache.
+    pub cache: ResultCache,
+    default_solver: String,
+    queue_capacity: usize,
+    workers: usize,
+    max_body_bytes: usize,
+}
+
+/// One accepted connection, stamped when it entered the queue so
+/// recorded latency includes queue wait.
+struct Job {
+    stream: TcpStream,
+    enqueued: Instant,
+}
+
+/// A running service; dropping it (or calling [`Server::shutdown`])
+/// stops accepting, drains the queue, and joins every thread.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServeState>,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `cfg.addr`, spawn the acceptor and worker pool, and
+    /// return the running server. Fails fast on an unbindable address
+    /// or an unregistered default solver.
+    pub fn start(cfg: ServeConfig) -> io::Result<Server> {
+        SolverRegistry::global()
+            .spec(&cfg.default_solver)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = cfg.workers.max(1);
+        let state = Arc::new(ServeState {
+            telemetry: Telemetry::new(),
+            cache: ResultCache::new(cfg.cache_shards, cfg.cache_mb * 1024 * 1024),
+            default_solver: cfg.default_solver.clone(),
+            queue_capacity: cfg.queue_depth.max(1),
+            workers,
+            max_body_bytes: cfg.max_body_bytes,
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = channel::bounded::<Job>(state.queue_capacity);
+        let io_timeout = Duration::from_secs(cfg.io_timeout_secs.max(1));
+
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|i| {
+                let rx: Receiver<Job> = rx.clone();
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(rx, state))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        let acceptor = {
+            let state = Arc::clone(&state);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("serve-acceptor".to_string())
+                .spawn(move || accept_loop(listener, tx, state, shutdown, io_timeout))
+                .expect("spawn acceptor thread")
+        };
+
+        Ok(Server {
+            addr,
+            state,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (the actual port when `addr` asked for 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared gauges and cache, for tests and load harnesses.
+    pub fn state(&self) -> Arc<ServeState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Graceful stop: stop accepting, finish every queued and
+    /// in-flight request, join all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        let Some(acceptor) = self.acceptor.take() else {
+            return;
+        };
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of its blocking accept; it re-checks
+        // the flag on every connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = acceptor.join();
+        // The acceptor dropped the sender, so workers drain whatever
+        // is queued and then see a disconnected channel.
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl ServeState {
+    /// The `/metrics` document for this instant.
+    pub fn metrics(&self) -> crate::metrics::MetricsSnapshot {
+        self.telemetry
+            .snapshot(self.workers, self.queue_capacity, self.cache.stats())
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    tx: Sender<Job>,
+    state: Arc<ServeState>,
+    shutdown: Arc<AtomicBool>,
+    io_timeout: Duration,
+) {
+    for conn in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue, // transient accept failure
+        };
+        // Cap how long a silent client can hold a worker, and disable
+        // Nagle so small JSON responses are not delayed.
+        let _ = stream.set_read_timeout(Some(io_timeout));
+        let _ = stream.set_write_timeout(Some(io_timeout));
+        let _ = stream.set_nodelay(true);
+        state.telemetry.note_queued();
+        match tx.try_send(Job {
+            stream,
+            enqueued: Instant::now(),
+        }) {
+            Ok(()) => {}
+            Err(TrySendError::Full(mut job)) => {
+                state.telemetry.note_dequeued();
+                state.telemetry.record_rejected();
+                let body = error_object(
+                    "server busy: worker queue is full, retry shortly",
+                    &[("queue_capacity", Value::Int(state.queue_capacity as i64))],
+                );
+                // Write the rejection off-thread: a rejected client
+                // that never reads would otherwise stall the accept
+                // loop for the whole write timeout — precisely during
+                // overload, when accepts must stay cheap. The thread
+                // lives at most one io_timeout.
+                std::thread::spawn(move || {
+                    let _ =
+                        http::write_response(&mut job.stream, 503, &[("Retry-After", "1")], &body);
+                    let _ = job.stream.shutdown(Shutdown::Write);
+                });
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+    // Dropping `tx` here lets the workers drain and exit.
+}
+
+fn worker_loop(rx: Receiver<Job>, state: Arc<ServeState>) {
+    let mut ws = DpWorkspace::new();
+    while let Ok(mut job) = rx.recv() {
+        state.telemetry.note_dequeued();
+        state.telemetry.note_busy(true);
+        // Contain panics: a request that trips a solver bug must cost
+        // that request a 500, not the pool a worker (N such requests
+        // would otherwise silently wedge the whole service).
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_connection(&mut job, &state, &mut ws)
+        }));
+        if outcome.is_err() {
+            state.telemetry.record_response(500);
+            let _ = http::write_response(
+                &mut job.stream,
+                500,
+                &[],
+                &error_object("internal error: request handler panicked", &[]),
+            );
+            // The unwound handler may have left the scratch workspace
+            // mid-surgery; replace it rather than trust it.
+            ws = DpWorkspace::new();
+        }
+        state.telemetry.record_latency(job.enqueued.elapsed());
+        state.telemetry.note_busy(false);
+    }
+}
+
+/// Read one request, route it, write one response, close. Socket
+/// errors are swallowed — the client is gone and there is nobody to
+/// tell.
+fn handle_connection(job: &mut Job, state: &ServeState, ws: &mut DpWorkspace) {
+    let request = match http::read_request(&mut job.stream, state.max_body_bytes) {
+        Ok(r) => r,
+        Err(RequestError::Io(_)) => return,
+        Err(RequestError::Malformed(msg)) => {
+            state.telemetry.record_response(400);
+            let _ = http::write_response(&mut job.stream, 400, &[], &error_object(&msg, &[]));
+            return;
+        }
+        Err(RequestError::Unimplemented(msg)) => {
+            state.telemetry.record_response(501);
+            let _ = http::write_response(&mut job.stream, 501, &[], &error_object(&msg, &[]));
+            return;
+        }
+        Err(RequestError::BodyTooLarge { limit }) => {
+            state.telemetry.record_response(413);
+            let msg = format!("request body exceeds the {limit}-byte limit");
+            let _ = http::write_response(&mut job.stream, 413, &[], &error_object(&msg, &[]));
+            return;
+        }
+    };
+    let reply = route(&request, state, ws);
+    state.telemetry.record_response(reply.status);
+    let extra: Vec<(&str, &str)> = match &reply.cache_marker {
+        Some(marker) => vec![("X-Fragalign-Cache", *marker)],
+        None => Vec::new(),
+    };
+    let _ = http::write_response(&mut job.stream, reply.status, &extra, &reply.body);
+}
+
+/// A routed response: status, body, and for `/v1/solve` whether the
+/// cache answered.
+struct Reply {
+    status: u16,
+    body: String,
+    cache_marker: Option<&'static str>,
+}
+
+impl Reply {
+    fn json(status: u16, body: String) -> Reply {
+        Reply {
+            status,
+            body,
+            cache_marker: None,
+        }
+    }
+
+    fn error(status: u16, message: &str) -> Reply {
+        Reply::json(status, error_object(message, &[]))
+    }
+}
+
+fn route(request: &Request, state: &ServeState, ws: &mut DpWorkspace) -> Reply {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => handle_healthz(state),
+        ("GET", "/metrics") => handle_metrics(state),
+        ("GET", "/v1/solvers") => handle_solvers(),
+        ("POST", "/v1/solve") => handle_solve(request, state, ws),
+        ("POST", "/v1/batch") => handle_batch(request, state),
+        (_, "/healthz" | "/metrics" | "/v1/solvers") => {
+            Reply::error(405, "use GET on this endpoint")
+        }
+        (_, "/v1/solve" | "/v1/batch") => Reply::error(405, "use POST on this endpoint"),
+        _ => Reply::json(
+            404,
+            error_object(
+                &format!("no such endpoint {:?}", request.path),
+                &[(
+                    "endpoints",
+                    Value::Array(
+                        [
+                            "POST /v1/solve",
+                            "POST /v1/batch",
+                            "GET /v1/solvers",
+                            "GET /healthz",
+                            "GET /metrics",
+                        ]
+                        .iter()
+                        .map(|e| Value::Str((*e).to_string()))
+                        .collect(),
+                    ),
+                )],
+            ),
+        ),
+    }
+}
+
+fn handle_healthz(state: &ServeState) -> Reply {
+    let body = Value::Object(vec![
+        ("status".to_string(), Value::Str("ok".to_string())),
+        (
+            "uptime_secs".to_string(),
+            Value::Float(state.metrics().uptime_secs),
+        ),
+    ]);
+    Reply::json(
+        200,
+        serde_json::to_string(&body).expect("healthz serialises"),
+    )
+}
+
+fn handle_metrics(state: &ServeState) -> Reply {
+    Reply::json(
+        200,
+        serde_json::to_string_pretty(&state.metrics()).expect("metrics serialises"),
+    )
+}
+
+/// One `/v1/solvers` row, straight from the registry.
+#[derive(Serialize)]
+struct SolverRow {
+    name: String,
+    paper: String,
+    ratio: String,
+    in_portfolio: bool,
+}
+
+fn handle_solvers() -> Reply {
+    let rows: Vec<SolverRow> = SolverRegistry::global()
+        .specs()
+        .iter()
+        .map(|s| SolverRow {
+            name: s.name.to_string(),
+            paper: s.paper.to_string(),
+            ratio: s.ratio.to_string(),
+            in_portfolio: s.in_portfolio,
+        })
+        .collect();
+    Reply::json(
+        200,
+        serde_json::to_string_pretty(&rows).expect("solver rows serialise"),
+    )
+}
+
+/// The `/v1/solve` success body.
+#[derive(Serialize)]
+struct SolveResponse {
+    solver: String,
+    score: Score,
+    matches: MatchSet,
+    report: SolveReport,
+}
+
+fn handle_solve(request: &Request, state: &ServeState, ws: &mut DpWorkspace) -> Reply {
+    let parsed = match parse_solve_request(&request.body, state, &["instance"]) {
+        Ok(p) => p,
+        Err(rejection) => {
+            if rejection.unknown_solver {
+                state.telemetry.record_unknown_solver();
+            }
+            return rejection.reply;
+        }
+    };
+    let inst_value = parsed
+        .doc
+        .get("instance")
+        .expect("checked by parse_solve_request");
+    let inst = match decode_instance(inst_value) {
+        Ok(inst) => inst,
+        Err(msg) => return Reply::error(400, &msg),
+    };
+    // Count only fully-validated solve traffic, so `/metrics` per-
+    // solver numbers mean "solves this solver was actually asked to
+    // run", not "bodies that mentioned its name".
+    state.telemetry.record_solve(parsed.position);
+
+    // Canonicalise through the parsed instance so client formatting
+    // (whitespace, pretty-printing) cannot split cache entries.
+    let canonical = serde_json::to_string(&inst).expect("instances serialise");
+    let key = cache::fingerprint(&format!(
+        "{}\n{}\n{canonical}",
+        parsed.solver,
+        options_tag(&parsed.engine)
+    ));
+    if let Some(body) = state.cache.get(key) {
+        return Reply {
+            status: 200,
+            body: body.to_string(),
+            cache_marker: Some("hit"),
+        };
+    }
+    let opts = BatchOptions {
+        solver: parsed.solver.clone(),
+        engine: parsed.engine,
+    };
+    match solve_single_report(&inst, &opts, ws) {
+        Ok((solution, report)) => {
+            let body = serde_json::to_string(&SolveResponse {
+                solver: parsed.solver,
+                score: solution.score,
+                matches: solution.matches,
+                report,
+            })
+            .expect("solve response serialises");
+            state.cache.insert(key, Arc::from(body.as_str()));
+            Reply {
+                status: 200,
+                body,
+                cache_marker: Some("miss"),
+            }
+        }
+        Err(err) => engine_error_reply(err),
+    }
+}
+
+/// The `/v1/batch` success body: one entry per instance, input order.
+#[derive(Serialize)]
+struct BatchResponse {
+    solver: String,
+    instances: usize,
+    total_score: Score,
+    results: Vec<BatchItem>,
+}
+
+/// One solved instance of a `/v1/batch` request.
+#[derive(Serialize)]
+struct BatchItem {
+    score: Score,
+    matches: MatchSet,
+    report: SolveReport,
+}
+
+fn handle_batch(request: &Request, state: &ServeState) -> Reply {
+    state.telemetry.record_batch();
+    let parsed = match parse_solve_request(&request.body, state, &["instances"]) {
+        Ok(p) => p,
+        Err(rejection) => return rejection.reply,
+    };
+    let Some(list) = parsed.doc.get("instances").and_then(Value::as_array) else {
+        return Reply::error(400, "field \"instances\" must be an array of instances");
+    };
+    let mut instances = Vec::with_capacity(list.len());
+    for (i, value) in list.iter().enumerate() {
+        match decode_instance(value) {
+            Ok(inst) => instances.push(inst),
+            Err(msg) => return Reply::error(400, &format!("instances[{i}]: {msg}")),
+        }
+    }
+    let opts = BatchOptions {
+        solver: parsed.solver.clone(),
+        engine: parsed.engine,
+    };
+    // `core::batch` does the mapping: per-worker workspaces under the
+    // rayon shim today, real data parallelism once the shim swap
+    // lands — the service inherits it either way.
+    match fragalign_core::solve_batch_reports(&instances, &opts) {
+        Ok(results) => {
+            let body = BatchResponse {
+                solver: parsed.solver,
+                instances: results.len(),
+                total_score: results.iter().map(|(s, _)| s.score).sum(),
+                results: results
+                    .into_iter()
+                    .map(|(solution, report)| BatchItem {
+                        score: solution.score,
+                        matches: solution.matches,
+                        report,
+                    })
+                    .collect(),
+            };
+            Reply::json(200, serde_json::to_string(&body).expect("batch serialises"))
+        }
+        Err(err) => engine_error_reply(err),
+    }
+}
+
+/// The fields shared by `/v1/solve` and `/v1/batch` bodies, already
+/// validated: the parsed document, the resolved solver name, and the
+/// engine options.
+struct ParsedSolveRequest {
+    doc: Value,
+    solver: String,
+    /// The solver's registry position, for per-solver counters.
+    position: usize,
+    engine: EngineOptions,
+}
+
+/// Why a solve-shaped body was refused: the response to send, plus
+/// whether the cause was an unregistered solver name (so `/v1/solve`
+/// can count those separately without re-parsing the reply).
+struct ParseRejection {
+    reply: Reply,
+    unknown_solver: bool,
+}
+
+impl From<Reply> for ParseRejection {
+    fn from(reply: Reply) -> Self {
+        ParseRejection {
+            reply,
+            unknown_solver: false,
+        }
+    }
+}
+
+/// Parse and validate a solve-shaped request body: JSON object, no
+/// unknown top-level keys, a registered solver (else the friendly
+/// 400), well-formed options. `payload_key` is the endpoint's
+/// instance-carrying field. Pure parsing — telemetry is the caller's
+/// business, so `/v1/batch` traffic never leaks into `/v1/solve`
+/// counters.
+fn parse_solve_request(
+    body: &str,
+    state: &ServeState,
+    payload_key: &[&str],
+) -> Result<ParsedSolveRequest, ParseRejection> {
+    let doc: Value = serde_json::from_str(body)
+        .map_err(|e| Reply::error(400, &format!("request body is not valid JSON: {e}")))?;
+    let Some(fields) = doc.as_object() else {
+        return Err(Reply::error(400, "request body must be a JSON object").into());
+    };
+    for (key, _) in fields {
+        if key != "solver" && key != "options" && !payload_key.contains(&key.as_str()) {
+            return Err(Reply::error(
+                400,
+                &format!(
+                    "unknown field {key:?} (allowed: {}, solver, options)",
+                    payload_key.join(", ")
+                ),
+            )
+            .into());
+        }
+    }
+    for required in payload_key {
+        if doc.get(required).is_none() {
+            return Err(Reply::error(400, &format!("missing required field {required:?}")).into());
+        }
+    }
+    let solver = match doc.get("solver") {
+        None => state.default_solver.clone(),
+        Some(Value::Str(s)) => s.clone(),
+        Some(_) => return Err(Reply::error(400, "field \"solver\" must be a string").into()),
+    };
+    if let Err(err) = SolverRegistry::global().spec(&solver) {
+        return Err(ParseRejection {
+            reply: engine_error_reply(err),
+            unknown_solver: true,
+        });
+    }
+    let position = SolverRegistry::global()
+        .position(&solver)
+        .expect("solver resolved above");
+    let engine = match doc.get("options") {
+        None => EngineOptions::default(),
+        Some(v) => engine_options_from(v).map_err(|msg| Reply::error(400, &msg))?,
+    };
+    Ok(ParsedSolveRequest {
+        doc,
+        solver,
+        position,
+        engine,
+    })
+}
+
+/// Decode, re-index, and validate one instance value.
+fn decode_instance(value: &Value) -> Result<Instance, String> {
+    let mut inst: Instance =
+        serde_json::from_value(value.clone()).map_err(|e| format!("bad instance: {e}"))?;
+    inst.alphabet.rebuild_index();
+    inst.validate()
+        .map_err(|e| format!("invalid instance: {e}"))?;
+    Ok(inst)
+}
+
+/// Strict `options` object → [`EngineOptions`]; every field optional,
+/// unknown fields rejected so typos fail loudly instead of silently
+/// keeping a default.
+fn engine_options_from(value: &Value) -> Result<EngineOptions, String> {
+    let Some(fields) = value.as_object() else {
+        return Err("field \"options\" must be an object".to_string());
+    };
+    let mut opts = EngineOptions::default();
+    for (key, val) in fields {
+        match key.as_str() {
+            "scaling" => opts.scaling = expect_bool(val, "options.scaling")?,
+            "reuse_workspaces" => {
+                opts.reuse_workspaces = expect_bool(val, "options.reuse_workspaces")?
+            }
+            "exact_limits" => {
+                let Some(limits) = val.as_object() else {
+                    return Err("options.exact_limits must be an object".to_string());
+                };
+                for (lkey, lval) in limits {
+                    match lkey.as_str() {
+                        "max_frags" => {
+                            opts.exact_limits.max_frags =
+                                expect_usize(lval, "options.exact_limits.max_frags")?
+                        }
+                        "max_regions" => {
+                            opts.exact_limits.max_regions =
+                                expect_usize(lval, "options.exact_limits.max_regions")?
+                        }
+                        other => {
+                            return Err(format!(
+                                "unknown field options.exact_limits.{other} (allowed: max_frags, max_regions)"
+                            ))
+                        }
+                    }
+                }
+            }
+            other => {
+                return Err(format!(
+                "unknown field options.{other} (allowed: scaling, reuse_workspaces, exact_limits)"
+            ))
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn expect_bool(value: &Value, what: &str) -> Result<bool, String> {
+    match value {
+        Value::Bool(b) => Ok(*b),
+        _ => Err(format!("{what} must be a boolean")),
+    }
+}
+
+fn expect_usize(value: &Value, what: &str) -> Result<usize, String> {
+    match value {
+        Value::Int(i) if *i >= 0 => Ok(*i as usize),
+        _ => Err(format!("{what} must be a non-negative integer")),
+    }
+}
+
+/// The options part of the cache key. `reuse_workspaces` never
+/// changes scores, but it does change the telemetry embedded in the
+/// cached body, so it participates.
+fn options_tag(opts: &EngineOptions) -> String {
+    format!(
+        "scaling={} reuse={} max_frags={} max_regions={}",
+        opts.scaling,
+        opts.reuse_workspaces,
+        opts.exact_limits.max_frags,
+        opts.exact_limits.max_regions
+    )
+}
+
+/// Engine refusals as HTTP errors: unknown solver → 400 listing every
+/// registered name (plus a did-you-mean hint when one is close);
+/// solver/instance mismatch → 400 with the solver's explanation.
+fn engine_error_reply(err: EngineError) -> Reply {
+    match &err {
+        EngineError::UnknownSolver {
+            known, suggestion, ..
+        } => {
+            let mut extra = vec![(
+                "known",
+                Value::Array(known.iter().map(|n| Value::Str((*n).to_string())).collect()),
+            )];
+            if let Some(s) = suggestion {
+                extra.push(("suggestion", Value::Str((*s).to_string())));
+            }
+            Reply::json(400, error_object(&err.to_string(), &extra))
+        }
+        EngineError::Unsupported { .. } => Reply::error(400, &err.to_string()),
+    }
+}
+
+/// `{"error": message, ...extra}` as compact JSON.
+fn error_object(message: &str, extra: &[(&str, Value)]) -> String {
+    let mut fields = vec![("error".to_string(), Value::Str(message.to_string()))];
+    for (key, value) in extra {
+        fields.push(((*key).to_string(), value.clone()));
+    }
+    serde_json::to_string(&Value::Object(fields)).expect("error body serialises")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+    use fragalign_model::instance::paper_example;
+
+    fn test_server() -> Server {
+        Server::start(ServeConfig {
+            workers: 2,
+            queue_depth: 8,
+            ..ServeConfig::default()
+        })
+        .expect("server starts")
+    }
+
+    #[test]
+    fn healthz_and_metrics_roundtrip() {
+        let server = test_server();
+        let health = client::get(server.addr(), "/healthz").unwrap();
+        assert_eq!(health.status, 200);
+        assert!(health.body.contains("\"status\":\"ok\""));
+        let metrics = client::get(server.addr(), "/metrics").unwrap();
+        assert_eq!(metrics.status, 200);
+        for field in ["uptime_secs", "solve_requests", "p99_ms", "hit_rate"] {
+            assert!(metrics.body.contains(field), "missing {field}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn solvers_listing_matches_registry() {
+        let server = test_server();
+        let resp = client::get(server.addr(), "/v1/solvers").unwrap();
+        assert_eq!(resp.status, 200);
+        for name in SolverRegistry::global().names() {
+            assert!(
+                resp.body.contains(&format!("\"name\": \"{name}\"")),
+                "{name}"
+            );
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn solve_caches_and_solves() {
+        let server = test_server();
+        let inst = serde_json::to_string(&paper_example()).unwrap();
+        let body = format!("{{\"instance\":{inst},\"solver\":\"csr\"}}");
+        let first = client::post(server.addr(), "/v1/solve", &body).unwrap();
+        assert_eq!(first.status, 200, "{}", first.body);
+        assert_eq!(first.header("x-fragalign-cache"), Some("miss"));
+        assert!(first.body.contains("\"score\":11"), "{}", first.body);
+        let second = client::post(server.addr(), "/v1/solve", &body).unwrap();
+        assert_eq!(second.header("x-fragalign-cache"), Some("hit"));
+        assert_eq!(first.body, second.body);
+        let stats = server.state().cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        server.shutdown();
+    }
+
+    #[test]
+    fn rejects_unknown_fields_and_bad_options() {
+        let server = test_server();
+        let inst = serde_json::to_string(&paper_example()).unwrap();
+        for (body, needle) in [
+            ("{]".to_string(), "not valid JSON"),
+            ("[]".to_string(), "must be a JSON object"),
+            ("{}".to_string(), "missing required field"),
+            (
+                format!("{{\"instance\":{inst},\"solvr\":\"csr\"}}"),
+                "unknown field \\\"solvr\\\"",
+            ),
+            (
+                format!("{{\"instance\":{inst},\"options\":{{\"scaling\":3}}}}"),
+                "options.scaling must be a boolean",
+            ),
+            (
+                format!("{{\"instance\":{inst},\"options\":{{\"sclaing\":true}}}}"),
+                "unknown field options.sclaing",
+            ),
+        ] {
+            let resp = client::post(server.addr(), "/v1/solve", &body).unwrap();
+            assert_eq!(resp.status, 400, "{body} → {}", resp.body);
+            assert!(resp.body.contains(needle), "{body} → {}", resp.body);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_solver_is_a_friendly_400() {
+        let server = test_server();
+        let inst = serde_json::to_string(&paper_example()).unwrap();
+        let body = format!("{{\"instance\":{inst},\"solver\":\"greddy\"}}");
+        let resp = client::post(server.addr(), "/v1/solve", &body).unwrap();
+        assert_eq!(resp.status, 400);
+        assert!(resp.body.contains("\"known\""), "{}", resp.body);
+        assert!(
+            resp.body.contains("\"suggestion\":\"greedy\""),
+            "{}",
+            resp.body
+        );
+        assert_eq!(server.state().metrics().unknown_solver_requests, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_are_mapped() {
+        let server = test_server();
+        let resp = client::get(server.addr(), "/nope").unwrap();
+        assert_eq!(resp.status, 404);
+        assert!(resp.body.contains("endpoints"));
+        let resp = client::post(server.addr(), "/healthz", "{}").unwrap();
+        assert_eq!(resp.status, 405);
+        let resp = client::get(server.addr(), "/v1/solve").unwrap();
+        assert_eq!(resp.status, 405);
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_solves_in_input_order() {
+        let server = test_server();
+        let inst = serde_json::to_string(&paper_example()).unwrap();
+        let body = format!("{{\"instances\":[{inst},{inst}],\"solver\":\"greedy\"}}");
+        let resp = client::post(server.addr(), "/v1/batch", &body).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(resp.body.contains("\"instances\":2"), "{}", resp.body);
+        let metrics = server.state().metrics();
+        assert_eq!(metrics.batch_requests, 1);
+        // Batch traffic must not leak into the per-solver /v1/solve
+        // counters.
+        assert!(metrics.solve_requests.iter().all(|s| s.requests == 0));
+        server.shutdown();
+    }
+
+    #[test]
+    fn default_solver_must_be_registered() {
+        let err = Server::start(ServeConfig {
+            default_solver: "greddy".to_string(),
+            ..ServeConfig::default()
+        })
+        .map(|s| s.addr())
+        .unwrap_err();
+        assert!(err.to_string().contains("did you mean 'greedy'?"));
+    }
+}

@@ -108,6 +108,18 @@ pub trait Deserialize: Sized {
     fn deserialize(v: &Value) -> Result<Self, Error>;
 }
 
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn serialize(&self) -> Value {
         Value::Bool(*self)
@@ -301,5 +313,12 @@ mod tests {
     #[test]
     fn out_of_range_int_rejected() {
         assert!(u8::deserialize(&Value::Int(300)).is_err());
+    }
+
+    #[test]
+    fn value_passes_through_unchanged() {
+        let v = Value::Object(vec![("k".to_string(), Value::Int(1))]);
+        assert_eq!(v.serialize(), v);
+        assert_eq!(Value::deserialize(&v), Ok(v));
     }
 }

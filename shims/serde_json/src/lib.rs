@@ -49,6 +49,19 @@ pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Rebuild a `T` from an already-parsed [`Value`] tree (real
+/// serde_json's `from_value`; `from_str::<Value>` + `from_value` lets
+/// callers inspect a document before committing to a typed shape).
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    Ok(T::deserialize(&value)?)
+}
+
+/// Serialize `value` into the [`Value`] data model (real serde_json's
+/// `to_value`).
+pub fn to_value<T: Serialize>(value: &T) -> Result<Value, Error> {
+    Ok(value.serialize())
+}
+
 /// Parse a value of type `T` from JSON text.
 pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
     let mut parser = Parser {
@@ -375,6 +388,20 @@ mod tests {
         let pretty = to_string_pretty(&ValueWrap(v.clone())).unwrap();
         let back: ValueWrap = from_str(&pretty).unwrap();
         assert_eq!(back.0, v);
+    }
+
+    #[test]
+    fn value_is_first_class() {
+        // `Value` itself is Serialize + Deserialize (as in the real
+        // crates), so documents can be inspected before typing.
+        let v: Value = from_str(r#"{"solver": "csr", "n": 3}"#).unwrap();
+        assert_eq!(v.get("solver"), Some(&Value::Str("csr".to_string())));
+        let n: i64 = from_value(v.get("n").unwrap().clone()).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(
+            to_value(&vec![1i64, 2]).unwrap().as_array().unwrap().len(),
+            2
+        );
     }
 
     #[test]

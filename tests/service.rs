@@ -1,0 +1,272 @@
+//! The serving layer end to end, over real sockets:
+//!
+//! * concurrent clients get answers bit-identical to direct
+//!   [`solve_single_report`] calls — per-worker DP workspaces are
+//!   scratch, the result cache stores finished bodies, and neither
+//!   may change a solution;
+//! * hit and miss paths return byte-identical bodies, and instance
+//!   formatting (pretty vs compact) cannot split cache entries;
+//! * a full worker queue answers `503` immediately — backpressure
+//!   must reject, never hang;
+//! * the `/v1/solve` wire format is pinned by a golden snapshot
+//!   (wall-clock normalised), so accidental format drift is caught
+//!   before clients are.
+
+use fragalign::align::DpWorkspace;
+use fragalign::core::{solve_single_report, BatchOptions};
+use fragalign::model::instance::paper_example;
+use fragalign::model::Instance;
+use fragalign::serve::{client, ServeConfig, Server};
+use fragalign::sim::gen_batch;
+use fragalign::sim::SimConfig;
+use serde::Value;
+use std::time::{Duration, Instant};
+
+fn sim_instances(count: usize, seed: u64) -> Vec<Instance> {
+    gen_batch(
+        &SimConfig {
+            regions: 12,
+            h_frags: 3,
+            m_frags: 3,
+            loss_rate: 0.15,
+            shuffles: 2,
+            spurious: 3,
+            seed,
+            ..SimConfig::default()
+        },
+        count,
+    )
+    .into_iter()
+    .map(|s| s.instance)
+    .collect()
+}
+
+fn solve_body(inst: &Instance, solver: &str) -> String {
+    format!(
+        "{{\"instance\":{},\"solver\":\"{solver}\"}}",
+        serde_json::to_string(inst).expect("instance serialises")
+    )
+}
+
+/// Poll `probe` until it returns true; fail loudly instead of hanging.
+fn wait_until(what: &str, probe: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !probe() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn eight_concurrent_clients_match_direct_solves() {
+    // One client per solver family (one-csr sits out: these are
+    // multi-M instances and it would 400 by design).
+    let solvers = [
+        "csr",
+        "full",
+        "border",
+        "four",
+        "greedy",
+        "matching",
+        "portfolio",
+        "exact",
+    ];
+    let instances = sim_instances(solvers.len(), 77);
+    let server = Server::start(ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
+    let responses: Vec<Value> = std::thread::scope(|scope| {
+        let handles: Vec<_> = solvers
+            .iter()
+            .zip(&instances)
+            .map(|(solver, inst)| {
+                scope.spawn(move || {
+                    let resp = client::post(addr, "/v1/solve", &solve_body(inst, solver))
+                        .expect("solve answers");
+                    assert_eq!(resp.status, 200, "{solver}: {}", resp.body);
+                    serde_json::from_str::<Value>(&resp.body).expect("response parses")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for ((solver, inst), doc) in solvers.iter().zip(&instances).zip(&responses) {
+        let mut ws = DpWorkspace::new();
+        let (expected, expected_report) =
+            solve_single_report(inst, &BatchOptions::new(*solver), &mut ws)
+                .expect("direct solve succeeds");
+        assert_eq!(
+            doc.get("score"),
+            Some(&Value::Int(expected.score)),
+            "{solver}: served score diverged"
+        );
+        assert_eq!(
+            doc.get("matches"),
+            Some(&serde_json::to_value(&expected.matches).unwrap()),
+            "{solver}: served matches diverged"
+        );
+        // The report is deterministic too, apart from wall clock and
+        // workspace-growth counts (those depend on which warm worker
+        // workspace handled the request).
+        let report = doc.get("report").expect("report present");
+        for (field, value) in [
+            ("solver", Value::Str((*solver).to_string())),
+            ("score", Value::Int(expected_report.score)),
+            ("rounds", Value::Int(expected_report.rounds as i64)),
+            ("attempts", Value::Int(expected_report.attempts as i64)),
+            ("dp_fills", Value::Int(expected_report.dp_fills as i64)),
+            (
+                "table_misses",
+                Value::Int(expected_report.table_misses as i64),
+            ),
+            (
+                "pair_misses",
+                Value::Int(expected_report.pair_misses as i64),
+            ),
+        ] {
+            assert_eq!(
+                report.get(field),
+                Some(&value),
+                "{solver}: report field {field} diverged"
+            );
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn cache_hit_is_byte_identical_and_formatting_invariant() {
+    let server = Server::start(ServeConfig::default()).expect("server starts");
+    let addr = server.addr();
+    let inst = &sim_instances(1, 9)[0];
+
+    let miss = client::post(addr, "/v1/solve", &solve_body(inst, "four")).unwrap();
+    assert_eq!(miss.status, 200, "{}", miss.body);
+    assert_eq!(miss.header("x-fragalign-cache"), Some("miss"));
+    let hit = client::post(addr, "/v1/solve", &solve_body(inst, "four")).unwrap();
+    assert_eq!(hit.header("x-fragalign-cache"), Some("hit"));
+    assert_eq!(miss.body, hit.body, "hit body diverged from miss body");
+
+    // Same instance, different client formatting: the cache keys on
+    // the canonical re-serialisation, so this is still a hit.
+    let pretty = format!(
+        "{{\n  \"solver\": \"four\",\n  \"instance\": {}\n}}",
+        serde_json::to_string_pretty(inst).unwrap()
+    );
+    let reformatted = client::post(addr, "/v1/solve", &pretty).unwrap();
+    assert_eq!(reformatted.header("x-fragalign-cache"), Some("hit"));
+    assert_eq!(reformatted.body, miss.body);
+
+    // A different solver is a different key.
+    let other = client::post(addr, "/v1/solve", &solve_body(inst, "greedy")).unwrap();
+    assert_eq!(other.header("x-fragalign-cache"), Some("miss"));
+
+    let stats = server.state().cache.stats();
+    assert_eq!((stats.hits, stats.misses, stats.entries), (2, 2, 2));
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_answers_503_and_never_hangs() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+    let state = server.state();
+
+    // Occupy the only worker: a request whose body never arrives. The
+    // worker blocks reading it (until the io timeout, far beyond this
+    // test's lifetime).
+    let mut parked = client::connect_and_send(
+        addr,
+        b"POST /v1/solve HTTP/1.1\r\nHost: t\r\nContent-Length: 10\r\n\r\n",
+    )
+    .expect("park a half-written request");
+    wait_until("the worker to pick up the parked request", || {
+        state.telemetry.busy_workers() == 1
+    });
+
+    // Fill the queue's single slot with a real request; it will wait.
+    let queued = std::thread::spawn(move || client::get(addr, "/healthz").expect("queued request"));
+    wait_until("the queue slot to fill", || {
+        state.telemetry.queue_depth() == 1
+    });
+
+    // Worker busy + queue full: the next connection must be turned
+    // away immediately with 503, not parked.
+    let t0 = Instant::now();
+    let rejected = client::request(addr, "GET", "/healthz", None, Duration::from_secs(5))
+        .expect("rejected request still gets a response");
+    assert_eq!(rejected.status, 503, "{}", rejected.body);
+    assert_eq!(rejected.header("retry-after"), Some("1"));
+    assert!(rejected.body.contains("queue"), "{}", rejected.body);
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "503 took {:?} — backpressure must not block",
+        t0.elapsed()
+    );
+    assert_eq!(server.state().metrics().rejected_503, 1);
+
+    // Unpark the worker; the queued request then drains normally.
+    use std::io::Write;
+    parked.write_all(b"0123456789").expect("finish parked body");
+    let parked_reply = {
+        use std::io::Read;
+        let mut raw = Vec::new();
+        parked.read_to_end(&mut raw).expect("parked response");
+        String::from_utf8(raw).expect("utf-8 response")
+    };
+    assert!(
+        parked_reply.starts_with("HTTP/1.1 400"),
+        "ten junk bytes are not JSON: {parked_reply}"
+    );
+    let queued_reply = queued.join().expect("queued client thread");
+    assert_eq!(queued_reply.status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn solve_wire_format_is_pinned() {
+    let server = Server::start(ServeConfig::default()).expect("server starts");
+    let resp = client::post(
+        server.addr(),
+        "/v1/solve",
+        &solve_body(&paper_example(), "greedy"),
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let normalized = normalize_wall_secs(&resp.body);
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden/serve_solve_demo.json");
+    if std::env::var("BLESS").is_ok() {
+        std::fs::write(&path, &normalized).expect("bless golden");
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {} (run with BLESS=1): {e}", path.display()));
+    assert_eq!(
+        normalized, golden,
+        "/v1/solve wire format drifted from snapshot"
+    );
+    server.shutdown();
+}
+
+/// Replace the one nondeterministic response field (`wall_secs`) with
+/// a stable placeholder so the body can be snapshot.
+fn normalize_wall_secs(body: &str) -> String {
+    let marker = "\"wall_secs\":";
+    let start = body.find(marker).expect("report has wall_secs") + marker.len();
+    let end = start
+        + body[start..]
+            .find([',', '}'])
+            .expect("wall_secs value ends");
+    format!("{}0.0{}", &body[..start], &body[end..])
+}
