@@ -144,6 +144,67 @@ fn concurrent_queries_are_stable_and_counters_coherent() {
 }
 
 #[test]
+fn rayon_pool_hammer_matches_uncontended_oracle() {
+    // The same contention pattern as the scoped-thread hammer, but
+    // driven through the rayon shim's real worker pool — the pool the
+    // batch pipeline and the portfolio actually run on — instead of
+    // hand-spawned threads. Every query against the shared oracle must
+    // equal the uncontended reference at every pool width.
+    use rayon::prelude::*;
+
+    let inst = contended_instance();
+    let reference = ScoreOracle::new(&inst);
+    let queries: Vec<(FragId, FragId)> = inst
+        .frag_ids(fragalign_model::Species::H)
+        .flat_map(|h| {
+            inst.frag_ids(fragalign_model::Species::M)
+                .map(move |m| (h, m))
+        })
+        .collect();
+    let expected: Vec<Vec<(i64, Orient)>> = queries
+        .iter()
+        .map(|&(h, m)| {
+            let t = reference.interval_table(h, m);
+            let n = inst.frag_len(m);
+            (0..=n)
+                .flat_map(|d| (d..=n).map(move |e| (d, e)))
+                .map(|(d, e)| t.get(d, e))
+                .collect()
+        })
+        .collect();
+
+    for threads in [2, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool builds");
+        let oracle = ScoreOracle::new(&inst);
+        pool.install(|| {
+            // 64 hammer tasks per width, each walking every query with
+            // a different stagger so workers collide on different keys.
+            (0..64usize).into_par_iter().for_each(|shift| {
+                for idx in 0..queries.len() {
+                    let slot = (idx + shift) % queries.len();
+                    let (h, m) = queries[slot];
+                    let table = oracle.interval_table(h, m);
+                    let n = inst.frag_len(m);
+                    let got: Vec<(i64, Orient)> = (0..=n)
+                        .flat_map(|d| (d..=n).map(move |e| (d, e)))
+                        .map(|(d, e)| table.get(d, e))
+                        .collect();
+                    assert_eq!(got, expected[slot], "torn table for {h:?}/{m:?}");
+                }
+            });
+        });
+        // Counter coherence holds under the pool too.
+        let hits = oracle.stats.table_hits.load(Ordering::Relaxed);
+        let misses = oracle.stats.table_misses.load(Ordering::Relaxed);
+        assert_eq!(hits + misses, (64 * queries.len()) as u64);
+        assert!(misses >= queries.len() as u64);
+    }
+}
+
+#[test]
 fn concurrent_adopt_reclaim_round_trips_workspaces() {
     let inst = contended_instance();
     let oracle = ScoreOracle::new(&inst);

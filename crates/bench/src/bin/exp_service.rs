@@ -10,11 +10,12 @@
 //! cargo run --release -p fragalign-bench --bin exp_service -- --smoke
 //! ```
 //!
-//! Unlike the batch numbers (sequential under the rayon shim, see
-//! shims/README.md), this concurrency is real: the worker pool runs
-//! on `std::thread` fed by the genuinely concurrent crossbeam shim,
-//! so requests/sec here scales with workers even before the real
-//! rayon lands. Each request is classified by the server's
+//! This concurrency is real on both axes now: the worker pool runs on
+//! `std::thread` fed by the genuinely concurrent crossbeam shim, and
+//! since the rayon shim rebuild each worker's solve can additionally
+//! fan out over the real rayon pool (see shims/README.md and
+//! `exp_speedup`), so requests/sec scales with whatever cores the
+//! host offers. Each request is classified by the server's
 //! `X-Fragalign-Cache` header; the hit/miss latency split is the
 //! cache's measured win (the acceptance bar is hits ≥ 5× faster than
 //! misses on this repeat-heavy workload).

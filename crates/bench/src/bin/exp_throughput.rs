@@ -7,9 +7,12 @@
 //! cargo run --release -p fragalign-bench --bin exp_throughput -- --smoke
 //! ```
 //!
-//! Three measurements, all single-thread (the rayon shim is
-//! sequential; see shims/README.md — batch *parallel* speedups need
-//! the real crate):
+//! Three measurements, all on the ambient rayon pool — real threads
+//! since the shim rebuild, so `instances/sec` here reflects whatever
+//! parallelism the host offers (the dedicated thread-scaling story
+//! lives in `exp_speedup` / `BENCH_speedup.json`). The reuse-vs-
+//! baseline ratios stay meaningful because both modes run on the same
+//! pool:
 //!
 //! 1. **pipeline stages** — generate a batch, solve it with the
 //!    per-call-allocation baseline (`reuse_workspaces = false`), solve
@@ -42,6 +45,8 @@ struct Config {
     algo: String,
     kernel_repeats: usize,
     smoke: bool,
+    /// Width of the ambient rayon pool the batch stages ran on.
+    pool_threads: usize,
 }
 
 #[derive(Serialize)]
@@ -212,6 +217,7 @@ fn main() {
             algo: algo.to_string(),
             kernel_repeats,
             smoke,
+            pool_threads: fragalign::par::current_threads(),
         },
         stages: vec![
             Stage {

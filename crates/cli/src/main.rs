@@ -1,8 +1,8 @@
 //! `fragalign` — solve CSR instances from the command line.
 //!
 //! ```text
-//! fragalign solve  [--algo NAME] [--scaling] [--report json] <instance.json|->
-//! fragalign solve  --batch [--algo NAME] [--scaling] [--report json] <dir|instances.jsonl>
+//! fragalign solve  [--algo NAME] [--scaling] [--threads N] [--report json] <instance.json|->
+//! fragalign solve  --batch [--algo NAME] [--scaling] [--threads N] [--report json] <dir|instances.jsonl>
 //! fragalign serve  [--addr A] [--workers N] [--queue-depth N] [--cache-mb N] [--default-solver NAME]
 //! fragalign gen    [--regions N] [--h-frags N] [--m-frags N] [--seed S] [--noise X]
 //! fragalign demo
@@ -14,7 +14,10 @@
 //!   takes any name the [`SolverRegistry`] knows — including
 //!   `one-csr`, `exact` (small instances) and the racing `portfolio`
 //!   meta-solver; `--report json` emits the engine's uniform
-//!   telemetry record instead of the human-readable layout.
+//!   telemetry record instead of the human-readable layout;
+//!   `--threads N` runs the solve on a dedicated N-thread pool
+//!   (`0`, the default, uses one thread per core — results are
+//!   bit-identical at any width).
 //! * `solve --batch` reads many instances — every `*.json` file of a
 //!   directory, or one JSON instance per line of a `.jsonl` file — and
 //!   solves them all through the batch pipeline (one summary line per
@@ -45,7 +48,7 @@ fn algo_names() -> String {
 fn usage() -> ExitCode {
     let names = algo_names();
     eprintln!(
-        "usage:\n  fragalign solve [--algo {names}] [--scaling] [--report json] <instance.json|->\n  fragalign solve --batch [--algo {names}] [--scaling] [--report json] <dir|instances.jsonl>\n  fragalign serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--cache-mb N] [--default-solver {names}]\n  fragalign gen [--regions N] [--h-frags N] [--m-frags N] [--seed S] [--noise X]\n  fragalign demo\n  fragalign solvers"
+        "usage:\n  fragalign solve [--algo {names}] [--scaling] [--threads N] [--report json] <instance.json|->\n  fragalign solve --batch [--algo {names}] [--scaling] [--threads N] [--report json] <dir|instances.jsonl>\n  fragalign serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--cache-mb N] [--default-solver {names}]\n  fragalign gen [--regions N] [--h-frags N] [--m-frags N] [--seed S] [--noise X]\n  fragalign demo\n  fragalign solvers"
     );
     ExitCode::from(2)
 }
@@ -138,7 +141,7 @@ struct BatchReport {
     results: Vec<BatchResult>,
 }
 
-fn solve_batch_cmd(algo: &str, scaling: bool, json: bool, path: &str) -> ExitCode {
+fn solve_batch_cmd(algo: &str, scaling: bool, threads: usize, json: bool, path: &str) -> ExitCode {
     let (names, instances) = match read_batch(path) {
         Ok(b) => b,
         Err(e) => {
@@ -148,6 +151,7 @@ fn solve_batch_cmd(algo: &str, scaling: bool, json: bool, path: &str) -> ExitCod
     };
     let mut opts = BatchOptions::new(algo);
     opts.engine.scaling = scaling;
+    opts.engine.threads = threads;
     let start = std::time::Instant::now();
     let solutions = match core::solve_batch_reports(&instances, &opts) {
         Ok(s) => s,
@@ -209,9 +213,10 @@ fn report(inst: &Instance, matches: &MatchSet) {
     }
 }
 
-fn solve_cmd(algo: &str, scaling: bool, json: bool, inst: &Instance) -> ExitCode {
+fn solve_cmd(algo: &str, scaling: bool, threads: usize, json: bool, inst: &Instance) -> ExitCode {
     let opts = EngineOptions {
         scaling,
+        threads,
         ..EngineOptions::default()
     };
     let run = match SolverRegistry::global().solve(algo, inst, opts) {
@@ -361,7 +366,7 @@ fn main() -> ExitCode {
         "demo" => {
             let inst = fragalign_model::instance::paper_example();
             println!("instance: the paper's Fig. 2 example");
-            solve_cmd("csr", false, false, &inst)
+            solve_cmd("csr", false, 0, false, &inst)
         }
         "solvers" => {
             print!("{}", SolverRegistry::global().markdown_table());
@@ -371,6 +376,7 @@ fn main() -> ExitCode {
         "solve" => {
             let mut algo = "csr".to_owned();
             let mut scaling = false;
+            let mut threads = 0usize;
             let mut batch = false;
             let mut json = false;
             let mut path: Option<String> = None;
@@ -385,6 +391,12 @@ fn main() -> ExitCode {
                         Some("json") => json = true,
                         _ => return usage(),
                     },
+                    // 0 (the default) = available parallelism: the
+                    // ambient pool is already one thread per core.
+                    "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                        Some(v) => threads = v,
+                        None => return usage(),
+                    },
                     "--scaling" => scaling = true,
                     "--batch" => batch = true,
                     other => path = Some(other.to_owned()),
@@ -392,7 +404,7 @@ fn main() -> ExitCode {
             }
             let Some(path) = path else { return usage() };
             if batch {
-                return solve_batch_cmd(&algo, scaling, json, &path);
+                return solve_batch_cmd(&algo, scaling, threads, json, &path);
             }
             let inst = match read_instance(&path) {
                 Ok(i) => i,
@@ -401,7 +413,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            solve_cmd(&algo, scaling, json, &inst)
+            solve_cmd(&algo, scaling, threads, json, &inst)
         }
         "gen" => {
             let mut cfg = SimConfig::default();

@@ -136,3 +136,40 @@ fn gen_pipe_solve_is_byte_stable() {
         "gen | solve drifted from snapshot"
     );
 }
+
+#[test]
+fn solve_threads_flag_is_result_invariant() {
+    // `--threads N` runs the solve on a dedicated N-thread pool; the
+    // output must stay byte-identical to the default-pool snapshot at
+    // every width (the pool is a wall-clock knob, never a results
+    // knob).
+    let instance = run(&["gen", "--seed", "42"], None);
+    for threads in ["1", "2", "4"] {
+        let out = run(&["solve", "--threads", threads, "-"], Some(&instance));
+        assert_eq!(
+            out,
+            golden("gen_solve_seed42.txt"),
+            "--threads {threads} changed solve output"
+        );
+    }
+    // The batch path threads the same knob through BatchOptions.
+    let tmp = std::env::temp_dir().join(format!("fragalign_threads_golden_{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).expect("create batch dir");
+    std::fs::write(tmp.join("a.json"), &instance).expect("write instance");
+    let path = tmp.to_str().expect("utf-8 temp path");
+    // The trailing summary line carries a wall-clock rate; only the
+    // per-instance result lines must be invariant.
+    let results_only = |out: String| -> String {
+        out.lines()
+            .filter(|l| !l.starts_with("batch:"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let base = results_only(run(&["solve", "--batch", path], None));
+    assert!(base.contains("score"), "batch printed no results: {base}");
+    for threads in ["1", "4"] {
+        let out = results_only(run(&["solve", "--batch", "--threads", threads, path], None));
+        assert_eq!(out, base, "--threads {threads} changed batch output");
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
+}

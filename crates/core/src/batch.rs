@@ -109,13 +109,25 @@ pub fn solve_batch_reports(
 ) -> Result<Vec<(BatchSolution, SolveReport)>, EngineError> {
     // Resolve once so an unknown name fails before any work runs.
     SolverRegistry::global().spec(&opts.solver)?;
-    let opts = opts.clone();
-    let results = par_map_ordered_init(
-        (0..instances.len()).collect(),
-        DpWorkspace::new,
-        move |ws, idx| solve_single_report(&instances[idx], &opts, ws),
-    );
-    results.into_iter().collect()
+    let mut opts = opts.clone();
+    // A thread request applies to the whole batch: install one pool
+    // here and strip the knob from the per-instance options so each
+    // solve does not rebuild it. Nested parallelism (a parallel solver
+    // inside the parallel batch) runs inline on its worker either way.
+    let threads = std::mem::take(&mut opts.engine.threads);
+    let run = move || {
+        let results = par_map_ordered_init(
+            (0..instances.len()).collect(),
+            DpWorkspace::new,
+            move |ws, idx| solve_single_report(&instances[idx], &opts, ws),
+        );
+        results.into_iter().collect()
+    };
+    if threads > 0 {
+        fragalign_par::with_threads(threads, run).0
+    } else {
+        run()
+    }
 }
 
 #[cfg(test)]

@@ -26,7 +26,8 @@ mod portfolio;
 mod registry;
 mod solvers;
 
-pub use portfolio::Portfolio;
+pub use crate::cancel::{CancelCause, CancelToken};
+pub use portfolio::{Portfolio, PortfolioConfig, RacerBudget};
 pub use registry::{SolverRegistry, SolverSpec};
 
 use crate::ExactLimits;
@@ -43,16 +44,24 @@ pub struct EngineOptions {
     /// restores the per-call-allocation baseline `exp_throughput`
     /// measures against; results never change either way.
     pub reuse_workspaces: bool,
+    /// Rayon pool width for this run: the solve executes on a
+    /// dedicated pool of this many threads. `0` (default) runs on the
+    /// ambient pool (the global one, or whatever `install` pinned).
+    /// Results are bit-identical either way — this knob trades wall
+    /// clock only.
+    pub threads: usize,
     /// Instance-size guard for the exhaustive solver.
     pub exact_limits: ExactLimits,
 }
 
 impl Default for EngineOptions {
-    /// Unscaled, workspace reuse on, default exact limits.
+    /// Unscaled, workspace reuse on, ambient pool, default exact
+    /// limits.
     fn default() -> Self {
         EngineOptions {
             scaling: false,
             reuse_workspaces: true,
+            threads: 0,
             exact_limits: ExactLimits::default(),
         }
     }
@@ -68,14 +77,24 @@ pub struct SolveCtx<'a> {
     pub oracle: ScoreOracle<'a>,
     /// The options of this run.
     pub opts: EngineOptions,
+    /// The run's stop signal; solvers poll it at round boundaries and
+    /// return their best-so-far (consistent) result when it trips.
+    pub cancel: CancelToken,
 }
 
 impl<'a> SolveCtx<'a> {
-    /// A fresh context for `inst` (empty caches, empty workspace pool).
+    /// A fresh context for `inst` (empty caches, empty workspace pool,
+    /// never cancelled).
     pub fn new(inst: &'a Instance, opts: EngineOptions) -> Self {
+        SolveCtx::with_cancel(inst, opts, CancelToken::never())
+    }
+
+    /// [`SolveCtx::new`] with a live cancellation token.
+    pub fn with_cancel(inst: &'a Instance, opts: EngineOptions, cancel: CancelToken) -> Self {
         SolveCtx {
             oracle: ScoreOracle::with_workspace_reuse(inst, opts.reuse_workspaces),
             opts,
+            cancel,
         }
     }
 
@@ -99,6 +118,11 @@ pub struct SolveOutcome {
     pub attempts: usize,
     /// The racer that produced `matches` (portfolio only).
     pub winner: Option<&'static str>,
+    /// Whether the run stopped early on its [`CancelToken`]; the match
+    /// set is then the solver's best-so-far (still consistent).
+    pub cancelled: bool,
+    /// Per-racer telemetry (portfolio only; empty elsewhere).
+    pub racers: Vec<RacerReport>,
 }
 
 impl SolveOutcome {
@@ -109,6 +133,8 @@ impl SolveOutcome {
             rounds: 0,
             attempts: 0,
             winner: None,
+            cancelled: false,
+            racers: Vec::new(),
         }
     }
 }
@@ -159,6 +185,28 @@ pub struct SolveReport {
     pub wall_secs: f64,
     /// The racer that won (portfolio runs only).
     pub winner: Option<String>,
+    /// Whether the run stopped early on its cancellation token (the
+    /// result is then the solver's best-so-far).
+    pub cancelled: bool,
+    /// Per-racer telemetry (portfolio runs only; empty elsewhere).
+    pub racers: Vec<RacerReport>,
+}
+
+/// One portfolio racer's slice of a [`SolveReport`]: what it scored,
+/// whether (and why) it was cancelled, and how long it ran. Budget and
+/// bound cancellations land here, making the race observable.
+#[derive(Clone, Debug, Serialize)]
+pub struct RacerReport {
+    /// Registered solver name of the racer.
+    pub name: String,
+    /// Score of the racer's (possibly partial) result.
+    pub score: Score,
+    /// `None` when the racer ran to completion; otherwise the
+    /// [`CancelCause`] name (`"deadline"`, `"work-cap"`, `"outraced"`,
+    /// …) it stopped for.
+    pub cancelled: Option<String>,
+    /// Wall-clock seconds the racer ran.
+    pub wall_secs: f64,
 }
 
 /// A finished engine run: the solution and its telemetry.

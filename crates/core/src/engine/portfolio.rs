@@ -4,36 +4,120 @@
 //! fragments in sequences: to sweep or not"): on dense instances the
 //! improvement family wins, on disjoint full-fragment instances the
 //! matching 2-approximation already ties it at a fraction of the
-//! cost, and greedy occasionally lucks out. The portfolio runs a
-//! configurable set of registered solvers — in parallel over the
-//! rayon pool — and keeps the best-scoring consistent result.
-//! Determinism: racers are ordered by registry position and the
-//! best-score tie goes to the lowest position, never to whichever
-//! thread finished first.
+//! cost, and greedy occasionally lucks out. The portfolio races a
+//! configurable set of registered solvers over the rayon pool — and
+//! now that the pool runs real threads, the race is genuine:
+//!
+//! * every racer runs under its own child [`CancelToken`], carrying
+//!   the configured per-member **budgets** — a wall-clock deadline
+//!   (latency SLAs; timing-dependent by nature) and/or a **work cap**
+//!   in improvement attempts (deterministic: a capped racer always
+//!   stops at the same round on every machine and thread count);
+//! * a shared best-score board implements **bound cancellation**:
+//!   when a racer finishes at the instance's provable score upper
+//!   bound ([`Instance::score_upper_bound`]), every racer at a later
+//!   registry position is cancelled — it could at best tie, and ties
+//!   lose to the earlier position, so killing it can never change the
+//!   winner;
+//! * cancelled improvement racers return their best-so-far consistent
+//!   result (the loop is anytime), which still competes: with
+//!   work-cap budgets the whole race stays bit-deterministic.
+//!
+//! Winner selection is unchanged: best score over the (possibly
+//! partial) surviving results, ties to the lowest registry position —
+//! never to whichever thread finished first. Bound cancellation only
+//! retires racers that provably cannot win, so with no budgets
+//! configured the winner is identical to running every member to
+//! completion sequentially.
 
-use super::{EngineError, EngineOptions, SolveCtx, SolveOutcome, Solver, SolverRegistry};
-use fragalign_model::Instance;
+use super::{
+    CancelCause, CancelToken, EngineError, EngineOptions, RacerReport, SolveCtx, SolveOutcome,
+    Solver, SolverRegistry, SolverSpec,
+};
+use fragalign_model::{Instance, MatchSet, Score};
 use fragalign_par::par_map_ordered;
+use std::time::{Duration, Instant};
+
+/// Per-racer resource budgets.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RacerBudget {
+    /// Wall-clock budget, measured from race start. Timing-dependent:
+    /// use for latency SLAs, not for reproducible runs.
+    pub wall: Option<Duration>,
+    /// Work budget in improvement attempts (see
+    /// [`CancelToken::charge`]). Deterministic: the racer stops at the
+    /// same round on every machine and thread count.
+    pub work_cap: Option<u64>,
+}
+
+impl RacerBudget {
+    /// No limits.
+    pub const UNLIMITED: RacerBudget = RacerBudget {
+        wall: None,
+        work_cap: None,
+    };
+}
+
+/// Portfolio-wide racing policy.
+#[derive(Clone, Debug, Default)]
+pub struct PortfolioConfig {
+    /// Budget applied to every member without an override.
+    pub default_budget: RacerBudget,
+    /// Per-member budget overrides, by registered name.
+    pub overrides: Vec<(String, RacerBudget)>,
+}
+
+impl PortfolioConfig {
+    fn budget_for(&self, name: &str) -> RacerBudget {
+        self.overrides
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| *b)
+            .unwrap_or(self.default_budget)
+    }
+}
+
+/// One raced member: its registry spec, the solver built once at
+/// portfolio construction (so [`Portfolio::supports`] probes without
+/// allocating), and its budget.
+struct Member {
+    spec: &'static SolverSpec,
+    solver: Box<dyn Solver>,
+    budget: RacerBudget,
+}
 
 /// Meta-solver racing a set of registered solvers and returning the
 /// best-scoring result (ties: lowest registry position).
 pub struct Portfolio {
-    /// Member names, sorted by registry position.
-    members: Vec<&'static str>,
+    /// Members sorted by registry position.
+    members: Vec<Member>,
 }
 
 impl Portfolio {
     /// The default racer set: every registry entry flagged
     /// `in_portfolio` (the exhaustive solver and the portfolio itself
-    /// are excluded).
+    /// are excluded), with no budgets.
     pub fn new() -> Self {
-        let members = SolverRegistry::global()
+        Portfolio::with_config(PortfolioConfig::default())
+            .expect("the default config has no overrides to mismatch")
+    }
+
+    /// The default racer set under an explicit racing policy. Every
+    /// override must name a member, so a misspelled (or non-portfolio)
+    /// name fails loudly instead of silently racing unbudgeted.
+    pub fn with_config(config: PortfolioConfig) -> Result<Self, EngineError> {
+        let members: Vec<Member> = SolverRegistry::global()
             .specs()
             .iter()
             .filter(|s| s.in_portfolio)
-            .map(|s| s.name)
+            .map(|spec| Member {
+                spec,
+                solver: spec.build(),
+                budget: config.budget_for(spec.name),
+            })
             .collect();
-        Portfolio { members }
+        Portfolio::check_overrides(&config, &members)?;
+        Ok(Portfolio { members })
     }
 
     /// Race a custom member set. Every name must be registered;
@@ -41,6 +125,14 @@ impl Portfolio {
     /// regardless of argument order, so the tie-break stays the
     /// registry's, not the caller's.
     pub fn with_members(names: &[&str]) -> Result<Self, EngineError> {
+        Portfolio::with_members_config(names, PortfolioConfig::default())
+    }
+
+    /// [`Portfolio::with_members`] under an explicit racing policy.
+    pub fn with_members_config(
+        names: &[&str],
+        config: PortfolioConfig,
+    ) -> Result<Self, EngineError> {
         let reg = SolverRegistry::global();
         let mut positions = Vec::with_capacity(names.len());
         for name in names {
@@ -55,14 +147,39 @@ impl Portfolio {
         }
         positions.sort_unstable();
         positions.dedup();
-        Ok(Portfolio {
-            members: positions.into_iter().map(|p| reg.specs()[p].name).collect(),
-        })
+        let members: Vec<Member> = positions
+            .into_iter()
+            .map(|p| {
+                let spec = &reg.specs()[p];
+                Member {
+                    spec,
+                    solver: spec.build(),
+                    budget: config.budget_for(spec.name),
+                }
+            })
+            .collect();
+        Portfolio::check_overrides(&config, &members)?;
+        Ok(Portfolio { members })
+    }
+
+    /// Reject budget overrides that match no member: an SLA that
+    /// silently fails to apply is worse than an error.
+    fn check_overrides(config: &PortfolioConfig, members: &[Member]) -> Result<(), EngineError> {
+        for (name, _) in &config.overrides {
+            if !members.iter().any(|m| m.spec.name == name.as_str()) {
+                return Err(EngineError::UnknownSolver {
+                    name: name.clone(),
+                    known: members.iter().map(|m| m.spec.name).collect(),
+                    suggestion: SolverRegistry::global().suggest(name),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The member names, in race (registry) order.
-    pub fn members(&self) -> &[&'static str] {
-        &self.members
+    pub fn members(&self) -> Vec<&'static str> {
+        self.members.iter().map(|m| m.spec.name).collect()
     }
 }
 
@@ -72,66 +189,126 @@ impl Default for Portfolio {
     }
 }
 
+/// The shared race board: the instance's provable optimum plus every
+/// racer's token. When a completion reaches the bound, all later
+/// racers are retired. (Winner selection itself needs no shared state
+/// — it runs over the ordered results after the race.)
+struct Board<'t> {
+    upper_bound: Score,
+    tokens: &'t [CancelToken],
+}
+
+impl Board<'_> {
+    /// Record that racer `idx` completed with `score`; retire racers
+    /// that can no longer win. Sound at any interleaving: a racer is
+    /// only cancelled when its best possible outcome is a tie it
+    /// would lose on registry order.
+    fn complete(&self, idx: usize, score: Score) {
+        if score >= self.upper_bound {
+            for token in &self.tokens[idx + 1..] {
+                token.cancel_with(CancelCause::Outraced);
+            }
+        }
+    }
+}
+
 impl Solver for Portfolio {
     fn supports(&self, inst: &Instance, opts: &EngineOptions) -> Result<(), String> {
-        let reg = SolverRegistry::global();
-        for name in &self.members {
-            if let Ok(spec) = reg.spec(name) {
-                if spec.build().supports(inst, opts).is_ok() {
-                    return Ok(());
-                }
+        // Members were built at construction, so probing is
+        // allocation-free (a hot path for the serving layer, which
+        // checks applicability per request).
+        for member in &self.members {
+            if member.solver.supports(inst, opts).is_ok() {
+                return Ok(());
             }
         }
         Err("no portfolio member supports this instance".to_owned())
     }
 
     fn solve(&self, inst: &Instance, ctx: &mut SolveCtx<'_>) -> SolveOutcome {
-        let reg = SolverRegistry::global();
         let opts = ctx.opts;
         // Racers that can run here, in registry order; each gets its
         // own shared-nothing context so no cache line crosses racers.
-        let racers: Vec<&'static str> = self
+        let racers: Vec<&Member> = self
             .members
             .iter()
-            .copied()
-            .filter(|name| {
-                reg.spec(name)
-                    .is_ok_and(|s| s.build().supports(inst, &opts).is_ok())
+            .filter(|m| m.solver.supports(inst, &opts).is_ok())
+            .collect();
+        if racers.is_empty() {
+            // supports() rejects instances no member can run, so this
+            // only guards direct Solver-trait use.
+            return SolveOutcome::from_matches(MatchSet::new());
+        }
+        let start = Instant::now();
+        let tokens: Vec<CancelToken> = racers
+            .iter()
+            .map(|m| {
+                ctx.cancel
+                    .child_with_limits(m.budget.wall.map(|w| start + w), m.budget.work_cap)
             })
             .collect();
-        let runs = par_map_ordered(racers.clone(), move |name| {
-            let solver = reg.spec(name).expect("racer is registered").build();
-            let mut sub = SolveCtx::new(inst, opts);
-            let out = solver.solve(inst, &mut sub);
-            (out, sub.oracle.stats.snapshot())
+        let board = Board {
+            upper_bound: inst.score_upper_bound(),
+            tokens: &tokens,
+        };
+        let board = &board;
+        let tokens_ref = &tokens;
+        let racers_ref = &racers;
+        let runs = par_map_ordered((0..racers.len()).collect(), move |idx: usize| {
+            let member = racers_ref[idx];
+            let t0 = Instant::now();
+            let token = tokens_ref[idx].clone();
+            let mut sub = SolveCtx::with_cancel(inst, opts, token.clone());
+            let out = member.solver.solve(inst, &mut sub);
+            let wall = t0.elapsed().as_secs_f64();
+            // Capture the cancel cause at the moment the racer exits:
+            // reading it any later would let a post-exit event (a
+            // deadline elapsing, say) overwrite why this run actually
+            // stopped. A capped run is immune either way — the token
+            // ranks its own work cap above a racing Outraced flag, so
+            // that cause stays machine-independent.
+            let cause = out
+                .cancelled
+                .then(|| token.cause().unwrap_or(CancelCause::Requested).name());
+            if !out.cancelled {
+                board.complete(idx, out.matches.total_score());
+            }
+            (out, cause, sub.oracle.stats.snapshot(), wall)
         });
 
         let mut best: Option<(usize, SolveOutcome)> = None;
         let mut attempts = 0;
-        for (idx, (out, stats)) in runs.into_iter().enumerate() {
+        let mut reports = Vec::with_capacity(runs.len());
+        for (idx, (out, cause, stats, wall)) in runs.into_iter().enumerate() {
             // Fold each racer's oracle work into the portfolio's
             // context so the report shows the whole race.
             ctx.oracle.stats.absorb(&stats);
             attempts += out.attempts;
+            reports.push(RacerReport {
+                name: racers[idx].spec.name.to_owned(),
+                score: out.matches.total_score(),
+                cancelled: cause.map(str::to_owned),
+                wall_secs: wall,
+            });
+            // Cancelled racers still compete with their best-so-far
+            // partial result (anytime semantics); strict comparison
+            // keeps ties with the earliest racer.
             let better = match &best {
                 None => true,
-                // Strict: the earliest racer keeps ties.
                 Some((_, b)) => out.matches.total_score() > b.matches.total_score(),
             };
             if better {
                 best = Some((idx, out));
             }
         }
-        match best {
-            Some((idx, out)) => SolveOutcome {
-                winner: Some(racers[idx]),
-                rounds: out.rounds,
-                attempts,
-                matches: out.matches,
-            },
-            // supports() rejects instances no member can run, so this
-            // only guards direct Solver-trait use.
-            None => SolveOutcome::from_matches(fragalign_model::MatchSet::new()),
+        let (idx, out) = best.expect("at least one racer ran");
+        SolveOutcome {
+            winner: Some(racers[idx].spec.name),
+            rounds: out.rounds,
+            attempts,
+            cancelled: out.cancelled,
+            racers: reports,
+            matches: out.matches,
         }
     }
 }

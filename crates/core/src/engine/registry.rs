@@ -5,7 +5,8 @@
 
 use super::solvers::{BorderMatching, Exact, FourApprox, Greedy, Improve, OneCsr};
 use super::{
-    EngineError, EngineOptions, Portfolio, SolveCtx, SolveOutcome, SolveReport, SolveRun, Solver,
+    CancelToken, EngineError, EngineOptions, Portfolio, SolveCtx, SolveOutcome, SolveReport,
+    SolveRun, Solver,
 };
 use crate::MethodSet;
 use fragalign_align::DpWorkspace;
@@ -187,6 +188,23 @@ impl SolverRegistry {
         opts: EngineOptions,
         ws: &mut DpWorkspace,
     ) -> Result<SolveRun, EngineError> {
+        self.solve_cancellable(name, inst, opts, ws, CancelToken::never())
+    }
+
+    /// [`SolverRegistry::solve_with_workspace`] with a live stop
+    /// signal: solvers poll `cancel` at round boundaries and hand back
+    /// their best-so-far consistent result (flagged in the report)
+    /// when it trips. When [`EngineOptions::threads`] is non-zero, the
+    /// solve executes on a dedicated pool of that width; results are
+    /// bit-identical at any width.
+    pub fn solve_cancellable(
+        &self,
+        name: &str,
+        inst: &Instance,
+        opts: EngineOptions,
+        ws: &mut DpWorkspace,
+        cancel: CancelToken,
+    ) -> Result<SolveRun, EngineError> {
         let spec = self.spec(name)?;
         let solver = spec.build();
         solver
@@ -195,12 +213,18 @@ impl SolverRegistry {
                 solver: spec.name,
                 reason,
             })?;
-        let mut ctx = SolveCtx::new(inst, opts);
+        let mut ctx = SolveCtx::with_cancel(inst, opts, cancel);
         if opts.reuse_workspaces {
             ctx.oracle.adopt_workspace(std::mem::take(ws));
         }
         let start = Instant::now();
-        let out = solver.solve(inst, &mut ctx);
+        let out = if opts.threads > 0 {
+            let solver = &solver;
+            let ctx = &mut ctx;
+            fragalign_par::with_threads(opts.threads, move || solver.solve(inst, ctx)).0
+        } else {
+            solver.solve(inst, &mut ctx)
+        };
         let wall_secs = start.elapsed().as_secs_f64();
         if opts.reuse_workspaces {
             *ws = ctx.oracle.reclaim_workspace();
@@ -232,6 +256,8 @@ impl SolverRegistry {
                 pair_misses: stats.pair_misses,
                 wall_secs,
                 winner: out.winner.map(str::to_owned),
+                cancelled: out.cancelled,
+                racers: out.racers,
             },
             matches: out.matches,
         }

@@ -8,13 +8,25 @@ use super::{EngineOptions, SolveCtx, SolveOutcome, Solver};
 use crate::{ImproveConfig, MethodSet};
 use fragalign_model::{Instance, MatchSet};
 
+/// A pre-empted one-shot run: the token tripped before the solver
+/// started, so the outcome is the empty (consistent) match set flagged
+/// as cancelled. One-shot solvers have no round structure to interrupt
+/// mid-flight; they are entry-checked only (the improvement family and
+/// the portfolio cancel mid-run).
+fn preempted() -> SolveOutcome {
+    SolveOutcome {
+        cancelled: true,
+        ..SolveOutcome::from_matches(MatchSet::new())
+    }
+}
+
 /// The §4 iterative-improvement family; the method set picks the
 /// variant (Full_Improve, Border_Improve, CSR_Improve).
 pub struct Improve(pub MethodSet);
 
 impl Solver for Improve {
     fn solve(&self, _inst: &Instance, ctx: &mut SolveCtx<'_>) -> SolveOutcome {
-        let result = crate::improve::improve_with_oracle(
+        let result = crate::improve::improve_with_oracle_ctl(
             &ctx.oracle,
             ImproveConfig {
                 methods: self.0,
@@ -22,12 +34,15 @@ impl Solver for Improve {
                 ..Default::default()
             },
             MatchSet::new(),
+            &ctx.cancel,
         );
         SolveOutcome {
             matches: result.matches,
             rounds: result.rounds,
             attempts: result.attempts_evaluated,
             winner: None,
+            cancelled: result.cancelled,
+            racers: Vec::new(),
         }
     }
 }
@@ -37,6 +52,9 @@ pub struct FourApprox;
 
 impl Solver for FourApprox {
     fn solve(&self, _inst: &Instance, ctx: &mut SolveCtx<'_>) -> SolveOutcome {
+        if ctx.cancel.is_cancelled() {
+            return preempted();
+        }
         SolveOutcome::from_matches(crate::solve_four_approx_with_oracle(&ctx.oracle))
     }
 }
@@ -46,6 +64,9 @@ pub struct Greedy;
 
 impl Solver for Greedy {
     fn solve(&self, _inst: &Instance, ctx: &mut SolveCtx<'_>) -> SolveOutcome {
+        if ctx.cancel.is_cancelled() {
+            return preempted();
+        }
         SolveOutcome::from_matches(crate::solve_greedy_with_oracle(&ctx.oracle))
     }
 }
@@ -55,6 +76,9 @@ pub struct BorderMatching;
 
 impl Solver for BorderMatching {
     fn solve(&self, _inst: &Instance, ctx: &mut SolveCtx<'_>) -> SolveOutcome {
+        if ctx.cancel.is_cancelled() {
+            return preempted();
+        }
         SolveOutcome::from_matches(crate::border_matching_2approx_with_oracle(&ctx.oracle))
     }
 }
@@ -76,6 +100,9 @@ impl Solver for OneCsr {
     }
 
     fn solve(&self, _inst: &Instance, ctx: &mut SolveCtx<'_>) -> SolveOutcome {
+        if ctx.cancel.is_cancelled() {
+            return preempted();
+        }
         SolveOutcome::from_matches(crate::solve_one_csr_with_oracle(&ctx.oracle))
     }
 }
@@ -91,6 +118,9 @@ impl Solver for Exact {
     }
 
     fn solve(&self, inst: &Instance, ctx: &mut SolveCtx<'_>) -> SolveOutcome {
+        if ctx.cancel.is_cancelled() {
+            return preempted();
+        }
         let sol = crate::solve_exact(inst, ctx.opts.exact_limits);
         SolveOutcome::from_matches(crate::exact::exact_matches(inst, &sol))
     }

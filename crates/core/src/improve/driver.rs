@@ -3,6 +3,7 @@
 use super::enumerate::{enumerate_attempts, Budget};
 use super::ops::{apply_attempt, trunc_total};
 use super::MethodSet;
+use crate::cancel::CancelToken;
 use fragalign_align::ScoreOracle;
 use fragalign_model::{check_consistency, Instance, MatchSet, Score};
 use rayon::prelude::*;
@@ -63,6 +64,10 @@ pub struct ImproveResult {
     pub attempts_evaluated: usize,
     /// The scaling quantum used (1 = unscaled).
     pub quantum: Score,
+    /// Whether the run stopped early on its cancellation token;
+    /// `matches` is then the best committed state so far (the loop is
+    /// anytime: every round boundary holds a consistent solution).
+    pub cancelled: bool,
 }
 
 /// Run iterative improvement from `initial` (the paper starts from the
@@ -78,6 +83,21 @@ pub fn improve_with_oracle(
     oracle: &ScoreOracle<'_>,
     config: ImproveConfig,
     initial: MatchSet,
+) -> ImproveResult {
+    improve_with_oracle_ctl(oracle, config, initial, &CancelToken::never())
+}
+
+/// [`improve_with_oracle`] under a live [`CancelToken`]: the loop
+/// polls the token at every round boundary and charges one work unit
+/// per evaluated attempt, so work-capped tokens stop the run at a
+/// deterministic round. On cancellation the current committed state —
+/// always a consistent match set — is returned with
+/// [`ImproveResult::cancelled`] set.
+pub fn improve_with_oracle_ctl(
+    oracle: &ScoreOracle<'_>,
+    config: ImproveConfig,
+    initial: MatchSet,
+    ctl: &CancelToken,
 ) -> ImproveResult {
     let inst = oracle.instance();
     let k = inst.match_count_bound() as Score;
@@ -113,10 +133,16 @@ pub fn improve_with_oracle(
     let mut cur_trunc = trunc_total(&current, quantum);
     let mut rounds = 0;
     let mut attempts_evaluated = 0;
+    let mut cancelled = false;
 
     while rounds < max_rounds {
+        if ctl.is_cancelled() {
+            cancelled = true;
+            break;
+        }
         let candidates = enumerate_attempts(oracle, &current, config.methods, budget);
         attempts_evaluated += candidates.len();
+        ctl.charge(candidates.len() as u64);
         if candidates.is_empty() {
             break;
         }
@@ -169,6 +195,7 @@ pub fn improve_with_oracle(
         rounds,
         attempts_evaluated,
         quantum,
+        cancelled,
     }
 }
 

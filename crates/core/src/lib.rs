@@ -22,6 +22,7 @@
 
 pub mod batch;
 pub mod border_matching;
+pub mod cancel;
 pub mod csop;
 pub mod engine;
 pub mod exact;
@@ -37,9 +38,10 @@ pub use batch::{
     BatchSolution,
 };
 pub use border_matching::{border_matching_2approx, border_matching_2approx_with_oracle};
+pub use cancel::{CancelCause, CancelToken};
 pub use engine::{
-    EngineError, EngineOptions, Portfolio, SolveCtx, SolveOutcome, SolveReport, SolveRun, Solver,
-    SolverRegistry, SolverSpec,
+    EngineError, EngineOptions, Portfolio, PortfolioConfig, RacerBudget, RacerReport, SolveCtx,
+    SolveOutcome, SolveReport, SolveRun, Solver, SolverRegistry, SolverSpec,
 };
 pub use exact::{exact_matches, solve_exact, ExactLimits};
 pub use four_approx::{solve_four_approx, solve_four_approx_with_oracle};

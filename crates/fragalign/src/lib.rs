@@ -67,9 +67,10 @@ pub mod prelude {
     pub use fragalign_core::{
         border_improve, border_matching_2approx, csr_improve, full_improve, solve_batch,
         solve_batch_reports, solve_exact, solve_four_approx, solve_greedy, solve_one_csr,
-        solve_single, solve_single_report, BatchOptions, BatchSolution, EngineError, EngineOptions,
-        ExactLimits, ImproveConfig, ImproveResult, MethodSet, Portfolio, SolveCtx, SolveOutcome,
-        SolveReport, SolveRun, Solver, SolverRegistry, SolverSpec,
+        solve_single, solve_single_report, BatchOptions, BatchSolution, CancelCause, CancelToken,
+        EngineError, EngineOptions, ExactLimits, ImproveConfig, ImproveResult, MethodSet,
+        Portfolio, PortfolioConfig, RacerBudget, RacerReport, SolveCtx, SolveOutcome, SolveReport,
+        SolveRun, Solver, SolverRegistry, SolverSpec,
     };
     pub use fragalign_model::{
         check_consistency, FragId, Fragment, Instance, InstanceBuilder, LayoutBuilder, Match,

@@ -75,6 +75,31 @@ impl Instance {
         h.min(m).max(1)
     }
 
+    /// A cheap, sound upper bound on the total score of *any*
+    /// consistent match set: a consistent set occupies disjoint sites
+    /// per species, so across all its matches at most
+    /// `min(|H regions|, |M regions|)` region pairs are aligned, and
+    /// an optimal alignment never takes a pair scoring below the
+    /// table's largest entry when it could take a gap instead (gaps
+    /// cost nothing), so each aligned pair contributes at most
+    /// `max(σ_max, 0)`. A solver that reaches this bound is provably
+    /// optimal — the portfolio uses that to retire racers that can no
+    /// longer win. Pairs without an explicit σ entry fall back to
+    /// [`ScoreTable::default_score`], so the per-pair maximum covers
+    /// the default too; otherwise a positive default would make the
+    /// bound undercount.
+    pub fn score_upper_bound(&self) -> Score {
+        let per_pair = self
+            .sigma
+            .max_score()
+            .unwrap_or(self.sigma.default_score)
+            .max(self.sigma.default_score)
+            .max(0);
+        let h: usize = self.h.iter().map(Fragment::len).sum();
+        let m: usize = self.m.iter().map(Fragment::len).sum();
+        h.min(m) as Score * per_pair
+    }
+
     /// Return the instance with species swapped (`H ↔ M`). The score
     /// table is unchanged: `σ` entries are keyed H-then-M, so the
     /// swapped instance must be queried through [`ScoreTable::score`]
@@ -221,6 +246,23 @@ pub fn paper_example() -> Instance {
 mod tests {
     use super::*;
     use crate::score::Orient;
+
+    #[test]
+    fn score_upper_bound_is_sound() {
+        let inst = paper_example();
+        // min(4 H regions, 4 M regions) × the largest σ entry (5).
+        assert_eq!(inst.score_upper_bound(), 4 * 5);
+        // A positive default score backs every unlisted pair, so it
+        // must raise the per-pair maximum too.
+        let mut defaulted = paper_example();
+        defaulted.sigma.default_score = 9;
+        assert_eq!(defaulted.score_upper_bound(), 4 * 9);
+        // An all-negative table bounds at 0 (aligning nothing is free).
+        let mut negative = paper_example();
+        negative.sigma = ScoreTable::new();
+        negative.sigma.default_score = -2;
+        assert_eq!(negative.score_upper_bound(), 0);
+    }
 
     #[test]
     fn paper_example_shape() {

@@ -6,14 +6,23 @@
 //!
 //! The original venue (IPPS) evaluated parallel machines; our
 //! laptop-scale substitute is data parallelism: a configured rayon
-//! pool, deterministic parallel sweeps for experiment drivers (same
-//! results regardless of thread count), and a crossbeam-channel worker
-//! pipeline for streaming instance generation ahead of solving. The
-//! speedup experiment (EXPERIMENTS.md T8) runs the same workload under
-//! pools of increasing size via [`with_threads`].
+//! pool (real `std::thread` workers since the shim rebuild — see
+//! `shims/README.md`), deterministic parallel sweeps for experiment
+//! drivers (same results regardless of thread count), and a
+//! crossbeam-channel worker pipeline for streaming instance generation
+//! ahead of solving. The speedup experiment (`exp_speedup`,
+//! `BENCH_speedup.json`) runs the same workloads under pools of
+//! increasing size via [`with_threads`].
 
 use crossbeam::channel;
 use std::time::{Duration, Instant};
+
+/// Width of the rayon pool parallel operations currently submit to:
+/// the innermost installed pool, or the global one (one thread per
+/// core) outside any [`with_threads`] scope.
+pub fn current_threads() -> usize {
+    rayon::current_num_threads()
+}
 
 /// Run `job` on a dedicated rayon pool with `threads` workers,
 /// returning the job's result and its wall-clock duration.
@@ -93,11 +102,19 @@ where
     .expect("pipeline threads do not panic")
 }
 
-/// Measured speedup curve entry.
+/// Measured speedup curve entry, carrying the provenance of its
+/// measurement: the requested thread count *and* the effective pool
+/// width the run executed on. [`with_threads`] clamps a request of
+/// `0` to a 1-thread pool, so the two only differ for that degenerate
+/// request; recording both keeps `BENCH_speedup.json` rows
+/// self-describing about what actually ran.
 #[derive(Clone, Copy, Debug)]
 pub struct SpeedupPoint {
-    /// Worker count.
+    /// Requested worker count.
     pub threads: usize,
+    /// Effective pool width the workload ran on (caller included):
+    /// `threads.max(1)`, mirroring [`with_threads`]'s clamp.
+    pub pool_threads: usize,
     /// Wall-clock time of the workload.
     pub elapsed: Duration,
     /// `elapsed(1 thread) / elapsed(threads)`.
@@ -106,34 +123,35 @@ pub struct SpeedupPoint {
 
 /// Sweep a workload over thread counts `1, 2, 4, …, max_threads`,
 /// verifying that every run returns the same value (determinism) and
-/// reporting the speedup curve.
-pub fn speedup_sweep<T: Send + PartialEq + std::fmt::Debug>(
-    max_threads: usize,
-    workload: impl Fn() -> T + Send + Sync + Copy,
-) -> Vec<SpeedupPoint> {
+/// reporting the speedup curve. The workload is borrowed (`Fn` by
+/// reference — no `Copy` bound), so closures owning buffers or other
+/// non-`Copy` state sweep unchanged.
+pub fn speedup_sweep<T, F>(max_threads: usize, workload: &F) -> Vec<SpeedupPoint>
+where
+    T: Send + PartialEq + std::fmt::Debug,
+    F: Fn() -> T + Sync,
+{
     let mut points = Vec::new();
     let mut base: Option<(T, Duration)> = None;
     let mut t = 1;
     while t <= max_threads {
         let (value, elapsed) = with_threads(t, workload);
+        let point = SpeedupPoint {
+            threads: t,
+            pool_threads: t.max(1),
+            elapsed,
+            speedup: match &base {
+                None => 1.0,
+                Some((_, base_time)) => base_time.as_secs_f64() / elapsed.as_secs_f64().max(1e-9),
+            },
+        };
         match &base {
-            None => {
-                points.push(SpeedupPoint {
-                    threads: t,
-                    elapsed,
-                    speedup: 1.0,
-                });
-                base = Some((value, elapsed));
-            }
-            Some((expected, base_time)) => {
+            None => base = Some((value, elapsed)),
+            Some((expected, _)) => {
                 assert_eq!(&value, expected, "parallel run diverged at {t} threads");
-                points.push(SpeedupPoint {
-                    threads: t,
-                    elapsed,
-                    speedup: base_time.as_secs_f64() / elapsed.as_secs_f64().max(1e-9),
-                });
             }
         }
+        points.push(point);
         t *= 2;
     }
     points
@@ -181,11 +199,20 @@ mod tests {
 
     #[test]
     fn speedup_sweep_is_deterministic() {
-        let points = speedup_sweep(4, || {
+        // The workload is a non-`Copy` closure owning a buffer; the
+        // by-reference signature sweeps it unchanged.
+        let weights: Vec<i64> = (0..20_000).map(|x| x % 7).collect();
+        let workload = move || {
             use rayon::prelude::*;
-            (0..20_000i64).into_par_iter().map(|x| x % 7).sum::<i64>()
-        });
+            weights.par_iter().map(|&x| x * 3).sum::<i64>()
+        };
+        let points = speedup_sweep(4, &workload);
         assert!(!points.is_empty());
         assert_eq!(points[0].threads, 1);
+        assert_eq!(points[0].pool_threads, 1);
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.threads, 1 << i, "sweep doubles the pool");
+            assert_eq!(p.pool_threads, p.threads);
+        }
     }
 }

@@ -56,7 +56,8 @@ fn main() {
         v.len()
     );
     println!("threads  time(ms)  speedup");
-    for point in speedup_sweep(cores, || p_score_wavefront(&t, &u, &v)) {
+    let kernel = || p_score_wavefront(&t, &u, &v);
+    for point in speedup_sweep(cores, &kernel) {
         println!(
             "{:>7}  {:>8.1}  {:>7.2}",
             point.threads,
@@ -64,7 +65,7 @@ fn main() {
             point.speedup
         );
     }
-    let (par_result, _) = with_threads(cores, || p_score_wavefront(&t, &u, &v));
+    let (par_result, _) = with_threads(cores, kernel);
     assert_eq!(par_result, sequential, "parallel DP must be exact");
 
     // ---- improvement-attempt evaluation ---------------------------------

@@ -225,7 +225,9 @@ fn workspace_reuse_is_live_for_every_one_shot_solver() {
 #[test]
 fn newly_registered_solvers_batch_deterministically() {
     // one-csr over a single-M batch; exact and portfolio over a small
-    // multi-M batch: 1 thread == 8 threads == sequential loop.
+    // multi-M batch: on the real thread pool now, so this genuinely
+    // exercises cross-thread steal schedules — 1 == 2 == 8 threads ==
+    // sequential loop, bit for bit.
     let single_m: Vec<Instance> = single_m_instances().into_iter().map(|(_, i)| i).collect();
     let multi_m: Vec<Instance> = multi_m_instances().into_iter().map(|(_, i)| i).collect();
     for (name, instances) in [
@@ -234,13 +236,19 @@ fn newly_registered_solvers_batch_deterministically() {
         ("portfolio", &multi_m),
     ] {
         let opts = BatchOptions::new(name);
-        let insts_1 = instances.clone();
-        let opts_1 = opts.clone();
-        let (one_thread, _) = with_threads(1, move || solve_batch(&insts_1, &opts_1).unwrap());
-        let insts_8 = instances.clone();
-        let opts_8 = opts.clone();
-        let (eight_threads, _) = with_threads(8, move || solve_batch(&insts_8, &opts_8).unwrap());
-        assert_eq!(one_thread, eight_threads, "{name}: thread count leaked");
+        let run_at = |threads: usize| {
+            let insts = instances.clone();
+            let opts = opts.clone();
+            with_threads(threads, move || solve_batch(&insts, &opts).unwrap()).0
+        };
+        let one_thread = run_at(1);
+        for threads in [2, 8] {
+            assert_eq!(
+                one_thread,
+                run_at(threads),
+                "{name}: {threads}-thread pool changed results"
+            );
+        }
         let mut ws = DpWorkspace::new();
         let sequential: Vec<BatchSolution> = instances
             .iter()

@@ -1,0 +1,313 @@
+//! The parallel substrate's contract, end to end: cancellation stops
+//! solvers at round boundaries (deterministically under work caps),
+//! the portfolio genuinely races — budget- and bound-cancelled members
+//! are observable in `SolveReport.racers` while the winner stays the
+//! sequential baseline's — and results are bit-identical across real
+//! 1/2/8-thread pools.
+
+use fragalign::align::DpWorkspace;
+use fragalign::model::Instance;
+use fragalign::par::with_threads;
+use fragalign::prelude::*;
+
+/// An instance whose provable score upper bound is achievable: two
+/// perfectly matching two-region fragments, uniform score 5, so
+/// `score_upper_bound() == 10` and a full-fragment match reaches it.
+fn saturating_instance() -> Instance {
+    let mut b = InstanceBuilder::new();
+    b.h_frag("h", &["a", "b"]);
+    b.m_frag("m", &["p", "q"]);
+    b.score("a", "p", 5);
+    b.score("b", "q", 5);
+    b.build()
+}
+
+fn solve_capped(name: &str, inst: &Instance, work_cap: u64) -> SolveRun {
+    let mut ws = DpWorkspace::new();
+    SolverRegistry::global()
+        .solve_cancellable(
+            name,
+            inst,
+            EngineOptions::default(),
+            &mut ws,
+            CancelToken::with_limits(None, Some(work_cap)),
+        )
+        .unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+#[test]
+fn work_capped_solves_stop_at_a_deterministic_round() {
+    let inst = fragalign::model::instance::paper_example();
+    // Cap 1: the first improvement round already charges more, so the
+    // loop stops at the second round boundary with the round-1 state.
+    let capped = solve_capped("csr", &inst, 1);
+    assert!(capped.report.cancelled, "cap must interrupt the run");
+    assert!(capped.report.rounds <= 1);
+    check_consistency(&inst, &capped.matches).expect("partial result stays consistent");
+    // Deterministic: the same cap lands on the same round, bit for bit.
+    let again = solve_capped("csr", &inst, 1);
+    assert_eq!(capped.matches, again.matches);
+    assert_eq!(capped.report.rounds, again.report.rounds);
+    // A generous cap never trips.
+    let free = solve_capped("csr", &inst, u64::MAX);
+    assert!(!free.report.cancelled);
+    assert_eq!(free.score, 11);
+}
+
+#[test]
+fn expired_deadline_preempts_any_solver() {
+    let inst = fragalign::model::instance::paper_example();
+    let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
+    for name in ["csr", "four", "greedy", "matching", "exact"] {
+        let mut ws = DpWorkspace::new();
+        let run = SolverRegistry::global()
+            .solve_cancellable(
+                name,
+                &inst,
+                EngineOptions::default(),
+                &mut ws,
+                CancelToken::with_limits(Some(past), None),
+            )
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(run.report.cancelled, "{name} must observe the deadline");
+        assert!(run.matches.is_empty(), "{name} must not have started");
+    }
+}
+
+#[test]
+fn portfolio_budget_cancellation_is_observable_and_winner_stable() {
+    let inst = fragalign::model::instance::paper_example();
+    // Unbudgeted baseline: the winner every budgeted run must keep.
+    let baseline = SolverRegistry::global()
+        .solve("portfolio", &inst, EngineOptions::default())
+        .unwrap();
+    assert_eq!(baseline.report.winner.as_deref(), Some("csr"));
+    assert_eq!(baseline.score, 11);
+    assert!(
+        baseline.report.racers.len() > 1,
+        "racer telemetry must cover the race"
+    );
+
+    // Tight work caps on `full` and `border` (they charge ~18 and ~10
+    // attempts in round 1 on this instance); `csr` races unbudgeted.
+    let config = PortfolioConfig {
+        default_budget: RacerBudget::UNLIMITED,
+        overrides: vec![
+            (
+                "full".to_owned(),
+                RacerBudget {
+                    wall: None,
+                    work_cap: Some(10),
+                },
+            ),
+            (
+                "border".to_owned(),
+                RacerBudget {
+                    wall: None,
+                    work_cap: Some(4),
+                },
+            ),
+        ],
+    };
+    let portfolio =
+        Portfolio::with_members_config(&["csr", "full", "border", "four", "greedy"], config)
+            .unwrap();
+    let mut ctx = SolveCtx::new(&inst, EngineOptions::default());
+    let out = portfolio.solve(&inst, &mut ctx);
+
+    let cancelled: Vec<&str> = out
+        .racers
+        .iter()
+        .filter(|r| r.cancelled.is_some())
+        .map(|r| r.name.as_str())
+        .collect();
+    assert!(
+        cancelled.contains(&"full") && cancelled.contains(&"border"),
+        "budgeted members must be cancelled early (got {cancelled:?})"
+    );
+    for racer in &out.racers {
+        if racer.cancelled.is_some() {
+            assert_eq!(
+                racer.cancelled.as_deref(),
+                Some("work-cap"),
+                "{}: wrong cancel cause",
+                racer.name
+            );
+        }
+    }
+    // The winner is unchanged from the sequential baseline: cancelled
+    // members compete with their (lower-scoring) partials and lose.
+    assert_eq!(out.winner, Some("csr"));
+    assert_eq!(out.matches, baseline.matches);
+    assert!(out.racers.iter().any(|r| r.cancelled.is_none()));
+}
+
+#[test]
+fn portfolio_rejects_overrides_that_match_no_member() {
+    // A budget SLA that silently never applies is worse than an
+    // error: misspelled (or non-member) override names must fail at
+    // construction.
+    let config = PortfolioConfig {
+        default_budget: RacerBudget::UNLIMITED,
+        overrides: vec![(
+            "boarder".to_owned(),
+            RacerBudget {
+                wall: None,
+                work_cap: Some(1),
+            },
+        )],
+    };
+    let err = match Portfolio::with_members_config(&["csr", "border"], config.clone()) {
+        Err(e) => e,
+        Ok(_) => panic!("misspelled override must be rejected"),
+    };
+    assert!(matches!(err, EngineError::UnknownSolver { .. }));
+    assert!(err.to_string().contains("did you mean 'border'?"), "{err}");
+    // `exact` is registered but sits outside the default racer set, so
+    // a full-config override for it must fail too.
+    let exact_config = PortfolioConfig {
+        default_budget: RacerBudget::UNLIMITED,
+        overrides: vec![("exact".to_owned(), RacerBudget::UNLIMITED)],
+    };
+    assert!(Portfolio::with_config(exact_config).is_err());
+    // Well-formed overrides still construct.
+    assert!(Portfolio::with_members_config(&["csr", "border"], PortfolioConfig::default()).is_ok());
+}
+
+#[test]
+fn portfolio_budget_race_is_bit_identical_across_pools() {
+    // Work caps are charged at round boundaries, so the cancelled set,
+    // every partial score, and the winner are thread-count-invariant.
+    let inst = fragalign::model::instance::paper_example();
+    let race = move || {
+        let config = PortfolioConfig {
+            default_budget: RacerBudget::UNLIMITED,
+            overrides: vec![
+                (
+                    "full".to_owned(),
+                    RacerBudget {
+                        wall: None,
+                        work_cap: Some(10),
+                    },
+                ),
+                (
+                    "border".to_owned(),
+                    RacerBudget {
+                        wall: None,
+                        work_cap: Some(4),
+                    },
+                ),
+            ],
+        };
+        let portfolio =
+            Portfolio::with_members_config(&["csr", "full", "border", "greedy"], config).unwrap();
+        let mut ctx = SolveCtx::new(&inst, EngineOptions::default());
+        let out = portfolio.solve(&inst, &mut ctx);
+        let racer_view: Vec<(String, i64, Option<String>)> = out
+            .racers
+            .iter()
+            .map(|r| (r.name.clone(), r.score, r.cancelled.clone()))
+            .collect();
+        (out.matches, out.winner, racer_view)
+    };
+    let (one, _) = with_threads(1, &race);
+    let (two, _) = with_threads(2, &race);
+    let (eight, _) = with_threads(8, &race);
+    assert_eq!(one, two, "2-thread race diverged");
+    assert_eq!(one, eight, "8-thread race diverged");
+}
+
+#[test]
+fn portfolio_bound_cancellation_retires_unwinnable_racers() {
+    // `csr` (registry position 0) reaches the provable upper bound, so
+    // every later racer can at best tie — and ties lose to the earlier
+    // position. The board must retire them; on a 1-thread pool the
+    // race is sequential in registry order, so every later member is
+    // deterministically outraced.
+    let inst = saturating_instance();
+    assert_eq!(inst.score_upper_bound(), 10);
+    let run = with_threads(1, || {
+        SolverRegistry::global()
+            .solve("portfolio", &inst, EngineOptions::default())
+            .unwrap()
+    })
+    .0;
+    assert_eq!(run.score, 10, "the bound is achievable here");
+    assert_eq!(run.report.winner.as_deref(), Some("csr"));
+    assert!(!run.report.cancelled);
+    let outraced: Vec<&str> = run
+        .report
+        .racers
+        .iter()
+        .filter(|r| r.cancelled.as_deref() == Some("outraced"))
+        .map(|r| r.name.as_str())
+        .collect();
+    assert!(
+        !outraced.is_empty(),
+        "bound cancellation must retire at least one racer: {:?}",
+        run.report.racers
+    );
+    // The winner itself ran to completion.
+    let winner = run
+        .report
+        .racers
+        .iter()
+        .find(|r| r.name == "csr")
+        .expect("csr raced");
+    assert!(winner.cancelled.is_none());
+
+    // At any pool width the winner and score stay put (which racers
+    // happened to finish before the bound landed may vary — that is
+    // telemetry, not results).
+    let wide = with_threads(8, || {
+        SolverRegistry::global()
+            .solve("portfolio", &inst, EngineOptions::default())
+            .unwrap()
+    })
+    .0;
+    assert_eq!(wide.score, 10);
+    assert_eq!(wide.report.winner.as_deref(), Some("csr"));
+    assert_eq!(wide.matches, run.matches);
+}
+
+#[test]
+fn engine_threads_option_is_result_invariant() {
+    // `EngineOptions::threads` must be a wall-clock knob only, for
+    // single solves and batches alike.
+    let instances: Vec<Instance> = gen_batch(
+        &SimConfig {
+            regions: 10,
+            h_frags: 3,
+            m_frags: 3,
+            seed: 515,
+            ..SimConfig::default()
+        },
+        6,
+    )
+    .into_iter()
+    .map(|s| s.instance)
+    .collect();
+    let solve_with = |threads: usize| {
+        let opts = EngineOptions {
+            threads,
+            ..EngineOptions::default()
+        };
+        SolverRegistry::global()
+            .solve("csr", &instances[0], opts)
+            .unwrap()
+            .matches
+    };
+    let base = solve_with(0);
+    for t in [1, 2, 8] {
+        assert_eq!(base, solve_with(t), "threads={t} changed a single solve");
+    }
+    let batch_with = |threads: usize| {
+        let mut opts = BatchOptions::new("csr");
+        opts.engine.threads = threads;
+        solve_batch(&instances, &opts).unwrap()
+    };
+    let batch_base = batch_with(0);
+    for t in [1, 2, 8] {
+        assert_eq!(batch_base, batch_with(t), "threads={t} changed the batch");
+    }
+}
