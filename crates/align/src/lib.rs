@@ -14,11 +14,15 @@
 //!   1-CSR → ISP reduction and for TPA profits ([`oracle`]),
 //! * an anti-diagonal wavefront-parallel DP (rayon) for long region
 //!   lists ([`wavefront`]),
+//! * a fragment-chaining tier — minimizer anchors, LIS chaining, DP
+//!   only inside the chained windows — for instances too large for
+//!   the full DP family ([`chain`]),
 //! * a from-scratch nucleotide Smith–Waterman aligner with reverse
 //!   complement search, used by the simulator to derive region scores
 //!   the way a sequencing pipeline would ([`dna`]).
 
 pub mod banded;
+pub mod chain;
 pub mod dna;
 pub mod dp;
 pub mod match_score;
@@ -27,6 +31,7 @@ pub mod wavefront;
 pub mod workspace;
 
 pub use banded::{lossless_band, p_score_banded};
+pub use chain::{solve_chain, solve_chain_with_oracle, solve_chain_with_params, ChainParams};
 pub use dp::{align_words, p_score, DpAligner, DpMatrix};
 pub use match_score::{ms_sites, ms_words, site_laid_word};
 pub use oracle::{OracleStats, OracleStatsSnapshot, ScoreOracle};

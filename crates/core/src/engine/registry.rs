@@ -3,7 +3,7 @@
 //! README solver table all read. Registering a solver here is the
 //! whole integration: every front end picks it up.
 
-use super::solvers::{BorderMatching, Exact, FourApprox, Greedy, Improve, OneCsr};
+use super::solvers::{BorderMatching, Chain, Exact, FourApprox, Greedy, Improve, OneCsr};
 use super::{
     CancelToken, EngineError, EngineOptions, Portfolio, SolveCtx, SolveOutcome, SolveReport,
     SolveRun, Solver,
@@ -99,6 +99,13 @@ impl SolverRegistry {
                 ratio: "unbounded",
                 in_portfolio: true,
                 factory: || Box::new(Greedy),
+            },
+            SolverSpec {
+                name: "chain",
+                paper: "anchor chaining: minimizers + LIS + windowed DP (engineering tier)",
+                ratio: "unbounded (heuristic; built for instances exact cannot touch)",
+                in_portfolio: true,
+                factory: || Box::new(Chain),
             },
             SolverSpec {
                 name: "exact",

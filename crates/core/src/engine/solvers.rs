@@ -107,6 +107,21 @@ impl Solver for OneCsr {
     }
 }
 
+/// The anchor-chaining tier: minimizer anchors chained by LIS, DP
+/// only inside each chained window. This is the tier that *accepts*
+/// what `exact` rejects — `supports()` stays unconditional so
+/// genome-scale instances route here.
+pub struct Chain;
+
+impl Solver for Chain {
+    fn solve(&self, _inst: &Instance, ctx: &mut SolveCtx<'_>) -> SolveOutcome {
+        if ctx.cancel.is_cancelled() {
+            return preempted();
+        }
+        SolveOutcome::from_matches(fragalign_align::solve_chain_with_oracle(&ctx.oracle))
+    }
+}
+
 /// The exhaustive optimum, materialised as a match set (Definition 2
 /// over the winning arrangements). Guarded by
 /// [`EngineOptions::exact_limits`].

@@ -97,7 +97,10 @@ impl Instance {
             .max(0);
         let h: usize = self.h.iter().map(Fragment::len).sum();
         let m: usize = self.m.iter().map(Fragment::len).sum();
-        h.min(m) as Score * per_pair
+        // Saturate: a huge synthetic instance must clamp to Score::MAX
+        // rather than wrap negative, which would let the portfolio
+        // retire racers against a bound nothing can reach.
+        (h.min(m) as Score).saturating_mul(per_pair)
     }
 
     /// Return the instance with species swapped (`H ↔ M`). The score
@@ -262,6 +265,21 @@ mod tests {
         negative.sigma = ScoreTable::new();
         negative.sigma.default_score = -2;
         assert_eq!(negative.score_upper_bound(), 0);
+    }
+
+    #[test]
+    fn score_upper_bound_saturates_instead_of_wrapping() {
+        // With per-pair scores near Score::MAX, the old unchecked
+        // `count * per_pair` wrapped negative — an upper bound below
+        // every real score, which would retire portfolio racers that
+        // could still win. The bound must clamp at Score::MAX.
+        let mut inst = paper_example();
+        inst.sigma.default_score = Score::MAX;
+        let bound = inst.score_upper_bound();
+        assert_eq!(bound, Score::MAX);
+        // Still an upper bound: no larger than saturation, and at
+        // least one aligned pair's worth.
+        assert!(bound >= Score::MAX / 4);
     }
 
     #[test]

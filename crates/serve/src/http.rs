@@ -118,7 +118,16 @@ pub fn read_request<S: Read + Write>(
                 "bad header line: {line:?}"
             )));
         };
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        // RFC 7230 §3.2.4: no whitespace between the field name and
+        // the colon. Trimming it instead (as proxies sometimes do)
+        // opens a request-smuggling hole when a front end and a back
+        // end disagree on which bytes name the header.
+        if name.is_empty() || name.contains(|c: char| c.is_ascii_whitespace()) {
+            return Err(RequestError::Malformed(format!(
+                "bad header field name: {name:?}"
+            )));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
     }
 
     let request = Request {
@@ -136,12 +145,30 @@ pub fn read_request<S: Read + Write>(
             "chunked transfer encoding is not supported; send Content-Length".into(),
         ));
     }
-    let content_length: usize = match request.header("content-length") {
-        None => 0,
-        Some(v) => v
+    // Every Content-Length must be digits-only (`usize::from_str`
+    // would take a leading `+`) and duplicates must agree — another
+    // RFC 7230 smuggling vector if first-match-wins differs between
+    // hops.
+    let mut content_length: usize = 0;
+    let mut seen_length = false;
+    for (name, v) in &request.headers {
+        if name != "content-length" {
+            continue;
+        }
+        if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(RequestError::Malformed(format!("bad Content-Length {v:?}")));
+        }
+        let parsed: usize = v
             .parse()
-            .map_err(|_| RequestError::Malformed(format!("bad Content-Length {v:?}")))?,
-    };
+            .map_err(|_| RequestError::Malformed(format!("bad Content-Length {v:?}")))?;
+        if seen_length && parsed != content_length {
+            return Err(RequestError::Malformed(format!(
+                "conflicting Content-Length headers ({content_length} vs {parsed})"
+            )));
+        }
+        content_length = parsed;
+        seen_length = true;
+    }
     if content_length > max_body {
         return Err(RequestError::BodyTooLarge { limit: max_body });
     }
@@ -299,6 +326,59 @@ mod tests {
             read_request(&mut pipe, 1024),
             Err(RequestError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn rejects_whitespace_before_header_colon() {
+        // RFC 7230 §3.2.4: `Content-Length : 7` must be refused, not
+        // silently repaired into a valid header.
+        let mut pipe = Pipe::new("POST / HTTP/1.1\r\nContent-Length : 7\r\n\r\n{\"a\":1}");
+        assert!(matches!(
+            read_request(&mut pipe, 1024),
+            Err(RequestError::Malformed(_))
+        ));
+        let mut pipe = Pipe::new("GET / HTTP/1.1\r\n\tHost: x\r\n\r\n");
+        assert!(matches!(
+            read_request(&mut pipe, 1024),
+            Err(RequestError::Malformed(_))
+        ));
+        let mut pipe = Pipe::new("GET / HTTP/1.1\r\n: novalue\r\n\r\n");
+        assert!(matches!(
+            read_request(&mut pipe, 1024),
+            Err(RequestError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn content_length_must_be_digits_only() {
+        // `usize::from_str` would happily take `+7`; the wire grammar
+        // is 1*DIGIT.
+        // (OWS around the value is legal and trimmed; the value
+        // itself must be 1*DIGIT.)
+        for bad in ["+7", "-7", "0x7", "7a", ""] {
+            let mut pipe = Pipe::new(&format!("POST / HTTP/1.1\r\nContent-Length:{bad}\r\n\r\n"));
+            assert!(
+                matches!(
+                    read_request(&mut pipe, 1024),
+                    Err(RequestError::Malformed(_))
+                ),
+                "Content-Length {bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_content_lengths_must_agree() {
+        let mut pipe =
+            Pipe::new("POST / HTTP/1.1\r\nContent-Length: 7\r\nContent-Length: 2\r\n\r\n{\"a\":1}");
+        assert!(matches!(
+            read_request(&mut pipe, 1024),
+            Err(RequestError::Malformed(_))
+        ));
+        // Identical duplicates are fine (RFC 7230 §3.3.2 allows them).
+        let mut pipe =
+            Pipe::new("POST / HTTP/1.1\r\nContent-Length: 7\r\nContent-Length: 7\r\n\r\n{\"a\":1}");
+        assert_eq!(read_request(&mut pipe, 1024).unwrap().body, "{\"a\":1}");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! reuse is live for every solver (not just the improvement family),
 //! the racing portfolio dominates its members deterministically, and
 //! batch runs of the newly registered solvers (`one-csr`, `exact`,
-//! `portfolio`) stay identical across thread counts.
+//! `portfolio`, `chain`) stay identical across thread counts.
 
 use fragalign::align::DpWorkspace;
 use fragalign::model::{check_consistency, Instance, InstanceBuilder};
@@ -132,6 +132,53 @@ fn exact_registered_and_realises_the_optimum() {
 }
 
 #[test]
+fn chain_registered_consistent_and_bounded_by_exact() {
+    // The chaining tier is a heuristic: always consistent, matches its
+    // legacy entry point, and never beats the optimum where the exact
+    // solver can certify one.
+    for (iname, inst) in multi_m_instances() {
+        let got = engine_solve("chain", &inst);
+        check_consistency(&inst, &got).unwrap_or_else(|e| panic!("chain/{iname}: {e}"));
+        assert_eq!(
+            got,
+            fragalign::align::solve_chain(&inst),
+            "chain diverged from legacy on {iname}"
+        );
+        let optimum = solve_exact(&inst, ExactLimits::default()).score;
+        assert!(
+            got.total_score() <= optimum,
+            "chain ({}) beat the certified optimum ({optimum}) on {iname}",
+            got.total_score()
+        );
+    }
+}
+
+#[test]
+fn chain_holds_a_score_ratio_floor_on_sim_defaults() {
+    // Pinned quality floor: across default-config sim seeds, chaining
+    // keeps at least 60% of the iterative-improvement score in
+    // aggregate (measured 0.776 at pin time; the margin absorbs seed
+    // drift). A regression below the floor means anchoring or window
+    // selection broke.
+    let mut chain_total = 0;
+    let mut csr_total = 0;
+    for seed in [1u64, 2, 3, 4, 5] {
+        let inst = fragalign::sim::generate(&SimConfig {
+            seed,
+            ..SimConfig::default()
+        })
+        .instance;
+        chain_total += engine_solve("chain", &inst).total_score();
+        csr_total += engine_solve("csr", &inst).total_score();
+    }
+    assert!(csr_total > 0, "csr must score on sim defaults");
+    assert!(
+        chain_total * 10 >= csr_total * 6,
+        "chain fell below the pinned 60% floor: chain {chain_total} vs csr {csr_total}"
+    );
+}
+
+#[test]
 fn portfolio_dominates_every_registered_solver_on_the_demo() {
     let inst = fragalign::model::instance::paper_example();
     let reg = SolverRegistry::global();
@@ -234,6 +281,7 @@ fn newly_registered_solvers_batch_deterministically() {
         ("one-csr", &single_m),
         ("exact", &multi_m),
         ("portfolio", &multi_m),
+        ("chain", &multi_m),
     ] {
         let opts = BatchOptions::new(name);
         let run_at = |threads: usize| {
