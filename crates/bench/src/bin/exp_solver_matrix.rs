@@ -18,11 +18,16 @@ use fragalign::align::DpWorkspace;
 use fragalign::model::{Instance, Score};
 use fragalign::prelude::*;
 use fragalign::sim::gen_batch;
+use fragalign::sim::{soup_batch, torn_batch, SoupConfig, TornConfig};
 use serde::Serialize;
 use std::time::Instant;
 
 #[derive(Clone, Copy, Serialize)]
 struct GridCell {
+    /// Workload channel: `clean` (the simulator), or the adversarial
+    /// `torn` / `soup` generators (`m_frags` is emergent there and
+    /// recorded as 0).
+    channel: &'static str,
     regions: usize,
     h_frags: usize,
     m_frags: usize,
@@ -55,8 +60,8 @@ struct Report {
 fn grid_instances(grid: &[GridCell]) -> Vec<Instance> {
     let mut out = Vec::new();
     for cell in grid {
-        out.extend(
-            gen_batch(
+        let sims = match cell.channel {
+            "clean" => gen_batch(
                 &SimConfig {
                     regions: cell.regions,
                     h_frags: cell.h_frags,
@@ -65,10 +70,28 @@ fn grid_instances(grid: &[GridCell]) -> Vec<Instance> {
                     ..SimConfig::default()
                 },
                 cell.instances,
-            )
-            .into_iter()
-            .map(|s| s.instance),
-        );
+            ),
+            "torn" => torn_batch(
+                &TornConfig {
+                    regions: cell.regions,
+                    h_frags: cell.h_frags,
+                    seed: cell.seed,
+                    ..TornConfig::default()
+                },
+                cell.instances,
+            ),
+            "soup" => soup_batch(
+                &SoupConfig {
+                    regions: cell.regions,
+                    h_frags: cell.h_frags,
+                    seed: cell.seed,
+                    ..SoupConfig::default()
+                },
+                cell.instances,
+            ),
+            other => panic!("unknown grid channel {other}"),
+        };
+        out.extend(sims.into_iter().map(|s| s.instance));
     }
     out
 }
@@ -78,6 +101,7 @@ fn main() {
     let grid: Vec<GridCell> = if smoke {
         vec![
             GridCell {
+                channel: "clean",
                 regions: 8,
                 h_frags: 2,
                 m_frags: 2,
@@ -85,16 +109,34 @@ fn main() {
                 seed: 1002,
             },
             GridCell {
+                channel: "clean",
                 regions: 8,
                 h_frags: 3,
                 m_frags: 1,
                 instances: 3,
                 seed: 2002,
             },
+            GridCell {
+                channel: "torn",
+                regions: 10,
+                h_frags: 2,
+                m_frags: 0,
+                instances: 2,
+                seed: 7001,
+            },
+            GridCell {
+                channel: "soup",
+                regions: 10,
+                h_frags: 2,
+                m_frags: 0,
+                instances: 2,
+                seed: 7002,
+            },
         ]
     } else {
         vec![
             GridCell {
+                channel: "clean",
                 regions: 8,
                 h_frags: 2,
                 m_frags: 2,
@@ -102,6 +144,7 @@ fn main() {
                 seed: 1002,
             },
             GridCell {
+                channel: "clean",
                 regions: 10,
                 h_frags: 3,
                 m_frags: 3,
@@ -109,6 +152,7 @@ fn main() {
                 seed: 1003,
             },
             GridCell {
+                channel: "clean",
                 regions: 8,
                 h_frags: 3,
                 m_frags: 1,
@@ -116,11 +160,28 @@ fn main() {
                 seed: 2002,
             },
             GridCell {
+                channel: "clean",
                 regions: 14,
                 h_frags: 4,
                 m_frags: 2,
                 instances: 4,
                 seed: 3002,
+            },
+            GridCell {
+                channel: "torn",
+                regions: 12,
+                h_frags: 3,
+                m_frags: 0,
+                instances: 4,
+                seed: 7001,
+            },
+            GridCell {
+                channel: "soup",
+                regions: 12,
+                h_frags: 2,
+                m_frags: 0,
+                instances: 4,
+                seed: 7002,
             },
         ]
     };

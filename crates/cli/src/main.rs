@@ -4,7 +4,7 @@
 //! fragalign solve  [--algo NAME] [--scaling] [--threads N] [--report json] <instance.json|->
 //! fragalign solve  --batch [--algo NAME] [--scaling] [--threads N] [--report json] <dir|instances.jsonl>
 //! fragalign serve  [--addr A] [--workers N] [--queue-depth N] [--cache-mb N] [--default-solver NAME]
-//! fragalign gen    [--regions N] [--h-frags N] [--m-frags N] [--seed S] [--noise X]
+//! fragalign gen    [--channel C] [--regions N] [--seed S] [channel knobs...]
 //! fragalign demo
 //! fragalign solvers
 //! ```
@@ -28,6 +28,12 @@
 //!   endpoints listed in its startup banner. SIGINT/ctrl-c drains
 //!   in-flight requests before exiting.
 //! * `gen` emits a synthetic instance as JSON (pipe into `solve`).
+//!   `--channel` picks the workload: `clean` (the default simulator),
+//!   the adversarial `torn` (torn-paper breakpoints, drops,
+//!   duplications) and `soup` (short overlapping noisy reads)
+//!   channels, or a degenerate shape (`mega`, `singletons`,
+//!   `desert`). Channel-specific knobs on the wrong channel are a
+//!   usage error.
 //! * `demo` runs the paper's Fig. 2 example end to end.
 //! * `solvers` lists every registered solver with its paper reference.
 
@@ -36,7 +42,10 @@ use fragalign_core as core;
 use fragalign_core::{BatchOptions, EngineOptions, SolveReport, SolverRegistry};
 use fragalign_model::{Instance, LayoutBuilder, MatchSet};
 use fragalign_serve::{ServeConfig, Server};
-use fragalign_sim::{generate, SimConfig};
+use fragalign_sim::{
+    generate, generate_degenerate, generate_soup, generate_torn, DegenerateShape, SimConfig,
+    SoupConfig, TornConfig,
+};
 use serde::Serialize;
 use std::io::{Read, Write};
 use std::process::ExitCode;
@@ -48,7 +57,7 @@ fn algo_names() -> String {
 fn usage() -> ExitCode {
     let names = algo_names();
     eprintln!(
-        "usage:\n  fragalign solve [--algo {names}] [--scaling] [--threads N] [--report json] <instance.json|->\n  fragalign solve --batch [--algo {names}] [--scaling] [--threads N] [--report json] <dir|instances.jsonl>\n  fragalign serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--cache-mb N] [--default-solver {names}]\n  fragalign gen [--regions N] [--h-frags N] [--m-frags N] [--seed S] [--noise X]\n  fragalign demo\n  fragalign solvers"
+        "usage:\n  fragalign solve [--algo {names}] [--scaling] [--threads N] [--report json] <instance.json|->\n  fragalign solve --batch [--algo {names}] [--scaling] [--threads N] [--report json] <dir|instances.jsonl>\n  fragalign serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--cache-mb N] [--default-solver {names}]\n  fragalign gen [--channel clean|torn|soup|mega|singletons|desert] [--regions N] [--seed S]\n                [--h-frags N] [--m-frags N] [--noise X]           (clean; noise also soup)\n                [--tear-rate X] [--drop-rate X] [--dup-rate X]    (torn)\n                [--read-len N] [--coverage X] [--sub-rate X]      (soup)\n  fragalign demo\n  fragalign solvers"
     );
     ExitCode::from(2)
 }
@@ -416,51 +425,209 @@ fn main() -> ExitCode {
             solve_cmd(&algo, scaling, threads, json, &inst)
         }
         "gen" => {
-            let mut cfg = SimConfig::default();
+            // Flags are parsed channel-agnostically and folded into
+            // whichever generator `--channel` selects; a knob the
+            // selected channel has no use for is a usage error, so a
+            // typo'd sweep script fails loudly instead of silently
+            // generating the wrong workload.
+            fn next_parsed<T: std::str::FromStr>(
+                it: &mut std::slice::Iter<'_, String>,
+            ) -> Option<T> {
+                it.next().and_then(|v| v.parse().ok())
+            }
+            let mut channel = "clean".to_owned();
+            let mut regions: Option<usize> = None;
+            let mut h_frags: Option<usize> = None;
+            let mut m_frags: Option<usize> = None;
+            let mut seed: Option<u64> = None;
+            let mut noise: Option<f64> = None;
+            let mut tear_rate: Option<f64> = None;
+            let mut drop_rate: Option<f64> = None;
+            let mut dup_rate: Option<f64> = None;
+            let mut read_len: Option<usize> = None;
+            let mut coverage: Option<f64> = None;
+            let mut sub_rate: Option<f64> = None;
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
-                let mut next_usize = |target: &mut usize| -> Result<(), ExitCode> {
-                    match it.next().and_then(|v| v.parse().ok()) {
-                        Some(v) => {
-                            *target = v;
-                            Ok(())
-                        }
-                        None => Err(usage()),
-                    }
-                };
                 match a.as_str() {
-                    "--regions" => {
-                        if let Err(e) = next_usize(&mut cfg.regions) {
-                            return e;
-                        }
-                    }
-                    "--h-frags" => {
-                        if let Err(e) = next_usize(&mut cfg.h_frags) {
-                            return e;
-                        }
-                    }
-                    "--m-frags" => {
-                        if let Err(e) = next_usize(&mut cfg.m_frags) {
-                            return e;
-                        }
-                    }
-                    "--seed" => match it.next().and_then(|v| v.parse().ok()) {
-                        Some(v) => cfg.seed = v,
+                    "--channel" => match it.next() {
+                        Some(v) => channel = v.clone(),
                         None => return usage(),
                     },
-                    "--noise" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
-                        Some(v) => {
-                            cfg.loss_rate = v;
-                            cfg.spurious = (v * 20.0) as usize;
-                            cfg.shuffles = (v * 10.0) as usize;
-                        }
+                    "--regions" => match next_parsed(&mut it) {
+                        Some(v) => regions = Some(v),
+                        None => return usage(),
+                    },
+                    "--h-frags" => match next_parsed(&mut it) {
+                        Some(v) => h_frags = Some(v),
+                        None => return usage(),
+                    },
+                    "--m-frags" => match next_parsed(&mut it) {
+                        Some(v) => m_frags = Some(v),
+                        None => return usage(),
+                    },
+                    "--seed" => match next_parsed(&mut it) {
+                        Some(v) => seed = Some(v),
+                        None => return usage(),
+                    },
+                    "--noise" => match next_parsed(&mut it) {
+                        Some(v) => noise = Some(v),
+                        None => return usage(),
+                    },
+                    "--tear-rate" => match next_parsed(&mut it) {
+                        Some(v) => tear_rate = Some(v),
+                        None => return usage(),
+                    },
+                    "--drop-rate" => match next_parsed(&mut it) {
+                        Some(v) => drop_rate = Some(v),
+                        None => return usage(),
+                    },
+                    "--dup-rate" => match next_parsed(&mut it) {
+                        Some(v) => dup_rate = Some(v),
+                        None => return usage(),
+                    },
+                    "--read-len" => match next_parsed(&mut it) {
+                        Some(v) => read_len = Some(v),
+                        None => return usage(),
+                    },
+                    "--coverage" => match next_parsed(&mut it) {
+                        Some(v) => coverage = Some(v),
+                        None => return usage(),
+                    },
+                    "--sub-rate" => match next_parsed(&mut it) {
+                        Some(v) => sub_rate = Some(v),
                         None => return usage(),
                     },
                     _ => return usage(),
                 }
             }
-            let sim = generate(&cfg);
-            match serde_json::to_string_pretty(&sim.instance) {
+            // Reject knobs the selected channel cannot honour.
+            let misapplied = match channel.as_str() {
+                "clean" => [
+                    tear_rate.is_some(),
+                    drop_rate.is_some(),
+                    dup_rate.is_some(),
+                    read_len.is_some(),
+                    coverage.is_some(),
+                    sub_rate.is_some(),
+                ]
+                .iter()
+                .any(|&b| b),
+                "torn" => [
+                    m_frags.is_some(),
+                    noise.is_some(),
+                    read_len.is_some(),
+                    coverage.is_some(),
+                    sub_rate.is_some(),
+                ]
+                .iter()
+                .any(|&b| b),
+                "soup" => [
+                    m_frags.is_some(),
+                    tear_rate.is_some(),
+                    drop_rate.is_some(),
+                    dup_rate.is_some(),
+                ]
+                .iter()
+                .any(|&b| b),
+                "mega" | "singletons" | "desert" => [
+                    h_frags.is_some(),
+                    m_frags.is_some(),
+                    noise.is_some(),
+                    tear_rate.is_some(),
+                    drop_rate.is_some(),
+                    dup_rate.is_some(),
+                    read_len.is_some(),
+                    coverage.is_some(),
+                    sub_rate.is_some(),
+                ]
+                .iter()
+                .any(|&b| b),
+                _ => return usage(),
+            };
+            if misapplied {
+                eprintln!("error: a flag does not apply to --channel {channel}");
+                return usage();
+            }
+            let instance = match channel.as_str() {
+                "clean" => {
+                    let mut cfg = SimConfig::default();
+                    if let Some(v) = regions {
+                        cfg.regions = v;
+                    }
+                    if let Some(v) = h_frags {
+                        cfg.h_frags = v;
+                    }
+                    if let Some(v) = m_frags {
+                        cfg.m_frags = v;
+                    }
+                    if let Some(v) = seed {
+                        cfg.seed = v;
+                    }
+                    if let Some(v) = noise {
+                        cfg.loss_rate = v;
+                        cfg.spurious = (v * 20.0) as usize;
+                        cfg.shuffles = (v * 10.0) as usize;
+                    }
+                    generate(&cfg).instance
+                }
+                "torn" => {
+                    let mut cfg = TornConfig::default();
+                    if let Some(v) = regions {
+                        cfg.regions = v;
+                    }
+                    if let Some(v) = h_frags {
+                        cfg.h_frags = v;
+                    }
+                    if let Some(v) = seed {
+                        cfg.seed = v;
+                    }
+                    if let Some(v) = tear_rate {
+                        cfg.tear_rate = v;
+                    }
+                    if let Some(v) = drop_rate {
+                        cfg.drop_rate = v;
+                    }
+                    if let Some(v) = dup_rate {
+                        cfg.dup_rate = v;
+                    }
+                    generate_torn(&cfg).instance
+                }
+                "soup" => {
+                    let mut cfg = SoupConfig::default();
+                    if let Some(v) = regions {
+                        cfg.regions = v;
+                    }
+                    if let Some(v) = h_frags {
+                        cfg.h_frags = v;
+                    }
+                    if let Some(v) = seed {
+                        cfg.seed = v;
+                    }
+                    if let Some(v) = noise {
+                        cfg.noise = v;
+                    }
+                    if let Some(v) = read_len {
+                        cfg.read_len = v;
+                    }
+                    if let Some(v) = coverage {
+                        cfg.coverage = v;
+                    }
+                    if let Some(v) = sub_rate {
+                        cfg.sub_rate = v;
+                    }
+                    generate_soup(&cfg).instance
+                }
+                shape => {
+                    let shape = match shape {
+                        "mega" => DegenerateShape::MegaFragment,
+                        "singletons" => DegenerateShape::AllSingletons,
+                        _ => DegenerateShape::SigmaDesert,
+                    };
+                    generate_degenerate(shape, regions.unwrap_or(24), seed.unwrap_or(0)).instance
+                }
+            };
+            match serde_json::to_string_pretty(&instance) {
                 Ok(s) => {
                     println!("{s}");
                     ExitCode::SUCCESS

@@ -24,11 +24,13 @@
 
 mod portfolio;
 mod registry;
+mod router;
 mod solvers;
 
 pub use crate::cancel::{CancelCause, CancelToken};
 pub use portfolio::{Portfolio, PortfolioConfig, RacerBudget};
 pub use registry::{SolverRegistry, SolverSpec};
+pub use router::{Auto, InstanceFeatures, Router, RouterRule};
 
 use crate::ExactLimits;
 use fragalign_align::ScoreOracle;
@@ -123,6 +125,9 @@ pub struct SolveOutcome {
     pub cancelled: bool,
     /// Per-racer telemetry (portfolio only; empty elsewhere).
     pub racers: Vec<RacerReport>,
+    /// The solver the shape router picked (`auto` runs and routed
+    /// portfolio races only; `None` elsewhere).
+    pub routed_by: Option<&'static str>,
 }
 
 impl SolveOutcome {
@@ -135,6 +140,7 @@ impl SolveOutcome {
             winner: None,
             cancelled: false,
             racers: Vec::new(),
+            routed_by: None,
         }
     }
 }
@@ -190,6 +196,10 @@ pub struct SolveReport {
     pub cancelled: bool,
     /// Per-racer telemetry (portfolio runs only; empty elsewhere).
     pub racers: Vec<RacerReport>,
+    /// The solver the shape router picked: the delegate on `auto`
+    /// runs, the first-dispatched member on routed portfolio races
+    /// (`null` elsewhere).
+    pub routed_by: Option<String>,
 }
 
 /// One portfolio racer's slice of a [`SolveReport`]: what it scored,

@@ -16,23 +16,28 @@
 //! * a shared best-score board implements **bound cancellation**:
 //!   when a racer finishes at the instance's provable score upper
 //!   bound ([`Instance::score_upper_bound`]), every racer at a later
-//!   registry position is cancelled — it could at best tie, and ties
+//!   race position is cancelled — it could at best tie, and ties
 //!   lose to the earlier position, so killing it can never change the
 //!   winner;
 //! * cancelled improvement racers return their best-so-far consistent
 //!   result (the loop is anytime), which still competes: with
 //!   work-cap budgets the whole race stays bit-deterministic.
 //!
-//! Winner selection is unchanged: best score over the (possibly
-//! partial) surviving results, ties to the lowest registry position —
-//! never to whichever thread finished first. Bound cancellation only
-//! retires racers that provably cannot win, so with no budgets
-//! configured the winner is identical to running every member to
-//! completion sequentially.
+//! Dispatch order is no longer blind registry order: the shape
+//! [`Router`] (fitted offline by `exp_router`, see `engine::router`)
+//! sends its per-instance pick to the pool first, so the solver the
+//! data says fits this shape starts earliest and — when it reaches
+//! the bound — retires the rest with the least wasted work. Dispatch
+//! is *all* routing changes: retirement and winner selection both key
+//! on registry position (best score over the possibly-partial
+//! results, ties to the earliest registry entry — never to whichever
+//! thread finished first), so the winner is identical for every
+//! routing table and equal to running every member to completion
+//! sequentially in registry order when no budgets are configured.
 
 use super::{
-    CancelCause, CancelToken, EngineError, EngineOptions, RacerReport, SolveCtx, SolveOutcome,
-    Solver, SolverRegistry, SolverSpec,
+    CancelCause, CancelToken, EngineError, EngineOptions, RacerReport, Router, SolveCtx,
+    SolveOutcome, Solver, SolverRegistry, SolverSpec,
 };
 use fragalign_model::{Instance, MatchSet, Score};
 use fragalign_par::par_map_ordered;
@@ -87,10 +92,14 @@ struct Member {
 }
 
 /// Meta-solver racing a set of registered solvers and returning the
-/// best-scoring result (ties: lowest registry position).
+/// best-scoring result (ties: the lowest registry position).
 pub struct Portfolio {
     /// Members sorted by registry position.
     members: Vec<Member>,
+    /// The shape router whose per-instance pick is dispatched to the
+    /// pool first. Routing only reorders dispatch — never retirement
+    /// or tie-breaks — so the winner is routing-table-independent.
+    router: Router,
 }
 
 impl Portfolio {
@@ -117,7 +126,10 @@ impl Portfolio {
             })
             .collect();
         Portfolio::check_overrides(&config, &members)?;
-        Ok(Portfolio { members })
+        Ok(Portfolio {
+            members,
+            router: Router::default(),
+        })
     }
 
     /// Race a custom member set. Every name must be registered;
@@ -159,7 +171,10 @@ impl Portfolio {
             })
             .collect();
         Portfolio::check_overrides(&config, &members)?;
-        Ok(Portfolio { members })
+        Ok(Portfolio {
+            members,
+            router: Router::default(),
+        })
     }
 
     /// Reject budget overrides that match no member: an SLA that
@@ -239,6 +254,24 @@ impl Solver for Portfolio {
             // only guards direct Solver-trait use.
             return SolveOutcome::from_matches(MatchSet::new());
         }
+        // The shape router's pick is *dispatched* first: on a loaded
+        // pool it starts earliest, so the solver the data says fits
+        // this shape finishes soonest and (if it hits the bound)
+        // retires the rest with the least wasted work. Dispatch order
+        // is all it changes — retirement and winner ties both key on
+        // registry position below, so the result is identical for
+        // every routing table (and equal to a sequential
+        // registry-order race).
+        let routed = self.router.route(inst, &opts);
+        let routed_by = racers
+            .iter()
+            .any(|m| m.spec.name == routed)
+            .then_some(routed);
+        let mut order: Vec<usize> = (0..racers.len()).collect();
+        if let Some(p) = racers.iter().position(|m| m.spec.name == routed) {
+            order.remove(p);
+            order.insert(0, p);
+        }
         let start = Instant::now();
         let tokens: Vec<CancelToken> = racers
             .iter()
@@ -254,7 +287,7 @@ impl Solver for Portfolio {
         let board = &board;
         let tokens_ref = &tokens;
         let racers_ref = &racers;
-        let runs = par_map_ordered((0..racers.len()).collect(), move |idx: usize| {
+        let dispatched = par_map_ordered(order.clone(), move |idx: usize| {
             let member = racers_ref[idx];
             let t0 = Instant::now();
             let token = tokens_ref[idx].clone();
@@ -275,6 +308,16 @@ impl Solver for Portfolio {
             }
             (out, cause, sub.oracle.stats.snapshot(), wall)
         });
+        // Dispatch order was the router's; winner selection runs in
+        // registry order, so put the results back.
+        let mut slots: Vec<Option<_>> = (0..racers.len()).map(|_| None).collect();
+        for (idx, run) in order.into_iter().zip(dispatched) {
+            slots[idx] = Some(run);
+        }
+        let runs: Vec<_> = slots
+            .into_iter()
+            .map(|s| s.expect("every racer ran"))
+            .collect();
 
         let mut best: Option<(usize, SolveOutcome)> = None;
         let mut attempts = 0;
@@ -309,6 +352,7 @@ impl Solver for Portfolio {
             cancelled: out.cancelled,
             racers: reports,
             matches: out.matches,
+            routed_by,
         }
     }
 }

@@ -121,6 +121,13 @@ impl SolverRegistry {
                 in_portfolio: false,
                 factory: || Box::new(Portfolio::new()),
             },
+            SolverSpec {
+                name: "auto",
+                paper: "shape router fitted by exp_router (engine tier)",
+                ratio: "inherits the routed solver's",
+                in_portfolio: false,
+                factory: || Box::new(super::Auto::new()),
+            },
         ];
         SolverRegistry { entries }
     }
@@ -265,6 +272,7 @@ impl SolverRegistry {
                 winner: out.winner.map(str::to_owned),
                 cancelled: out.cancelled,
                 racers: out.racers,
+                routed_by: out.routed_by.map(str::to_owned),
             },
             matches: out.matches,
         }

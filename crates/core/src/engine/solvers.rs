@@ -43,6 +43,7 @@ impl Solver for Improve {
             winner: None,
             cancelled: result.cancelled,
             racers: Vec::new(),
+            routed_by: None,
         }
     }
 }

@@ -40,8 +40,9 @@ pub use batch::{
 pub use border_matching::{border_matching_2approx, border_matching_2approx_with_oracle};
 pub use cancel::{CancelCause, CancelToken};
 pub use engine::{
-    EngineError, EngineOptions, Portfolio, PortfolioConfig, RacerBudget, RacerReport, SolveCtx,
-    SolveOutcome, SolveReport, SolveRun, Solver, SolverRegistry, SolverSpec,
+    Auto, EngineError, EngineOptions, InstanceFeatures, Portfolio, PortfolioConfig, RacerBudget,
+    RacerReport, Router, RouterRule, SolveCtx, SolveOutcome, SolveReport, SolveRun, Solver,
+    SolverRegistry, SolverSpec,
 };
 pub use exact::{exact_matches, solve_exact, ExactLimits};
 pub use four_approx::{solve_four_approx, solve_four_approx_with_oracle};

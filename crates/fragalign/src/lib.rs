@@ -67,16 +67,20 @@ pub mod prelude {
     pub use fragalign_core::{
         border_improve, border_matching_2approx, csr_improve, full_improve, solve_batch,
         solve_batch_reports, solve_exact, solve_four_approx, solve_greedy, solve_one_csr,
-        solve_single, solve_single_report, BatchOptions, BatchSolution, CancelCause, CancelToken,
-        EngineError, EngineOptions, ExactLimits, ImproveConfig, ImproveResult, MethodSet,
-        Portfolio, PortfolioConfig, RacerBudget, RacerReport, SolveCtx, SolveOutcome, SolveReport,
-        SolveRun, Solver, SolverRegistry, SolverSpec,
+        solve_single, solve_single_report, Auto, BatchOptions, BatchSolution, CancelCause,
+        CancelToken, EngineError, EngineOptions, ExactLimits, ImproveConfig, ImproveResult,
+        InstanceFeatures, MethodSet, Portfolio, PortfolioConfig, RacerBudget, RacerReport, Router,
+        RouterRule, SolveCtx, SolveOutcome, SolveReport, SolveRun, Solver, SolverRegistry,
+        SolverSpec,
     };
     pub use fragalign_model::{
         check_consistency, FragId, Fragment, Instance, InstanceBuilder, LayoutBuilder, Match,
         MatchSet, Orient, Score, ScoreTable, Site, Species, Sym,
     };
-    pub use fragalign_sim::{evaluate_recovery, gen_batch, generate, SimConfig};
+    pub use fragalign_sim::{
+        evaluate_recovery, gen_batch, generate, generate_degenerate, generate_soup, generate_torn,
+        soup_batch, torn_batch, DegenerateShape, SimConfig, SoupConfig, TornConfig,
+    };
 }
 
 #[cfg(test)]

@@ -63,7 +63,7 @@ pub struct ServeConfig {
 
 impl Default for ServeConfig {
     /// Loopback, 4 workers, queue of 64, 32 MiB cache over 16 shards,
-    /// `csr` by default.
+    /// the shape-routing `auto` solver by default.
     fn default() -> Self {
         ServeConfig {
             addr: "127.0.0.1:0".to_string(),
@@ -71,7 +71,7 @@ impl Default for ServeConfig {
             queue_depth: 64,
             cache_mb: 32,
             cache_shards: 16,
-            default_solver: "csr".to_string(),
+            default_solver: "auto".to_string(),
             max_body_bytes: 16 * 1024 * 1024,
             io_timeout_secs: 10,
         }

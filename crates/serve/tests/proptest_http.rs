@@ -1,0 +1,197 @@
+//! Fuzz-shaped properties for the HTTP/1.1 request parser: arbitrary
+//! bytes, truncations of valid requests, pathological read chunkings
+//! and single-byte mutations must never panic; any failure must land
+//! in one of the typed [`RequestError`] categories the server maps to
+//! 4xx/5xx responses; and well-formed requests must parse to the same
+//! request no matter how the socket splits the bytes.
+
+use fragalign_serve::http::{read_request, Request, RequestError};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::io::{Read, Write};
+
+/// A duplex test stream that hands out at most `chunk` bytes per
+/// `read` — the socket-level adversary: head/body boundaries landing
+/// anywhere, including mid-CRLF.
+struct ChunkedPipe {
+    input: Vec<u8>,
+    pos: usize,
+    chunk: usize,
+    output: Vec<u8>,
+}
+
+impl ChunkedPipe {
+    fn new(input: &[u8], chunk: usize) -> Self {
+        assert!(chunk > 0, "zero-byte reads would mean EOF");
+        ChunkedPipe {
+            input: input.to_vec(),
+            pos: 0,
+            chunk,
+            output: Vec::new(),
+        }
+    }
+}
+
+impl Read for ChunkedPipe {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.chunk.min(buf.len()).min(self.input.len() - self.pos);
+        buf[..n].copy_from_slice(&self.input[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+impl Write for ChunkedPipe {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.output.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn parse(bytes: &[u8], chunk: usize, max_body: usize) -> Result<Request, RequestError> {
+    read_request(&mut ChunkedPipe::new(bytes, chunk), max_body)
+}
+
+/// A canonical valid POST whose body is `body`; `needed` is the byte
+/// count the parser actually consumes.
+fn valid_post(body: &str) -> (Vec<u8>, usize) {
+    let head = format!(
+        "POST /v1/solve HTTP/1.1\r\nHost: fuzz\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    let needed = head.len() + body.len();
+    let mut bytes = head.into_bytes();
+    bytes.extend_from_slice(body.as_bytes());
+    (bytes, needed)
+}
+
+proptest! {
+    /// Arbitrary byte soup, delivered in arbitrary chunkings, never
+    /// panics; when it does parse, the parser's own invariants hold.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in vec(0u8..=255, 0..600),
+        chunk in 1usize..9,
+        max_body in 0usize..256,
+    ) {
+        if let Ok(req) = parse(&bytes, chunk, max_body) {
+            prop_assert!(!req.method.is_empty());
+            prop_assert!(!req.path.is_empty());
+            prop_assert!(req.body.len() <= max_body, "body exceeded the cap");
+            for (name, _) in &req.headers {
+                prop_assert_eq!(
+                    name.clone(), name.to_ascii_lowercase(),
+                    "header names must be lower-cased at parse time"
+                );
+            }
+        }
+        // An Err is fine by construction: every variant maps to a
+        // 4xx/5xx response or a dropped connection, never a panic.
+    }
+
+    /// Truncating a valid request anywhere fails cleanly; the full
+    /// request parses whole, byte-for-byte, at every chunking.
+    #[test]
+    fn truncations_fail_cleanly_and_full_requests_split_anywhere(
+        body_bytes in vec(32u8..127, 0..80),
+        cut in 0usize..200,
+        chunk in 1usize..9,
+    ) {
+        let body: String = body_bytes.iter().map(|&b| b as char).collect();
+        let (bytes, needed) = valid_post(&body);
+        let cut = cut.min(needed);
+        let result = parse(&bytes[..cut], chunk, 4096);
+        if cut < needed {
+            prop_assert!(
+                result.is_err(),
+                "a truncated request (cut {} of {}) must not parse",
+                cut, needed
+            );
+        } else {
+            let req = result.expect("the complete request parses");
+            prop_assert_eq!(&req.method, "POST");
+            prop_assert_eq!(&req.path, "/v1/solve");
+            prop_assert_eq!(req.header("host"), Some("fuzz"));
+            prop_assert_eq!(&req.body, &body);
+            // And the chunking must not matter: one-shot == chunked.
+            let whole = parse(&bytes, needed.max(1), 4096).unwrap();
+            prop_assert_eq!(&req.body, &whole.body);
+            prop_assert_eq!(&req.headers, &whole.headers);
+        }
+    }
+
+    /// Flipping any single byte of a valid request never panics, and
+    /// mutations ahead of the body either still parse or land in a
+    /// typed error.
+    #[test]
+    fn single_byte_mutations_never_panic(
+        body_bytes in vec(32u8..127, 1..60),
+        idx in any::<prop::sample::Index>(),
+        replacement in 0u8..=255,
+    ) {
+        let body: String = body_bytes.iter().map(|&b| b as char).collect();
+        let (mut bytes, _) = valid_post(&body);
+        let at = idx.index(bytes.len());
+        bytes[at] = replacement;
+        match parse(&bytes, 5, 4096) {
+            Ok(req) => prop_assert!(req.body.len() <= 4096),
+            Err(
+                RequestError::Malformed(_)
+                | RequestError::Unimplemented(_)
+                | RequestError::BodyTooLarge { .. }
+                | RequestError::Io(_),
+            ) => {}
+        }
+    }
+
+    /// Well-formed requests round-trip field by field: mixed-case
+    /// header names arrive lower-cased, optional whitespace around
+    /// values is trimmed, and the body survives verbatim.
+    #[test]
+    fn valid_requests_round_trip(
+        tag in 0u64..1_000_000,
+        pad_left in 0usize..3,
+        pad_right in 0usize..3,
+        upper in any::<bool>(),
+        chunk in 1usize..9,
+    ) {
+        let body = format!("{{\"tag\":{tag}}}");
+        let name = if upper { "X-Fuzz-TAG" } else { "x-fuzz-tag" };
+        let raw = format!(
+            "POST /v1/solve?tag={tag} HTTP/1.1\r\n{name}:{}{tag}{}\r\nContent-Length: {}\r\n\r\n{body}",
+            " ".repeat(pad_left),
+            " ".repeat(pad_right),
+            body.len(),
+        );
+        let req = parse(raw.as_bytes(), chunk, 4096).expect("valid request parses");
+        prop_assert_eq!(&req.method, "POST");
+        prop_assert_eq!(req.path, format!("/v1/solve?tag={tag}"));
+        let value = tag.to_string();
+        prop_assert_eq!(req.header("x-fuzz-tag"), Some(value.as_str()));
+        prop_assert_eq!(req.header("X-FUZZ-TAG"), Some(value.as_str()));
+        prop_assert_eq!(req.body, body);
+    }
+
+    /// `Content-Length` beyond the cap is always the typed 413 error,
+    /// regardless of how the head is chunked — the server must be able
+    /// to answer before reading an oversized body.
+    #[test]
+    fn oversized_bodies_are_typed_413s(
+        excess in 1usize..10_000,
+        max_body in 0usize..512,
+        chunk in 1usize..9,
+    ) {
+        let raw = format!(
+            "POST /v1/solve HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            max_body + excess
+        );
+        let typed = matches!(
+            parse(raw.as_bytes(), chunk, max_body),
+            Err(RequestError::BodyTooLarge { limit }) if limit == max_body
+        );
+        prop_assert!(typed, "oversized Content-Length must be the typed 413 error");
+    }
+}

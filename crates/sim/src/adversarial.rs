@@ -1,0 +1,634 @@
+//! Adversarial workload generators: hostile instance shapes the clean
+//! simulator in [`crate::generate`] never produces.
+//!
+//! Three channels, all emitting [`SimInstance`]s with full
+//! [`GroundTruth`] layouts (so [`crate::evaluate_recovery`] works
+//! unchanged) and all deterministic per seed:
+//!
+//! * **Torn paper** ([`generate_torn`]) — the channel of "Improved
+//!   Torn Paper Coding via Local Alignment" (PAPERS.md): the M copy is
+//!   torn at random breakpoints (one per region adjacency with
+//!   probability [`TornConfig::tear_rate`]), then whole pieces are
+//!   *deleted* or *duplicated* before emission. Solvers see many short
+//!   fragments, missing regions, and — the hostile part — the same
+//!   region symbol spelled by two different fragments.
+//! * **Read soup** ([`generate_soup`]) — the pyrosequencing-style
+//!   workload (PAPERS.md): M is a pile of short overlapping reads
+//!   sampled along the ancestral sequence at a configurable coverage,
+//!   with substitution noise in σ (a corrupted region's true-pair
+//!   score collapses to the spurious-pair floor). Regions typically
+//!   appear in several reads at once.
+//! * **Degenerate shapes** ([`generate_degenerate`]) — the boundary
+//!   geometry the stress net wants: one mega-fragment holding a whole
+//!   species ([`DegenerateShape::MegaFragment`], the 1-CSR regime),
+//!   every region its own fragment ([`DegenerateShape::AllSingletons`],
+//!   maximal fragment count), and a σ desert
+//!   ([`DegenerateShape::SigmaDesert`], almost no scoring signal).
+//!
+//! Batch helpers ([`torn_batch`], [`soup_batch`]) derive per-instance
+//! seeds by index (`base.seed + i`), exactly like
+//! [`crate::gen_batch`], so growing a batch never changes its prefix.
+
+use crate::generate::{cut_into, GroundTruth, SimInstance};
+use fragalign_model::{Alphabet, Fragment, Instance, Score, ScoreTable, Sym};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// Torn-paper channel parameters.
+#[derive(Clone, Debug)]
+pub struct TornConfig {
+    /// Conserved regions in the ancestral sequence.
+    pub regions: usize,
+    /// Contigs the (clean, reference-orientation) H copy is cut into.
+    pub h_frags: usize,
+    /// Probability of a tear at each region adjacency of the M copy.
+    pub tear_rate: f64,
+    /// Probability that a torn piece is lost entirely (at least one
+    /// piece always survives).
+    pub drop_rate: f64,
+    /// Probability that a surviving piece is emitted twice — the
+    /// second copy independently oriented, so solvers face duplicate
+    /// region symbols across fragments.
+    pub dup_rate: f64,
+    /// Probability that each emitted M piece is reverse-complemented.
+    pub flip_rate: f64,
+    /// Base score of a true conserved pair.
+    pub base_score: Score,
+    /// ± jitter on true-pair scores.
+    pub score_jitter: Score,
+    /// Spurious (wrong) σ pairs added at a third of the base score.
+    pub spurious: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TornConfig {
+    fn default() -> Self {
+        TornConfig {
+            regions: 24,
+            h_frags: 4,
+            tear_rate: 0.25,
+            drop_rate: 0.15,
+            dup_rate: 0.1,
+            flip_rate: 0.5,
+            base_score: 100,
+            score_jitter: 30,
+            spurious: 2,
+            seed: 0,
+        }
+    }
+}
+
+/// Read-soup channel parameters.
+#[derive(Clone, Debug)]
+pub struct SoupConfig {
+    /// Conserved regions in the ancestral sequence.
+    pub regions: usize,
+    /// Contigs the (clean) H copy is cut into.
+    pub h_frags: usize,
+    /// Regions per read (reads at the sequence end may be shorter
+    /// only when `regions < read_len`).
+    pub read_len: usize,
+    /// Expected number of reads covering each region; the read count
+    /// is `ceil(coverage · regions / read_len)`.
+    pub coverage: f64,
+    /// Probability that each read is emitted reverse-complemented.
+    pub flip_rate: f64,
+    /// Per-region substitution probability: a corrupted region's
+    /// true-pair score collapses to the spurious floor.
+    pub sub_rate: f64,
+    /// Multiplicative jitter on clean true-pair scores, uniform in
+    /// `[1 - noise, 1 + noise]`.
+    pub noise: f64,
+    /// Base score of a clean true pair.
+    pub base_score: Score,
+    /// Spurious (wrong) σ pairs added at a third of the base score.
+    pub spurious: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SoupConfig {
+    fn default() -> Self {
+        SoupConfig {
+            regions: 24,
+            h_frags: 3,
+            read_len: 4,
+            coverage: 2.0,
+            flip_rate: 0.5,
+            sub_rate: 0.15,
+            noise: 0.3,
+            base_score: 100,
+            spurious: 4,
+            seed: 0,
+        }
+    }
+}
+
+/// The degenerate boundary geometries the stress net exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DegenerateShape {
+    /// All of M in one fragment (the 1-CSR regime, where `one-csr`
+    /// applies and fragment-enumeration costs vanish).
+    MegaFragment,
+    /// Every region its own fragment on both sides — maximal fragment
+    /// count, worst case for per-fragment enumeration.
+    AllSingletons,
+    /// σ keeps only `ceil(regions / 8)` true pairs: almost no signal,
+    /// so tie-breaking and empty-result paths get exercised.
+    SigmaDesert,
+}
+
+/// Per-species symbol tables for an ancestral sequence of `n` regions.
+fn sym_tables(n: usize) -> (Alphabet, Vec<Sym>, Vec<Sym>) {
+    let mut alphabet = Alphabet::new();
+    let h: Vec<Sym> = (0..n).map(|i| alphabet.sym(&format!("h{i}"))).collect();
+    let m: Vec<Sym> = (0..n).map(|i| alphabet.sym(&format!("m{i}"))).collect();
+    (alphabet, h, m)
+}
+
+/// Emit fragments from `(ancestral start, region indices, flipped)`
+/// piece specs, shuffling the emission order; returns the fragments
+/// plus the matching ground-truth layout entries.
+fn emit_pieces(
+    rng: &mut StdRng,
+    prefix: &str,
+    pieces: &[(usize, Vec<usize>, bool)],
+    syms: &[Sym],
+) -> (Vec<Fragment>, Vec<(usize, bool)>) {
+    let mut frags = Vec::with_capacity(pieces.len());
+    let mut layout = Vec::with_capacity(pieces.len());
+    for (k, (start, idxs, flipped)) in pieces.iter().enumerate() {
+        let mut regions: Vec<Sym> = idxs.iter().map(|&i| syms[i]).collect();
+        if *flipped {
+            fragalign_model::symbol::reverse_word_in_place(&mut regions);
+        }
+        frags.push(Fragment::new(format!("{prefix}{k}"), regions));
+        layout.push((*start, *flipped));
+    }
+    let mut order: Vec<usize> = (0..frags.len()).collect();
+    order.shuffle(rng);
+    let frags2 = order.iter().map(|&i| frags[i].clone()).collect();
+    let layout2 = order.iter().map(|&i| layout[i]).collect();
+    (frags2, layout2)
+}
+
+/// The clean reference side: all `n` regions, ancestral order, cut
+/// into `frags` contigs, unflipped, shuffled emission order.
+fn reference_side(
+    rng: &mut StdRng,
+    n: usize,
+    frags: usize,
+    syms: &[Sym],
+) -> (Vec<Fragment>, Vec<(usize, bool)>) {
+    let chunks = cut_into(rng, n.max(1), frags);
+    let pieces: Vec<(usize, Vec<usize>, bool)> = chunks
+        .iter()
+        .map(|&(lo, hi)| (lo, (lo..hi.min(n.max(1))).collect(), false))
+        .collect();
+    emit_pieces(rng, "h", &pieces, syms)
+}
+
+/// Add `count` spurious σ pairs at a third of `base` (minimum 1),
+/// randomly oriented, never overwriting an existing entry's key pair
+/// intentionally — collisions just reset a score, which is itself a
+/// kind of noise.
+fn add_spurious(
+    rng: &mut StdRng,
+    sigma: &mut ScoreTable,
+    h: &[Sym],
+    m: &[Sym],
+    count: usize,
+    base: Score,
+) {
+    let n = h.len();
+    for _ in 0..count {
+        if n < 2 {
+            break;
+        }
+        let i = rng.random_range(0..n);
+        let mut j = rng.random_range(0..n);
+        if i == j {
+            j = (j + 1) % n;
+        }
+        let target = if rng.random_bool(0.5) {
+            m[j].reversed()
+        } else {
+            m[j]
+        };
+        sigma.set(h[i], target, (base / 3).max(1));
+    }
+}
+
+/// Generate one torn-paper instance.
+pub fn generate_torn(config: &TornConfig) -> SimInstance {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.regions.max(1);
+    let (alphabet, h_syms, m_syms) = sym_tables(n);
+
+    // Tear the M copy: a breakpoint at each adjacency with
+    // probability tear_rate.
+    let mut pieces: Vec<(usize, Vec<usize>)> = Vec::new();
+    let mut current: Vec<usize> = vec![0];
+    let mut start = 0usize;
+    for i in 1..n {
+        if rng.random_bool(config.tear_rate) {
+            pieces.push((start, std::mem::take(&mut current)));
+            start = i;
+        }
+        current.push(i);
+    }
+    pieces.push((start, current));
+
+    // Deletion pass (keep at least one piece), then duplication pass.
+    let mut surviving: Vec<(usize, Vec<usize>)> = pieces
+        .iter()
+        .filter(|_| !rng.random_bool(config.drop_rate))
+        .cloned()
+        .collect();
+    if surviving.is_empty() {
+        surviving.push(pieces[0].clone());
+    }
+    let mut emitted: Vec<(usize, Vec<usize>, bool)> = Vec::new();
+    for (start, idxs) in &surviving {
+        emitted.push((*start, idxs.clone(), rng.random_bool(config.flip_rate)));
+        if rng.random_bool(config.dup_rate) {
+            // The duplicate re-spells the same region symbols from a
+            // second fragment — the shape clean sim never produces.
+            emitted.push((*start, idxs.clone(), rng.random_bool(config.flip_rate)));
+        }
+    }
+
+    // σ only over regions the torn copy still carries.
+    let mut present = vec![false; n];
+    for (_, idxs, _) in &emitted {
+        for &i in idxs {
+            present[i] = true;
+        }
+    }
+    let mut sigma = ScoreTable::new();
+    let mut true_pairs = Vec::new();
+    for i in 0..n {
+        if !present[i] {
+            continue;
+        }
+        let jitter = if config.score_jitter > 0 {
+            rng.random_range(-config.score_jitter..=config.score_jitter)
+        } else {
+            0
+        };
+        sigma.set(h_syms[i], m_syms[i], (config.base_score + jitter).max(1));
+        true_pairs.push((h_syms[i], m_syms[i]));
+    }
+    add_spurious(
+        &mut rng,
+        &mut sigma,
+        &h_syms,
+        &m_syms,
+        config.spurious,
+        config.base_score,
+    );
+
+    let (h, h_layout) = reference_side(&mut rng, n, config.h_frags, &h_syms);
+    let (m, m_layout) = emit_pieces(&mut rng, "m", &emitted, &m_syms);
+
+    SimInstance {
+        instance: Instance {
+            h,
+            m,
+            sigma,
+            alphabet,
+        },
+        truth: GroundTruth {
+            h_layout,
+            m_layout,
+            true_pairs,
+        },
+    }
+}
+
+/// Generate one read-soup instance.
+pub fn generate_soup(config: &SoupConfig) -> SimInstance {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.regions.max(1);
+    let (alphabet, h_syms, m_syms) = sym_tables(n);
+
+    let read_len = config.read_len.clamp(1, n);
+    let reads = ((config.coverage * n as f64 / read_len as f64).ceil() as usize).max(1);
+    let mut pieces: Vec<(usize, Vec<usize>, bool)> = Vec::with_capacity(reads);
+    for _ in 0..reads {
+        let start = rng.random_range(0..=n - read_len);
+        pieces.push((
+            start,
+            (start..start + read_len).collect(),
+            rng.random_bool(config.flip_rate),
+        ));
+    }
+
+    let mut covered = vec![false; n];
+    for (_, idxs, _) in &pieces {
+        for &i in idxs {
+            covered[i] = true;
+        }
+    }
+    let mut sigma = ScoreTable::new();
+    let mut true_pairs = Vec::new();
+    let floor = (config.base_score / 5).max(1);
+    for i in 0..n {
+        if !covered[i] {
+            continue;
+        }
+        let score = if rng.random_bool(config.sub_rate) {
+            floor // substitution noise ate the alignment signal
+        } else {
+            let jitter = 1.0 + config.noise * (rng.random_range(-1000..=1000i64) as f64 / 1000.0);
+            ((config.base_score as f64 * jitter) as Score).max(1)
+        };
+        sigma.set(h_syms[i], m_syms[i], score);
+        true_pairs.push((h_syms[i], m_syms[i]));
+    }
+    add_spurious(
+        &mut rng,
+        &mut sigma,
+        &h_syms,
+        &m_syms,
+        config.spurious,
+        config.base_score,
+    );
+
+    let (h, h_layout) = reference_side(&mut rng, n, config.h_frags, &h_syms);
+    let (m, m_layout) = emit_pieces(&mut rng, "m", &pieces, &m_syms);
+
+    SimInstance {
+        instance: Instance {
+            h,
+            m,
+            sigma,
+            alphabet,
+        },
+        truth: GroundTruth {
+            h_layout,
+            m_layout,
+            true_pairs,
+        },
+    }
+}
+
+/// Generate one degenerate-shape instance with `regions` regions.
+pub fn generate_degenerate(shape: DegenerateShape, regions: usize, seed: u64) -> SimInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = regions.max(1);
+    let (alphabet, h_syms, m_syms) = sym_tables(n);
+
+    let base: Score = 100;
+    let mut sigma = ScoreTable::new();
+    let mut true_pairs = Vec::new();
+    let sparse_keep = match shape {
+        // Keep every 8th region's σ entry (at least one).
+        DegenerateShape::SigmaDesert => Some(n.div_ceil(8).max(1)),
+        _ => None,
+    };
+    for i in 0..n {
+        if let Some(keep) = sparse_keep {
+            // Evenly spaced survivors: region i kept iff i % stride == 0.
+            let stride = n.div_ceil(keep);
+            if i % stride != 0 {
+                continue;
+            }
+        }
+        sigma.set(h_syms[i], m_syms[i], base);
+        true_pairs.push((h_syms[i], m_syms[i]));
+    }
+
+    let (h, h_layout, m, m_layout) = match shape {
+        DegenerateShape::MegaFragment => {
+            let (h, h_layout) = reference_side(&mut rng, n, n.div_ceil(6).max(2), &h_syms);
+            let mega = vec![(0usize, (0..n).collect::<Vec<usize>>(), false)];
+            let (m, m_layout) = emit_pieces(&mut rng, "m", &mega, &m_syms);
+            (h, h_layout, m, m_layout)
+        }
+        DegenerateShape::AllSingletons => {
+            let h_pieces: Vec<(usize, Vec<usize>, bool)> =
+                (0..n).map(|i| (i, vec![i], false)).collect();
+            let (h, h_layout) = emit_pieces(&mut rng, "h", &h_pieces, &h_syms);
+            let m_pieces: Vec<(usize, Vec<usize>, bool)> =
+                (0..n).map(|i| (i, vec![i], rng.random_bool(0.5))).collect();
+            let (m, m_layout) = emit_pieces(&mut rng, "m", &m_pieces, &m_syms);
+            (h, h_layout, m, m_layout)
+        }
+        DegenerateShape::SigmaDesert => {
+            let (h, h_layout) = reference_side(&mut rng, n, 3, &h_syms);
+            let chunks = cut_into(&mut rng, n, 3);
+            let pieces: Vec<(usize, Vec<usize>, bool)> = chunks
+                .iter()
+                .map(|&(lo, hi)| (lo, (lo..hi).collect(), rng.random_bool(0.5)))
+                .collect();
+            let (m, m_layout) = emit_pieces(&mut rng, "m", &pieces, &m_syms);
+            (h, h_layout, m, m_layout)
+        }
+    };
+
+    SimInstance {
+        instance: Instance {
+            h,
+            m,
+            sigma,
+            alphabet,
+        },
+        truth: GroundTruth {
+            h_layout,
+            m_layout,
+            true_pairs,
+        },
+    }
+}
+
+/// A batch of torn-paper instances at seeds `base.seed, base.seed+1,
+/// …` — prefix-stable: instance `i` equals a lone [`generate_torn`]
+/// at seed `base.seed + i`, so growing `count` never changes earlier
+/// instances.
+pub fn torn_batch(base: &TornConfig, count: usize) -> Vec<SimInstance> {
+    (0..count)
+        .map(|i| {
+            generate_torn(&TornConfig {
+                seed: base.seed.wrapping_add(i as u64),
+                ..base.clone()
+            })
+        })
+        .collect()
+}
+
+/// A batch of read-soup instances, prefix-stable exactly like
+/// [`torn_batch`].
+pub fn soup_batch(base: &SoupConfig, count: usize) -> Vec<SimInstance> {
+    (0..count)
+        .map(|i| {
+            generate_soup(&SoupConfig {
+                seed: base.seed.wrapping_add(i as u64),
+                ..base.clone()
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torn_is_deterministic_and_valid() {
+        let c = TornConfig::default();
+        let a = generate_torn(&c);
+        let b = generate_torn(&c);
+        assert_eq!(a.instance.h, b.instance.h);
+        assert_eq!(a.instance.m, b.instance.m);
+        assert_eq!(a.truth.true_pairs, b.truth.true_pairs);
+        a.instance.validate().unwrap();
+        // Layouts cover every fragment (evaluate_recovery indexes them).
+        assert_eq!(a.truth.h_layout.len(), a.instance.h.len());
+        assert_eq!(a.truth.m_layout.len(), a.instance.m.len());
+    }
+
+    #[test]
+    fn torn_tears_drop_and_duplicate() {
+        // A high tear rate with drops and dups must change fragment
+        // counts relative to the clean reference on some seed.
+        let c = TornConfig {
+            regions: 30,
+            tear_rate: 0.5,
+            drop_rate: 0.3,
+            dup_rate: 0.3,
+            seed: 7,
+            ..TornConfig::default()
+        };
+        let s = generate_torn(&c);
+        s.instance.validate().unwrap();
+        assert!(s.instance.m.len() > 4, "tearing makes many pieces");
+        let m_total: usize = s.instance.m.iter().map(|f| f.len()).sum();
+        assert_ne!(m_total, 30, "drops/dups change total M regions");
+        // True pairs only name regions the torn copy still carries.
+        for &(_, m) in &s.truth.true_pairs {
+            assert!(s
+                .instance
+                .m
+                .iter()
+                .any(|f| f.regions.iter().any(|r| r.id == m.id)));
+        }
+    }
+
+    #[test]
+    fn soup_reads_overlap_and_cover() {
+        let c = SoupConfig {
+            regions: 20,
+            coverage: 3.0,
+            seed: 11,
+            ..SoupConfig::default()
+        };
+        let s = generate_soup(&c);
+        s.instance.validate().unwrap();
+        assert_eq!(s.instance.m.len(), 15, "ceil(3.0 * 20 / 4) reads");
+        for f in &s.instance.m {
+            assert_eq!(f.len(), 4, "reads are read_len regions long");
+        }
+        // Coverage > 1 means some region appears in several reads.
+        let mut counts = std::collections::HashMap::new();
+        for f in &s.instance.m {
+            for r in &f.regions {
+                *counts.entry(r.id).or_insert(0usize) += 1;
+            }
+        }
+        assert!(counts.values().any(|&c| c > 1), "no overlapping reads");
+        assert_eq!(s.truth.m_layout.len(), s.instance.m.len());
+    }
+
+    #[test]
+    fn soup_substitutions_hit_the_floor() {
+        let c = SoupConfig {
+            sub_rate: 1.0,
+            noise: 0.0,
+            seed: 3,
+            ..SoupConfig::default()
+        };
+        let s = generate_soup(&c);
+        for &(a, b) in &s.truth.true_pairs {
+            assert_eq!(s.instance.sigma.score(a, b), 20, "all pairs corrupted");
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_hold_their_invariants() {
+        let mega = generate_degenerate(DegenerateShape::MegaFragment, 18, 5);
+        mega.instance.validate().unwrap();
+        assert_eq!(mega.instance.m.len(), 1);
+        assert_eq!(mega.instance.m[0].len(), 18);
+
+        let singles = generate_degenerate(DegenerateShape::AllSingletons, 18, 5);
+        singles.instance.validate().unwrap();
+        assert_eq!(singles.instance.h.len(), 18);
+        assert_eq!(singles.instance.m.len(), 18);
+        assert!(singles.instance.m.iter().all(|f| f.len() == 1));
+
+        let desert = generate_degenerate(DegenerateShape::SigmaDesert, 18, 5);
+        desert.instance.validate().unwrap();
+        assert_eq!(desert.instance.sigma.len(), 3, "ceil(18/8) entries");
+        assert!(desert.instance.sigma.len() < 18 / 2);
+    }
+
+    #[test]
+    fn batches_are_prefix_stable() {
+        let torn = TornConfig {
+            seed: 90,
+            ..TornConfig::default()
+        };
+        let small = torn_batch(&torn, 3);
+        let grown = torn_batch(&torn, 8);
+        for (i, (a, b)) in small.iter().zip(&grown).enumerate() {
+            assert_eq!(a.instance.h, b.instance.h, "torn prefix drifted at {i}");
+            assert_eq!(a.instance.m, b.instance.m, "torn prefix drifted at {i}");
+        }
+        let soup = SoupConfig {
+            seed: 91,
+            ..SoupConfig::default()
+        };
+        let small = soup_batch(&soup, 3);
+        let grown = soup_batch(&soup, 8);
+        for (i, (a, b)) in small.iter().zip(&grown).enumerate() {
+            assert_eq!(a.instance.m, b.instance.m, "soup prefix drifted at {i}");
+            assert_eq!(
+                a.truth.true_pairs, b.truth.true_pairs,
+                "soup truth drifted at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_region_counts_survive() {
+        for n in [1usize, 2, 3] {
+            generate_torn(&TornConfig {
+                regions: n,
+                ..TornConfig::default()
+            })
+            .instance
+            .validate()
+            .unwrap();
+            generate_soup(&SoupConfig {
+                regions: n,
+                ..SoupConfig::default()
+            })
+            .instance
+            .validate()
+            .unwrap();
+            for shape in [
+                DegenerateShape::MegaFragment,
+                DegenerateShape::AllSingletons,
+                DegenerateShape::SigmaDesert,
+            ] {
+                generate_degenerate(shape, n, 1)
+                    .instance
+                    .validate()
+                    .unwrap();
+            }
+        }
+    }
+}

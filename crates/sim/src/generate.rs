@@ -120,7 +120,7 @@ fn mutate(rng: &mut StdRng, seq: &[u8], rate: f64) -> Vec<u8> {
 }
 
 /// Cut `items` into `pieces` non-empty contiguous chunks.
-fn cut_into(rng: &mut StdRng, len: usize, pieces: usize) -> Vec<(usize, usize)> {
+pub(crate) fn cut_into(rng: &mut StdRng, len: usize, pieces: usize) -> Vec<(usize, usize)> {
     let pieces = pieces.min(len).max(1);
     let mut cuts: Vec<usize> = (1..len).collect();
     cuts.shuffle(rng);

@@ -21,8 +21,13 @@
 //! (EXPERIMENTS.md T7): how many order/orient relationships the CSR
 //! solvers reconstruct as noise rises.
 
+pub mod adversarial;
 pub mod generate;
 pub mod metrics;
 
+pub use adversarial::{
+    generate_degenerate, generate_soup, generate_torn, soup_batch, torn_batch, DegenerateShape,
+    SoupConfig, TornConfig,
+};
 pub use generate::{gen_batch, generate, DnaMode, GroundTruth, SimConfig, SimInstance};
 pub use metrics::{evaluate_recovery, RecoveryReport};

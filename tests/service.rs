@@ -172,6 +172,52 @@ fn cache_hit_is_byte_identical_and_formatting_invariant() {
 }
 
 #[test]
+fn omitting_the_solver_field_routes_through_auto() {
+    // `ServeConfig::default()` now defaults to the shape-routing
+    // `auto` solver: a request with no "solver" field must be
+    // bit-identical to a direct `auto` solve, report `auto` as the
+    // solver, and expose the routed backend via `routed_by`.
+    let server = Server::start(ServeConfig::default()).expect("server starts");
+    let addr = server.addr();
+    let inst = &sim_instances(1, 41)[0];
+
+    let body = format!(
+        "{{\"instance\":{}}}",
+        serde_json::to_string(inst).expect("instance serialises")
+    );
+    let resp = client::post(addr, "/v1/solve", &body).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let doc: Value = serde_json::from_str(&resp.body).expect("response parses");
+
+    let mut ws = DpWorkspace::new();
+    let (expected, expected_report) =
+        solve_single_report(inst, &BatchOptions::new("auto"), &mut ws)
+            .expect("direct auto solve succeeds");
+    assert_eq!(doc.get("score"), Some(&Value::Int(expected.score)));
+    assert_eq!(
+        doc.get("matches"),
+        Some(&serde_json::to_value(&expected.matches).unwrap()),
+        "served default-solver matches diverged from direct auto solve"
+    );
+    let report = doc.get("report").expect("report present");
+    assert_eq!(
+        report.get("solver"),
+        Some(&Value::Str("auto".to_string())),
+        "default solver must be auto"
+    );
+    let routed = expected_report
+        .routed_by
+        .clone()
+        .expect("auto must record its routed backend");
+    assert_eq!(
+        report.get("routed_by"),
+        Some(&Value::Str(routed)),
+        "served routed_by diverged from the router table choice"
+    );
+    server.shutdown();
+}
+
+#[test]
 fn full_queue_answers_503_and_never_hangs() {
     let server = Server::start(ServeConfig {
         workers: 1,
