@@ -54,13 +54,11 @@
 //! so flanking matches just outside the chain span still reach the
 //! DP.
 
-use crate::dp::align_words;
 use crate::oracle::ScoreOracle;
 use fragalign_model::conjecture::PairAssembler;
 use fragalign_model::symbol::reverse_word;
 use fragalign_model::{FragId, Instance, MatchSet, Orient, Score, Species, Sym};
 use std::collections::HashMap;
-use std::sync::atomic::Ordering;
 
 /// Tuning knobs of the chaining pipeline. See the module docs for the
 /// reasoning behind the defaults.
@@ -515,8 +513,10 @@ pub fn solve_chain_with_params(oracle: &ScoreOracle<'_>, params: &ChainParams) -
             }
         };
         let m_word = &concat_m[win.lo..win.hi];
-        oracle.stats.dp_fills.fetch_add(1, Ordering::Relaxed);
-        let (_, cols) = align_words(&inst.sigma, &h_word, m_word);
+        // Pooled workspace: the window grid reuses the oracle's warm
+        // scratch instead of allocating a fresh `DpMatrix` per window,
+        // and `with_pooled` folds the fill into `stats.dp_fills`.
+        let cols = oracle.with_pooled(|ws| ws.align_words(&inst.sigma, &h_word, m_word).1);
         for (uo, vo) in cols {
             let h_cell = uo.map(|o| {
                 let idx = if win.flip { h_len - 1 - o } else { o };

@@ -75,29 +75,40 @@ impl DpMatrix {
         u: &[Sym],
         v: &[Sym],
     ) -> Vec<(Option<usize>, Option<usize>)> {
-        let mut cols = Vec::with_capacity(u.len() + v.len());
-        let (mut i, mut j) = (u.len(), v.len());
-        while i > 0 || j > 0 {
-            let cur = self.prefix_score(i, j);
-            if i > 0
-                && j > 0
-                && cur == self.prefix_score(i - 1, j - 1) + sigma.score(u[i - 1], v[j - 1])
-            {
-                cols.push((Some(i - 1), Some(j - 1)));
-                i -= 1;
-                j -= 1;
-            } else if i > 0 && cur == self.prefix_score(i - 1, j) {
-                cols.push((Some(i - 1), None));
-                i -= 1;
-            } else {
-                debug_assert!(j > 0 && cur == self.prefix_score(i, j - 1));
-                cols.push((None, Some(j - 1)));
-                j -= 1;
-            }
-        }
-        cols.reverse();
-        cols
+        traceback_from(&self.cells, self.cols, sigma, u, v)
     }
+}
+
+/// [`DpMatrix::traceback`] over any row-major `(|u|+1) × (|v|+1)`
+/// prefix-score grid — shared with [`crate::DpWorkspace::align_words`],
+/// whose grid lives in the workspace scratch rather than a `DpMatrix`.
+pub(crate) fn traceback_from(
+    cells: &[Score],
+    cols: usize,
+    sigma: &ScoreTable,
+    u: &[Sym],
+    v: &[Sym],
+) -> Vec<(Option<usize>, Option<usize>)> {
+    let at = |i: usize, j: usize| cells[i * cols + j];
+    let mut out = Vec::with_capacity(u.len() + v.len());
+    let (mut i, mut j) = (u.len(), v.len());
+    while i > 0 || j > 0 {
+        let cur = at(i, j);
+        if i > 0 && j > 0 && cur == at(i - 1, j - 1) + sigma.score(u[i - 1], v[j - 1]) {
+            out.push((Some(i - 1), Some(j - 1)));
+            i -= 1;
+            j -= 1;
+        } else if i > 0 && cur == at(i - 1, j) {
+            out.push((Some(i - 1), None));
+            i -= 1;
+        } else {
+            debug_assert!(j > 0 && cur == at(i, j - 1));
+            out.push((None, Some(j - 1)));
+            j -= 1;
+        }
+    }
+    out.reverse();
+    out
 }
 
 /// The rolling-row `P_score` recurrence over caller-provided buffers:
@@ -105,6 +116,16 @@ impl DpMatrix {
 /// the column score. Buffers are grown as needed; on return, `prev`
 /// holds the final DP row (`P_score(u, v[..j])` at index `j`), which
 /// the interval oracle reads off wholesale.
+///
+/// This is the **scalar reference kernel** and is deliberately kept
+/// exactly in the textbook shape even though the profiled
+/// split-recurrence kernels in [`crate::kernel`] outrun it: its
+/// correctness is auditable against the recurrence by eye, it takes
+/// an arbitrary score *closure* (no profile build, no admissibility
+/// conditions), and the `proptest_kernels` differential net pins every
+/// faster path — profiled, blocked, banded, wavefront — against its
+/// output bit for bit. Optimising it would replace the measuring stick
+/// with the thing being measured.
 pub(crate) fn fill_rolling<F: Fn(Sym, Sym) -> Score>(
     score: F,
     u: &[Sym],

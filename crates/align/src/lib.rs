@@ -9,6 +9,8 @@
 //! This crate provides:
 //!
 //! * the sequential dynamic program with traceback ([`dp`]),
+//! * hash-free query-profile kernels — a branchless split recurrence
+//!   with cache blocking, bit-identical to the scalar DP ([`kernel`]),
 //! * match scores with orientation search ([`match_score`]),
 //! * an all-intervals oracle `MS(h, m(d, e))` with memoisation for the
 //!   1-CSR → ISP reduction and for TPA profits ([`oracle`]),
@@ -25,6 +27,7 @@ pub mod banded;
 pub mod chain;
 pub mod dna;
 pub mod dp;
+pub mod kernel;
 pub mod match_score;
 pub mod oracle;
 pub mod wavefront;
@@ -33,7 +36,8 @@ pub mod workspace;
 pub use banded::{lossless_band, p_score_banded};
 pub use chain::{solve_chain, solve_chain_with_oracle, solve_chain_with_params, ChainParams};
 pub use dp::{align_words, p_score, DpAligner, DpMatrix};
+pub use kernel::{QueryProfile, KERNEL_BLOCK, PROFILE_MAX_CELLS, PROFILE_MIN_CELLS};
 pub use match_score::{ms_sites, ms_words, site_laid_word};
 pub use oracle::{OracleStats, OracleStatsSnapshot, ScoreOracle};
 pub use wavefront::{p_score_wavefront, p_score_wavefront_with};
-pub use workspace::DpWorkspace;
+pub use workspace::{DpWorkspace, KernelMode};

@@ -16,6 +16,7 @@
 //! oracle is `Sync` and shared across rayon workers.
 
 use crate::dp::fill_rolling;
+use crate::kernel::{fill_profiled, KERNEL_BLOCK};
 use crate::workspace::DpWorkspace;
 use fragalign_model::symbol::reverse_word_in_place;
 use fragalign_model::{FragId, Instance, Orient, Score, Site, Sym};
@@ -201,7 +202,7 @@ impl<'a> ScoreOracle<'a> {
 
     /// Check a workspace out of the pool, run `f`, return it, and fold
     /// its fill/realloc deltas into the oracle stats.
-    fn with_pooled<R>(&self, f: impl FnOnce(&mut DpWorkspace) -> R) -> R {
+    pub(crate) fn with_pooled<R>(&self, f: impl FnOnce(&mut DpWorkspace) -> R) -> R {
         let mut ws = if self.reuse {
             self.workspaces.lock().pop().unwrap_or_default()
         } else {
@@ -271,12 +272,32 @@ impl<'a> ScoreOracle<'a> {
 
         // Same orientation: for each start d, one rolling DP sweep over
         // w[d..]; the final row read off wholesale gives P(u, w[d..e])
-        // for every end e.
+        // for every end e. One query profile built over the *whole*
+        // container word serves all n+1 suffix fills via a column
+        // offset — the per-fill cost of going hash-free amortises to
+        // zero, so the sweep profiles regardless of fill size.
         let sweep = |ws: &mut DpWorkspace, w: &[Sym], out: &mut [Score]| {
+            let generation = ws.profile.build(sigma, u_raw, w, !h_first);
+            if generation.is_some() {
+                ws.profile.map_rows(u_raw, &mut ws.row_map);
+            }
             for d in 0..=n {
                 let v = &w[d.min(w.len())..];
                 ws.note_fill(v.len() + 1);
-                if h_first {
+                if let Some(generation) = generation {
+                    fill_profiled(
+                        &ws.profile,
+                        generation,
+                        &ws.row_map,
+                        d.min(w.len()),
+                        v.len(),
+                        KERNEL_BLOCK,
+                        &mut ws.prev,
+                        &mut ws.cur,
+                        &mut ws.carry,
+                    );
+                } else if h_first {
+                    // Profile over the cap: scalar fallback.
                     fill_rolling(
                         |a, b| sigma.score(a, b),
                         u_raw,

@@ -9,6 +9,7 @@
 //! scores are integers and max is associative, so there is no
 //! floating-point reassociation hazard.
 
+use crate::kernel::QueryProfile;
 use fragalign_model::{Score, ScoreTable, Sym};
 use rayon::prelude::*;
 
@@ -37,7 +38,18 @@ pub fn p_score_wavefront(sigma: &ScoreTable, u: &[Sym], v: &[Sym]) -> Score {
     let mut prev2 = Vec::new();
     let mut prev1 = Vec::new();
     let mut cur = Vec::new();
-    wavefront_fill(sigma, u, v, &mut prev2, &mut prev1, &mut cur)
+    let mut profile = QueryProfile::default();
+    let mut row_map = Vec::new();
+    wavefront_profiled(
+        sigma,
+        u,
+        v,
+        &mut profile,
+        &mut row_map,
+        &mut prev2,
+        &mut prev1,
+        &mut cur,
+    )
 }
 
 /// [`p_score_wavefront`] into a reused [`crate::DpWorkspace`]:
@@ -54,22 +66,68 @@ pub fn p_score_wavefront_with(
     if u.len() * v.len() < WAVEFRONT_CUTOFF_CELLS {
         return ws.p_score(sigma, u, v);
     }
+    // Detach the profile so the sweep can borrow the diagonal buffers
+    // mutably alongside it.
+    let mut profile = std::mem::take(&mut ws.profile);
+    let mut row_map = std::mem::take(&mut ws.row_map);
     let (prev2, prev1, cur) = ws.diagonals(u.len() + 1);
-    wavefront_fill(sigma, u, v, prev2, prev1, cur)
+    let s = wavefront_profiled(sigma, u, v, &mut profile, &mut row_map, prev2, prev1, cur);
+    ws.profile = profile;
+    ws.row_map = row_map;
+    s
 }
 
-/// The anti-diagonal sweep over caller-provided buffers (grown and
-/// zeroed here as needed).
-fn wavefront_fill(
+/// Build the query profile for `u` × `v` (scalar σ probes when it
+/// would exceed the cap) and run the anti-diagonal sweep with a
+/// hash-free cell lookup. Inputs here are beyond the sequential
+/// cutoff, so the build always amortises.
+#[allow(clippy::too_many_arguments)]
+fn wavefront_profiled(
     sigma: &ScoreTable,
     u: &[Sym],
     v: &[Sym],
+    profile: &mut QueryProfile,
+    row_map: &mut Vec<u32>,
     prev2: &mut Vec<Score>,
     prev1: &mut Vec<Score>,
     cur: &mut Vec<Score>,
 ) -> Score {
-    let n = u.len();
-    let m = v.len();
+    if profile.build(sigma, u, v, false).is_some() {
+        profile.map_rows(u, row_map);
+        let p = &*profile;
+        let rm = &*row_map;
+        wavefront_fill(
+            |i, j| p.cell(rm[i - 1], j - 1),
+            u.len(),
+            v.len(),
+            prev2,
+            prev1,
+            cur,
+        )
+    } else {
+        wavefront_fill(
+            |i, j| sigma.score(u[i - 1], v[j - 1]),
+            u.len(),
+            v.len(),
+            prev2,
+            prev1,
+            cur,
+        )
+    }
+}
+
+/// The anti-diagonal sweep over caller-provided buffers (grown and
+/// zeroed here as needed). Generic over the cell score `score(i, j)`
+/// = `σ(u_i, v_j)` (1-based), so the profiled and scalar lookups run
+/// through one audited sweep.
+fn wavefront_fill<F: Fn(usize, usize) -> Score + Sync>(
+    score: F,
+    n: usize,
+    m: usize,
+    prev2: &mut Vec<Score>,
+    prev1: &mut Vec<Score>,
+    cur: &mut Vec<Score>,
+) -> Score {
     // Diagonal k holds cells (i, j) with i + j = k, 0 ≤ i ≤ n,
     // 0 ≤ j ≤ m; buffers are indexed by i.
     for buf in [&mut *prev2, &mut *prev1, &mut *cur] {
@@ -95,7 +153,7 @@ fn wavefront_fill(
                 .for_each(|(off, cell)| {
                     let i = lo + off;
                     let j = k - i;
-                    let diag = prev2_ref[i - 1] + sigma.score(u[i - 1], v[j - 1]);
+                    let diag = prev2_ref[i - 1] + score(i, j);
                     let up = prev1_ref[i - 1]; // (i-1, j) lives on diag k-1
                     let left = prev1_ref[i]; // (i, j-1) lives on diag k-1
                     *cell = diag.max(up).max(left);

@@ -14,9 +14,27 @@
 //! oracles stay `Sync` without serialising fills.
 
 use crate::banded::fill_banded;
-use crate::dp::fill_rolling;
+use crate::dp::{fill_rolling, traceback_from};
+use crate::kernel::{fill_profiled, QueryProfile, KERNEL_BLOCK, PROFILE_MIN_CELLS};
+use fragalign_model::consistency::AlignColumns;
 use fragalign_model::symbol::reverse_word_in_place;
 use fragalign_model::{Orient, Score, ScoreTable, Sym};
+
+/// Which `P_score` kernel a fill runs through. Production entry points
+/// pick automatically ([`DpWorkspace::p_score`] profiles any fill
+/// large enough to amortise the build); this enum exists so the
+/// `exp_kernel` bench and the differential tests can force each path
+/// over identical inputs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelMode {
+    /// The hash-probing rolling-row reference kernel.
+    Scalar,
+    /// Query profile + split recurrence, single unblocked sweep.
+    Profiled,
+    /// Query profile + split recurrence + column blocking at
+    /// [`KERNEL_BLOCK`].
+    ProfiledBlocked,
+}
 
 /// Geometry of the positive-σ cells of one DP matrix, measured in one
 /// `O(|σ| · (|u| + |v|))` scan (σ is sparse; the DP is `O(|u| · |v|)`
@@ -112,6 +130,13 @@ pub struct DpWorkspace {
     pub(crate) rev: Vec<Sym>,
     /// Whole-table scratch for the oracle's reversed-interval pass.
     pub(crate) grid: Vec<Score>,
+    /// Cached query profile of the last profiled fill (generation
+    /// keyed; see [`QueryProfile`]).
+    pub(crate) profile: QueryProfile,
+    /// Row-symbol → profile-row resolution of the last profiled fill.
+    pub(crate) row_map: Vec<u32>,
+    /// Block-boundary column carry of the blocked kernel.
+    pub(crate) carry: Vec<Score>,
     fills: u64,
     reallocs: u64,
 }
@@ -158,7 +183,11 @@ impl DpWorkspace {
     }
 
     /// `P_score(u, v)` into reused buffers; bit-identical to
-    /// [`crate::p_score`].
+    /// [`crate::p_score`]. Fills large enough to amortise a profile
+    /// build ([`PROFILE_MIN_CELLS`]) run hash-free through the
+    /// profiled split-recurrence kernel; small fills and fills whose
+    /// profile would exceed [`crate::PROFILE_MAX_CELLS`] take the
+    /// scalar reference path.
     pub fn p_score(&mut self, sigma: &ScoreTable, u: &[Sym], v: &[Sym]) -> Score {
         if u.is_empty() || v.is_empty() {
             return 0;
@@ -170,6 +199,16 @@ impl DpWorkspace {
             (v, u, true)
         };
         self.note_fill(b.len() + 1);
+        if a.len() * b.len() >= PROFILE_MIN_CELLS {
+            if let Some(s) = self.fill_with_profile(sigma, a, b, swapped, KERNEL_BLOCK) {
+                return s;
+            }
+        }
+        self.fill_scalar(sigma, a, b, swapped)
+    }
+
+    /// The scalar reference fill over the already-swapped operands.
+    fn fill_scalar(&mut self, sigma: &ScoreTable, a: &[Sym], b: &[Sym], swapped: bool) -> Score {
         if swapped {
             fill_rolling(
                 |x, y| sigma.score(y, x),
@@ -187,6 +226,113 @@ impl DpWorkspace {
                 &mut self.cur,
             )
         }
+    }
+
+    /// Build (or rebuild) the workspace profile for `a` × `b` and run
+    /// the split-recurrence kernel. `None` when the profile would be
+    /// too large — the caller falls back to the scalar kernel.
+    /// `swapped` mirrors the operand swap of [`DpWorkspace::p_score`]:
+    /// the row word is then the M side and σ is probed `(col, row)`.
+    fn fill_with_profile(
+        &mut self,
+        sigma: &ScoreTable,
+        a: &[Sym],
+        b: &[Sym],
+        swapped: bool,
+        block: usize,
+    ) -> Option<Score> {
+        let generation = self.profile.build(sigma, a, b, swapped)?;
+        self.profile.map_rows(a, &mut self.row_map);
+        Some(fill_profiled(
+            &self.profile,
+            generation,
+            &self.row_map,
+            0,
+            b.len(),
+            block,
+            &mut self.prev,
+            &mut self.cur,
+            &mut self.carry,
+        ))
+    }
+
+    /// `P_score(u, v)` through one forced kernel path — the bench and
+    /// differential-test hook. All modes perform the same
+    /// shorter-word-on-columns swap, so they time identical problems;
+    /// the profiled modes fall back to scalar only when the profile
+    /// exceeds [`crate::PROFILE_MAX_CELLS`]. Bit-identical across
+    /// modes.
+    pub fn p_score_kernel(
+        &mut self,
+        sigma: &ScoreTable,
+        u: &[Sym],
+        v: &[Sym],
+        mode: KernelMode,
+    ) -> Score {
+        if u.is_empty() || v.is_empty() {
+            return 0;
+        }
+        let (a, b, swapped) = if v.len() <= u.len() {
+            (u, v, false)
+        } else {
+            (v, u, true)
+        };
+        self.note_fill(b.len() + 1);
+        let block = match mode {
+            KernelMode::Scalar => return self.fill_scalar(sigma, a, b, swapped),
+            KernelMode::Profiled => usize::MAX,
+            KernelMode::ProfiledBlocked => KERNEL_BLOCK,
+        };
+        match self.fill_with_profile(sigma, a, b, swapped, block) {
+            Some(s) => s,
+            None => self.fill_scalar(sigma, a, b, swapped),
+        }
+    }
+
+    /// Optimal alignment with traceback into the reused whole-table
+    /// scratch; bit-identical to [`crate::align_words`], which remains
+    /// as the allocating wrapper for external callers. The full matrix
+    /// is filled hash-free through the query profile (scalar σ probes
+    /// below the profile threshold or above the profile cap), and only
+    /// the traceback path re-probes σ.
+    pub fn align_words(
+        &mut self,
+        sigma: &ScoreTable,
+        u: &[Sym],
+        v: &[Sym],
+    ) -> (Score, AlignColumns) {
+        let rows = u.len() + 1;
+        let cols = v.len() + 1;
+        self.note_fill(cols);
+        let mut grid = self.take_grid(rows * cols);
+        let profiled = u.len() * v.len() >= PROFILE_MIN_CELLS
+            && self.profile.build(sigma, u, v, false).is_some();
+        if profiled {
+            self.profile.map_rows(u, &mut self.row_map);
+        }
+        for i in 1..rows {
+            let (above, row) = {
+                let (a, b) = grid.split_at_mut(i * cols);
+                (&a[(i - 1) * cols..], &mut b[..cols])
+            };
+            if profiled {
+                let s = self.profile.row(self.row_map[i - 1]);
+                for j in 1..cols {
+                    let diag = above[j - 1] + s[j - 1];
+                    row[j] = diag.max(above[j]).max(row[j - 1]);
+                }
+            } else {
+                let ui = u[i - 1];
+                for j in 1..cols {
+                    let diag = above[j - 1] + sigma.score(ui, v[j - 1]);
+                    row[j] = diag.max(above[j]).max(row[j - 1]);
+                }
+            }
+        }
+        let score = grid[rows * cols - 1];
+        let columns = traceback_from(&grid, cols, sigma, u, v);
+        self.put_grid(grid);
+        (score, columns)
     }
 
     /// Banded `P_score` into reused buffers; bit-identical to

@@ -6,11 +6,17 @@
 
 use fragalign_align::{
     align_words, lossless_band, ms_words, p_score, p_score_banded, p_score_wavefront,
-    p_score_wavefront_with, DpMatrix, DpWorkspace, ScoreOracle,
+    p_score_wavefront_with, DpMatrix, DpWorkspace, KernelMode, ScoreOracle, KERNEL_BLOCK,
 };
 use fragalign_model::symbol::reverse_word;
 use fragalign_model::{FragId, Fragment, Instance, Orient, ScoreTable, Site, Sym};
 use proptest::prelude::*;
+
+const ALL_MODES: [KernelMode; 3] = [
+    KernelMode::Scalar,
+    KernelMode::Profiled,
+    KernelMode::ProfiledBlocked,
+];
 
 /// Random σ including negative entries and a non-zero default score
 /// (the workspace shortcuts must stay exact when every absent pair
@@ -86,6 +92,35 @@ proptest! {
             ws.p_score_banded(&sigma, &u, &v, lossless_band(u.len(), v.len())),
             reference
         );
+        // Forced kernel modes through the same dirty workspace.
+        for mode in ALL_MODES {
+            prop_assert_eq!(ws.p_score_kernel(&sigma, &u, &v, mode), reference, "{mode:?}");
+        }
+        // Workspace traceback path: same score, same columns as the
+        // allocating free function.
+        let (free_score, free_cols) = align_words(&sigma, &u, &v);
+        let (ws_score, ws_cols) = ws.align_words(&sigma, &u, &v);
+        prop_assert_eq!(ws_score, free_score);
+        prop_assert_eq!(ws_cols, free_cols);
+    }
+
+    /// The profiled kernels on degenerate alphabets: every row symbol
+    /// identical (one profile row serving every DP row), with mixed
+    /// orientation flags and both operand orders.
+    #[test]
+    fn profiled_kernels_on_degenerate_alphabets(
+        sigma in sigma_strategy(),
+        revs_u in prop::collection::vec(any::<bool>(), 0..40),
+        revs_v in prop::collection::vec(any::<bool>(), 0..40),
+        uid in 0u32..6, vid in 0u32..6,
+    ) {
+        let u: Vec<Sym> = revs_u.iter().map(|&r| Sym { id: uid, rev: r }).collect();
+        let v: Vec<Sym> = revs_v.iter().map(|&r| Sym { id: 100 + vid, rev: r }).collect();
+        let reference = p_score(&sigma, &u, &v);
+        let mut ws = DpWorkspace::new();
+        for mode in ALL_MODES {
+            prop_assert_eq!(ws.p_score_kernel(&sigma, &u, &v, mode), reference, "{mode:?}");
+        }
     }
 
     /// Orientation search: the workspace `MS` (scan + early exit +
@@ -215,5 +250,138 @@ fn wavefront_paths_agree_beyond_cutoff() {
         let reference = p_score(&sigma, &u, &v);
         assert_eq!(p_score_wavefront(&sigma, &u, &v), reference);
         assert_eq!(p_score_wavefront_with(&sigma, &u, &v, &mut ws), reference);
+    }
+}
+
+/// Deterministic word over a small alphabet with mixed orientations.
+fn mixed_word(seed: u64, len: usize, base: u32) -> Vec<Sym> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            Sym {
+                id: base + (state % 6) as u32,
+                rev: state.is_multiple_of(3),
+            }
+        })
+        .collect()
+}
+
+fn dense_sigma() -> ScoreTable {
+    let mut sigma = ScoreTable::new();
+    for a in 0..6u32 {
+        for b in 0..6u32 {
+            let m = if (a + b) % 2 == 0 {
+                Sym::rev(100 + b)
+            } else {
+                Sym::fwd(100 + b)
+            };
+            sigma.set(Sym::fwd(a), m, ((a * 5 + b * 3) % 9) as i64 - 3);
+        }
+    }
+    sigma.default_score = -1;
+    sigma
+}
+
+/// The blocked kernel at column widths straddling the block boundary:
+/// `KERNEL_BLOCK ± 1`, exactly `KERNEL_BLOCK`, and the two-block
+/// boundary `2·KERNEL_BLOCK ± 1` — the off-by-one shapes a fixed-width
+/// blocking bug would corrupt. Small proptest words never reach these
+/// widths, so they are pinned here.
+#[test]
+fn blocked_kernel_straddles_block_boundaries() {
+    let sigma = dense_sigma();
+    let mut ws = DpWorkspace::new();
+    for lv in [
+        KERNEL_BLOCK - 1,
+        KERNEL_BLOCK,
+        KERNEL_BLOCK + 1,
+        2 * KERNEL_BLOCK - 1,
+        2 * KERNEL_BLOCK + 1,
+    ] {
+        // Column word longer than the row word so the internal
+        // shorter-word swap keeps `lv` on the column axis.
+        let u = mixed_word(3, 60, 0);
+        let v = mixed_word(lv as u64, lv, 100);
+        let reference = p_score(&sigma, &u, &v);
+        for mode in ALL_MODES {
+            assert_eq!(
+                ws.p_score_kernel(&sigma, &u, &v, mode),
+                reference,
+                "cols {lv} mode {mode:?}"
+            );
+        }
+    }
+}
+
+/// Stale-tail regression: run a wide fill, then strictly narrower
+/// fills through every kernel entry point on the *same* workspace.
+/// Any kernel that trusts a buffer cell it did not rewrite for the
+/// current width reads the wide fill's leftovers and diverges from a
+/// fresh-workspace reference. (Audit note: `fill_rolling` zeroes
+/// `prev[..cols]` and writes `cur[..cols]` before reading;
+/// `fill_banded` writes each row window before the next row reads it;
+/// the profiled kernels zero `prev`, `carry`, and the per-block base
+/// row — this test pins all of that against regression.)
+#[test]
+fn shrinking_buffers_never_leak_stale_tails() {
+    let sigma = dense_sigma();
+    let mut ws = DpWorkspace::new();
+    // Wide fill: bigger than everything that follows, filling
+    // prev/cur/carry/grid/profile with large-problem leftovers.
+    let wide_u = mixed_word(11, 90, 0);
+    let wide_v = mixed_word(12, 2 * KERNEL_BLOCK + 50, 100);
+    let _ = ws.p_score_kernel(&sigma, &wide_u, &wide_v, KernelMode::ProfiledBlocked);
+    let _ = ws.align_words(&sigma, &wide_u, &mixed_word(13, 70, 100));
+
+    for (seed, lu, lv) in [
+        (1u64, 9, 60),
+        (2, 17, 5),
+        (3, 1, 1),
+        (4, 40, KERNEL_BLOCK + 3),
+    ] {
+        let u = mixed_word(seed * 7 + 1, lu, 0);
+        let v = mixed_word(seed * 7 + 2, lv, 100);
+        let reference = p_score(&sigma, &u, &v);
+        for mode in ALL_MODES {
+            assert_eq!(
+                ws.p_score_kernel(&sigma, &u, &v, mode),
+                reference,
+                "{lu}x{lv} {mode:?}"
+            );
+        }
+        assert_eq!(ws.p_score(&sigma, &u, &v), reference);
+        assert_eq!(ws.p_score_auto(&sigma, &u, &v), reference);
+        assert_eq!(
+            ws.p_score_banded(&sigma, &u, &v, lossless_band(u.len(), v.len())),
+            reference,
+            "banded {lu}x{lv}"
+        );
+        assert_eq!(ws.ms_words(&sigma, &u, &v), ms_words(&sigma, &u, &v));
+        let (score, cols) = ws.align_words(&sigma, &u, &v);
+        let (free_score, free_cols) = align_words(&sigma, &u, &v);
+        assert_eq!(score, free_score, "align_words score {lu}x{lv}");
+        assert_eq!(cols, free_cols, "align_words columns {lu}x{lv}");
+    }
+
+    // The oracle sweep through the same (adopted) workspace: interval
+    // tables after the wide fill must match a fresh oracle's.
+    let inst = Instance {
+        h: vec![Fragment::new("h0", mixed_word(21, 7, 0))],
+        m: vec![Fragment::new("m0", mixed_word(22, 9, 100))],
+        sigma: dense_sigma(),
+        alphabet: Default::default(),
+    };
+    let dirty = ScoreOracle::new(&inst);
+    dirty.adopt_workspace(ws);
+    let fresh = ScoreOracle::new(&inst);
+    let a = dirty.interval_table(FragId::h(0), FragId::m(0));
+    let b = fresh.interval_table(FragId::h(0), FragId::m(0));
+    for d in 0..=9 {
+        for e in d..=9 {
+            assert_eq!(a.get(d, e), b.get(d, e), "interval [{d},{e})");
+        }
     }
 }

@@ -15,10 +15,13 @@
 //!   stops at the same round on every machine and thread count);
 //! * a shared best-score board implements **bound cancellation**:
 //!   when a racer finishes at the instance's provable score upper
-//!   bound ([`Instance::score_upper_bound`]), every racer at a later
-//!   race position is cancelled — it could at best tie, and ties
-//!   lose to the earlier position, so killing it can never change the
-//!   winner;
+//!   bound ([`Instance::score_upper_bound`] — the greedy assignment
+//!   relaxation over σ, much tighter than the old min-mass × σ_max
+//!   bound on heterogeneous tables, so racers retire earlier and the
+//!   `racers[]` telemetry shows more `outraced` entries), every racer
+//!   at a later race position is cancelled — it could at best tie,
+//!   and ties lose to the earlier position, so killing it can never
+//!   change the winner;
 //! * cancelled improvement racers return their best-so-far consistent
 //!   result (the loop is anytime), which still competes: with
 //!   work-cap budgets the whole race stays bit-deterministic.

@@ -12,6 +12,7 @@ use crate::site::Site;
 use crate::symbol::Sym;
 use crate::Score;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// A CSR problem instance `(H, M, σ)`.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
@@ -75,20 +76,67 @@ impl Instance {
         h.min(m).max(1)
     }
 
-    /// A cheap, sound upper bound on the total score of *any*
-    /// consistent match set: a consistent set occupies disjoint sites
-    /// per species, so across all its matches at most
-    /// `min(|H regions|, |M regions|)` region pairs are aligned, and
-    /// an optimal alignment never takes a pair scoring below the
-    /// table's largest entry when it could take a gap instead (gaps
-    /// cost nothing), so each aligned pair contributes at most
-    /// `max(σ_max, 0)`. A solver that reaches this bound is provably
-    /// optimal — the portfolio uses that to retire racers that can no
-    /// longer win. Pairs without an explicit σ entry fall back to
-    /// [`ScoreTable::default_score`], so the per-pair maximum covers
-    /// the default too; otherwise a positive default would make the
-    /// bound undercount.
+    /// A sound upper bound on the total score of *any* consistent
+    /// match set, by greedy assignment relaxation over σ.
+    ///
+    /// The total score of a match set is a sum of aligned-column
+    /// scores in which every region *occurrence* of either species
+    /// appears at most once (matches occupy disjoint sites per
+    /// species, and within a match each symbol sits in one column).
+    /// Relax the consistency constraints entirely and let every
+    /// occurrence independently pick its best admissible partner:
+    /// occurrence of region `r` on the H side contributes at most
+    /// `max(best σ entry touching r as H side, default_score, 0)` —
+    /// the `default_score` because unlisted partners score it, the `0`
+    /// because a gap is free and an optimal alignment never keeps a
+    /// negative column. Summing per side (saturating) and taking the
+    /// smaller side bounds every consistent match set from above —
+    /// each column is counted once on each side, so both sums
+    /// dominate the true total.
+    ///
+    /// Always ≤ the naive min-mass × σ_max bound
+    /// ([`Instance::score_upper_bound_naive`]): each per-region best
+    /// is ≤ the global per-pair maximum. On heterogeneous tables it is
+    /// far tighter, which is what lets the portfolio's best-score
+    /// board retire racers early — a solver that reaches this bound is
+    /// provably optimal.
     pub fn score_upper_bound(&self) -> Score {
+        let default = self.sigma.default_score.max(0);
+        let mut best_h: HashMap<u32, Score> = HashMap::new();
+        let mut best_m: HashMap<u32, Score> = HashMap::new();
+        // Orientation is a free choice per match, so the per-region
+        // best ranges over both orientations.
+        for (a, b, _orient, s) in self.sigma.iter() {
+            let e = best_h.entry(a).or_insert(s);
+            *e = (*e).max(s);
+            let e = best_m.entry(b).or_insert(s);
+            *e = (*e).max(s);
+        }
+        let side = |frags: &[Fragment], best: &HashMap<u32, Score>| -> Score {
+            let mut sum: Score = 0;
+            for f in frags {
+                for sym in &f.regions {
+                    let per = best
+                        .get(&sym.id)
+                        .copied()
+                        .map_or(default, |b| b.max(default));
+                    // Saturate: a huge synthetic instance must clamp
+                    // to Score::MAX rather than wrap negative, which
+                    // would let the portfolio retire racers against a
+                    // bound nothing can reach.
+                    sum = sum.saturating_add(per);
+                }
+            }
+            sum
+        };
+        side(&self.h, &best_h).min(side(&self.m, &best_m))
+    }
+
+    /// The pre-relaxation bound: min region mass × the best per-pair
+    /// score. Kept as the comparison baseline for the bound-tightness
+    /// assertions in `exp_kernel` and the bound proptests;
+    /// [`Instance::score_upper_bound`] is always at least as tight.
+    pub fn score_upper_bound_naive(&self) -> Score {
         let per_pair = self
             .sigma
             .max_score()
@@ -97,9 +145,6 @@ impl Instance {
             .max(0);
         let h: usize = self.h.iter().map(Fragment::len).sum();
         let m: usize = self.m.iter().map(Fragment::len).sum();
-        // Saturate: a huge synthetic instance must clamp to Score::MAX
-        // rather than wrap negative, which would let the portfolio
-        // retire racers against a bound nothing can reach.
         (h.min(m) as Score).saturating_mul(per_pair)
     }
 
@@ -253,33 +298,37 @@ mod tests {
     #[test]
     fn score_upper_bound_is_sound() {
         let inst = paper_example();
-        // min(4 H regions, 4 M regions) × the largest σ entry (5).
-        assert_eq!(inst.score_upper_bound(), 4 * 5);
+        // Assignment relaxation: per-region bests a=4, b=3, c=5, d=2
+        // on the H side (sum 14) and s=4, t=3, u=5, v=2 on the M side
+        // (sum 14) — tighter than the naive 4 × 5 = 20, and ≥ the
+        // true optimum 11.
+        assert_eq!(inst.score_upper_bound(), 14);
+        assert_eq!(inst.score_upper_bound_naive(), 4 * 5);
+        assert!(inst.score_upper_bound() <= inst.score_upper_bound_naive());
         // A positive default score backs every unlisted pair, so it
-        // must raise the per-pair maximum too.
+        // must raise every per-region best too.
         let mut defaulted = paper_example();
         defaulted.sigma.default_score = 9;
         assert_eq!(defaulted.score_upper_bound(), 4 * 9);
+        assert_eq!(defaulted.score_upper_bound_naive(), 4 * 9);
         // An all-negative table bounds at 0 (aligning nothing is free).
         let mut negative = paper_example();
         negative.sigma = ScoreTable::new();
         negative.sigma.default_score = -2;
         assert_eq!(negative.score_upper_bound(), 0);
+        assert_eq!(negative.score_upper_bound_naive(), 0);
     }
 
     #[test]
     fn score_upper_bound_saturates_instead_of_wrapping() {
-        // With per-pair scores near Score::MAX, the old unchecked
-        // `count * per_pair` wrapped negative — an upper bound below
-        // every real score, which would retire portfolio racers that
-        // could still win. The bound must clamp at Score::MAX.
+        // With per-pair scores near Score::MAX, an unchecked sum
+        // wraps negative — an upper bound below every real score,
+        // which would retire portfolio racers that could still win.
+        // Both bounds must clamp at Score::MAX.
         let mut inst = paper_example();
         inst.sigma.default_score = Score::MAX;
-        let bound = inst.score_upper_bound();
-        assert_eq!(bound, Score::MAX);
-        // Still an upper bound: no larger than saturation, and at
-        // least one aligned pair's worth.
-        assert!(bound >= Score::MAX / 4);
+        assert_eq!(inst.score_upper_bound(), Score::MAX);
+        assert_eq!(inst.score_upper_bound_naive(), Score::MAX);
     }
 
     #[test]

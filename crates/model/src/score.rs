@@ -11,6 +11,7 @@ use crate::symbol::{RegionId, Sym};
 use crate::Score;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// Relative orientation of the two sides of a match or region pair.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -83,6 +84,11 @@ pub struct ScoreTable {
     entries: HashMap<(RegionId, RegionId, Orient), Score>,
     /// Score of region pairs with no table entry.
     pub default_score: Score,
+    /// Lazily computed largest explicit score, reset by every
+    /// [`ScoreTable::set`]. `Instance::score_upper_bound` sits on the
+    /// portfolio's per-solve path, so the entry map must not be
+    /// rescanned per call.
+    max_cache: OnceLock<Option<Score>>,
 }
 
 /// Wire format of [`ScoreTable`].
@@ -101,6 +107,7 @@ impl From<ScoreTableWire> for ScoreTable {
                 .map(|(a, b, o, s)| ((a, b, o), s))
                 .collect(),
             default_score: w.default_score,
+            max_cache: OnceLock::new(),
         }
     }
 }
@@ -131,6 +138,7 @@ impl ScoreTable {
     pub fn set(&mut self, a: Sym, b: Sym, score: Score) {
         self.entries
             .insert((a.id, b.id, Orient::between(a, b)), score);
+        self.max_cache = OnceLock::new();
     }
 
     /// Look up `σ(a, b)` where `a` is an H-side occurrence and `b` an
@@ -168,9 +176,12 @@ impl ScoreTable {
     }
 
     /// The largest explicit score (useful for normalisation); `None`
-    /// if the table is empty.
+    /// if the table is empty. Computed on first call and cached until
+    /// the next [`ScoreTable::set`].
     pub fn max_score(&self) -> Option<Score> {
-        self.entries.values().copied().max()
+        *self
+            .max_cache
+            .get_or_init(|| self.entries.values().copied().max())
     }
 
     /// Return a copy with every score truncated down to a multiple of
@@ -185,6 +196,7 @@ impl ScoreTable {
         ScoreTable {
             entries,
             default_score: self.default_score.div_euclid(quantum) * quantum,
+            max_cache: OnceLock::new(),
         }
     }
 }
@@ -253,5 +265,21 @@ mod tests {
         t.set(Sym::fwd(0), Sym::fwd(1), 4);
         t.set(Sym::fwd(1), Sym::fwd(1), 9);
         assert_eq!(t.max_score(), Some(9));
+    }
+
+    #[test]
+    fn max_score_cache_invalidated_by_set() {
+        let mut t = ScoreTable::new();
+        t.set(Sym::fwd(0), Sym::fwd(1), 4);
+        assert_eq!(t.max_score(), Some(4), "prime the cache");
+        t.set(Sym::fwd(2), Sym::fwd(1), 11);
+        assert_eq!(t.max_score(), Some(11), "set must drop the cache");
+        t.set(Sym::fwd(2), Sym::fwd(1), 1);
+        assert_eq!(t.max_score(), Some(4), "overwrites can lower the max");
+        // Clones and serde round-trips see the same values.
+        assert_eq!(t.clone().max_score(), Some(4));
+        let json = serde_json::to_string(&t).unwrap();
+        let back: ScoreTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.max_score(), Some(4));
     }
 }
