@@ -58,6 +58,7 @@ use crate::oracle::ScoreOracle;
 use fragalign_model::conjecture::PairAssembler;
 use fragalign_model::symbol::reverse_word;
 use fragalign_model::{FragId, Instance, MatchSet, Orient, Score, Species, Sym};
+use fragalign_obs::span;
 use std::collections::HashMap;
 
 /// Tuning knobs of the chaining pipeline. See the module docs for the
@@ -453,9 +454,16 @@ pub fn solve_chain_with_params(oracle: &ScoreOracle<'_>, params: &ChainParams) -
         .iter()
         .flat_map(|f| f.regions.iter().copied())
         .collect();
-    let index = AnchorIndex::build(inst, &concat_m);
+    let trace = oracle.trace().clone();
+    let index = {
+        let mut sp = span!(trace, "anchor_index");
+        let index = AnchorIndex::build(inst, &concat_m);
+        sp.set_args(total as i64, 0);
+        index
+    };
 
     // Per H fragment: chain both laid orientations, keep the better.
+    let mut chain_span = span!(trace, "chaining");
     let mut claims: Vec<Claim> = Vec::new();
     for (h_index, frag) in inst.h.iter().enumerate() {
         if frag.is_empty() || total == 0 {
@@ -485,7 +493,17 @@ pub fn solve_chain_with_params(oracle: &ScoreOracle<'_>, params: &ChainParams) -
         }
     }
 
-    let windows = pad_windows(&select_disjoint(claims), params.margin, total);
+    chain_span.set_args(claims.len() as i64, 0);
+    drop(chain_span);
+
+    let windows = {
+        let mut sp = span!(trace, "window_select");
+        let windows = pad_windows(&select_disjoint(claims), params.margin, total);
+        sp.set_args(windows.len() as i64, 0);
+        windows
+    };
+    let mut dp_span = span!(trace, "window_dp");
+    dp_span.set_args(windows.len() as i64, 0);
 
     // Materialise: concat-M in order on the M row, each chained
     // fragment DP-aligned inside its window, unmatched M cells and
@@ -542,6 +560,8 @@ pub fn solve_chain_with_params(oracle: &ScoreOracle<'_>, params: &ChainParams) -
             asm.push(Some((f, i, false)), None);
         }
     }
+    drop(dp_span);
+    let _assemble = span!(trace, "assemble");
     let pair = asm.finish();
     debug_assert!(pair.validate(inst).is_ok(), "{:?}", pair.validate(inst));
     pair.derive_matches(inst)

@@ -20,6 +20,7 @@ use crate::kernel::{fill_profiled, KERNEL_BLOCK};
 use crate::workspace::DpWorkspace;
 use fragalign_model::symbol::reverse_word_in_place;
 use fragalign_model::{FragId, Instance, Orient, Score, Site, Sym};
+use fragalign_obs::TraceHandle;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -149,6 +150,11 @@ pub struct ScoreOracle<'a> {
     /// serialise on this lock.
     workspaces: Mutex<Vec<DpWorkspace>>,
     reuse: bool,
+    /// Span sink for phase timing; disabled (inert) by default. The
+    /// oracle carries the handle so DP-layer phases (table sweeps,
+    /// chain window fills) can trace without threading a parameter
+    /// through every solver signature.
+    trace: TraceHandle,
     /// Hit/miss counters.
     pub stats: OracleStats,
 }
@@ -170,8 +176,22 @@ impl<'a> ScoreOracle<'a> {
             oriented: RwLock::new(HashMap::new()),
             workspaces: Mutex::new(Vec::new()),
             reuse,
+            trace: TraceHandle::disabled(),
             stats: OracleStats::default(),
         }
+    }
+
+    /// Attach a trace handle; all subsequent DP phases record spans
+    /// through it. Tracing is observational only — the same fills run
+    /// either way.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
+    /// The oracle's trace handle (disabled unless
+    /// [`ScoreOracle::set_trace`] was called).
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
     }
 
     /// The instance the oracle scores.
@@ -260,6 +280,7 @@ impl<'a> ScoreOracle<'a> {
         let w_raw = &self.inst.fragment(container).regions;
         let n = w_raw.len();
         let h_first = plug.species == fragalign_model::Species::H;
+        let mut table_span = self.trace.span("table_fill");
 
         // σ must see (H symbol, M symbol): when the plug is the M
         // fragment the lookup roles are swapped per cell. The tables
@@ -276,7 +297,7 @@ impl<'a> ScoreOracle<'a> {
         // container word serves all n+1 suffix fills via a column
         // offset — the per-fill cost of going hash-free amortises to
         // zero, so the sweep profiles regardless of fill size.
-        let sweep = |ws: &mut DpWorkspace, w: &[Sym], out: &mut [Score]| {
+        let sweep = |ws: &mut DpWorkspace, w: &[Sym], out: &mut [Score]| -> bool {
             let generation = ws.profile.build(sigma, u_raw, w, !h_first);
             if generation.is_some() {
                 ws.profile.map_rows(u_raw, &mut ws.row_map);
@@ -320,8 +341,9 @@ impl<'a> ScoreOracle<'a> {
                     out[d * (n + 1) + e] = ws.prev[e - d];
                 }
             }
+            generation.is_some()
         };
-        sweep(ws, w_raw, &mut score_same);
+        let profiled = sweep(ws, w_raw, &mut score_same);
 
         // Reversed orientation: (w[d..e])^R = w^R[n-e..n-d]; fill a
         // table over w^R into the workspace grid and re-index.
@@ -338,6 +360,9 @@ impl<'a> ScoreOracle<'a> {
             }
         }
         ws.put_grid(rev_table);
+
+        table_span.set_label(if profiled { "profiled" } else { "scalar" });
+        table_span.set_args(n as i64, 2 * (n as i64 + 1));
 
         IntervalTable {
             n,

@@ -1,7 +1,7 @@
 //! `fragalign` — solve CSR instances from the command line.
 //!
 //! ```text
-//! fragalign solve  [--algo NAME] [--scaling] [--threads N] [--report json] <instance.json|->
+//! fragalign solve  [--algo NAME] [--scaling] [--threads N] [--report json] [--trace out.json] <instance.json|->
 //! fragalign solve  --batch [--algo NAME] [--scaling] [--threads N] [--report json] <dir|instances.jsonl>
 //! fragalign serve  [--addr A] [--workers N] [--queue-depth N] [--cache-mb N] [--default-solver NAME]
 //! fragalign gen    [--channel C] [--regions N] [--seed S] [channel knobs...]
@@ -17,7 +17,10 @@
 //!   telemetry record instead of the human-readable layout;
 //!   `--threads N` runs the solve on a dedicated N-thread pool
 //!   (`0`, the default, uses one thread per core — results are
-//!   bit-identical at any width).
+//!   bit-identical at any width); `--trace out.json` records the
+//!   solve's phase/racer timeline and writes it as a Chrome
+//!   trace-event file (open in `chrome://tracing` or Perfetto) —
+//!   tracing never changes results.
 //! * `solve --batch` reads many instances — every `*.json` file of a
 //!   directory, or one JSON instance per line of a `.jsonl` file — and
 //!   solves them all through the batch pipeline (one summary line per
@@ -57,7 +60,7 @@ fn algo_names() -> String {
 fn usage() -> ExitCode {
     let names = algo_names();
     eprintln!(
-        "usage:\n  fragalign solve [--algo {names}] [--scaling] [--threads N] [--report json] <instance.json|->\n  fragalign solve --batch [--algo {names}] [--scaling] [--threads N] [--report json] <dir|instances.jsonl>\n  fragalign serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--cache-mb N] [--default-solver {names}]\n  fragalign gen [--channel clean|torn|soup|mega|singletons|desert] [--regions N] [--seed S]\n                [--h-frags N] [--m-frags N] [--noise X]           (clean; noise also soup)\n                [--tear-rate X] [--drop-rate X] [--dup-rate X]    (torn)\n                [--read-len N] [--coverage X] [--sub-rate X]      (soup)\n  fragalign demo\n  fragalign solvers"
+        "usage:\n  fragalign solve [--algo {names}] [--scaling] [--threads N] [--report json] [--trace out.json] <instance.json|->\n  fragalign solve --batch [--algo {names}] [--scaling] [--threads N] [--report json] <dir|instances.jsonl>\n  fragalign serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--cache-mb N] [--default-solver {names}]\n  fragalign gen [--channel clean|torn|soup|mega|singletons|desert] [--regions N] [--seed S]\n                [--h-frags N] [--m-frags N] [--noise X]           (clean; noise also soup)\n                [--tear-rate X] [--drop-rate X] [--dup-rate X]    (torn)\n                [--read-len N] [--coverage X] [--sub-rate X]      (soup)\n  fragalign demo\n  fragalign solvers"
     );
     ExitCode::from(2)
 }
@@ -222,19 +225,52 @@ fn report(inst: &Instance, matches: &MatchSet) {
     }
 }
 
-fn solve_cmd(algo: &str, scaling: bool, threads: usize, json: bool, inst: &Instance) -> ExitCode {
+fn solve_cmd(
+    algo: &str,
+    scaling: bool,
+    threads: usize,
+    json: bool,
+    trace_path: Option<&str>,
+    inst: &Instance,
+) -> ExitCode {
     let opts = EngineOptions {
         scaling,
         threads,
         ..EngineOptions::default()
     };
-    let run = match SolverRegistry::global().solve(algo, inst, opts) {
+    let sink = trace_path.map(|_| core::obs::TraceSink::new());
+    let trace = sink
+        .as_ref()
+        .map_or_else(core::obs::TraceHandle::disabled, |s| {
+            core::obs::TraceHandle::new(std::sync::Arc::clone(s))
+        });
+    let mut ws = fragalign_align::DpWorkspace::new();
+    let run = match SolverRegistry::global().solve_traced(
+        algo,
+        inst,
+        opts,
+        &mut ws,
+        core::CancelToken::never(),
+        trace,
+    ) {
         Ok(run) => run,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if let (Some(path), Some(sink)) = (trace_path, sink) {
+        let log = sink.drain();
+        if let Err(e) = std::fs::write(path, log.to_chrome_json()) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "trace: {} events ({} dropped) -> {path} (load in chrome://tracing or Perfetto)",
+            log.events.len(),
+            log.dropped
+        );
+    }
     if json {
         return match serde_json::to_string_pretty(&run.report) {
             Ok(s) => {
@@ -375,7 +411,7 @@ fn main() -> ExitCode {
         "demo" => {
             let inst = fragalign_model::instance::paper_example();
             println!("instance: the paper's Fig. 2 example");
-            solve_cmd("csr", false, 0, false, &inst)
+            solve_cmd("csr", false, 0, false, None, &inst)
         }
         "solvers" => {
             print!("{}", SolverRegistry::global().markdown_table());
@@ -388,12 +424,17 @@ fn main() -> ExitCode {
             let mut threads = 0usize;
             let mut batch = false;
             let mut json = false;
+            let mut trace: Option<String> = None;
             let mut path: Option<String> = None;
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--algo" => match it.next() {
                         Some(v) => algo = v.clone(),
+                        None => return usage(),
+                    },
+                    "--trace" => match it.next() {
+                        Some(v) => trace = Some(v.clone()),
                         None => return usage(),
                     },
                     "--report" => match it.next().map(String::as_str) {
@@ -413,6 +454,10 @@ fn main() -> ExitCode {
             }
             let Some(path) = path else { return usage() };
             if batch {
+                if trace.is_some() {
+                    eprintln!("error: --trace applies to single solves, not --batch");
+                    return usage();
+                }
                 return solve_batch_cmd(&algo, scaling, threads, json, &path);
             }
             let inst = match read_instance(&path) {
@@ -422,7 +467,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            solve_cmd(&algo, scaling, threads, json, &inst)
+            solve_cmd(&algo, scaling, threads, json, trace.as_deref(), &inst)
         }
         "gen" => {
             // Flags are parsed channel-agnostically and folded into

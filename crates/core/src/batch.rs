@@ -12,7 +12,9 @@
 //! to per-instance sequential solves. Any registered solver batches,
 //! including `one-csr`, `exact`, and `portfolio`.
 
-use crate::engine::{EngineError, EngineOptions, SolveReport, SolverRegistry};
+use crate::engine::{
+    CancelToken, EngineError, EngineOptions, SolveReport, SolverRegistry, TraceHandle,
+};
 use fragalign_align::DpWorkspace;
 use fragalign_model::{Instance, MatchSet, Score};
 use fragalign_par::par_map_ordered_init;
@@ -75,7 +77,27 @@ pub fn solve_single_report(
     opts: &BatchOptions,
     ws: &mut DpWorkspace,
 ) -> Result<(BatchSolution, SolveReport), EngineError> {
-    let run = SolverRegistry::global().solve_with_workspace(&opts.solver, inst, opts.engine, ws)?;
+    solve_single_traced(inst, opts, ws, TraceHandle::disabled())
+}
+
+/// [`solve_single_report`] recording phase/racer spans through
+/// `trace` (the CLI's `--trace` flag and the service's `?trace=1`
+/// debug knob route through here). Tracing is observational only:
+/// results are bit-identical with any handle.
+pub fn solve_single_traced(
+    inst: &Instance,
+    opts: &BatchOptions,
+    ws: &mut DpWorkspace,
+    trace: TraceHandle,
+) -> Result<(BatchSolution, SolveReport), EngineError> {
+    let run = SolverRegistry::global().solve_traced(
+        &opts.solver,
+        inst,
+        opts.engine,
+        ws,
+        CancelToken::never(),
+        trace,
+    )?;
     Ok((
         BatchSolution {
             matches: run.matches,

@@ -28,6 +28,7 @@ mod router;
 mod solvers;
 
 pub use crate::cancel::{CancelCause, CancelToken};
+pub use fragalign_obs::{TraceHandle, TraceLog, TraceSink};
 pub use portfolio::{Portfolio, PortfolioConfig, RacerBudget};
 pub use registry::{SolverRegistry, SolverSpec};
 pub use router::{Auto, InstanceFeatures, Router, RouterRule};
@@ -82,6 +83,11 @@ pub struct SolveCtx<'a> {
     /// The run's stop signal; solvers poll it at round boundaries and
     /// return their best-so-far (consistent) result when it trips.
     pub cancel: CancelToken,
+    /// Span sink for phase/racer timelines; disabled (one branch per
+    /// span site, no clock reads) unless [`SolveCtx::set_trace`] was
+    /// called. Tracing is observational only — results are
+    /// bit-identical with it on or off (test-enforced).
+    pub trace: TraceHandle,
 }
 
 impl<'a> SolveCtx<'a> {
@@ -97,7 +103,15 @@ impl<'a> SolveCtx<'a> {
             oracle: ScoreOracle::with_workspace_reuse(inst, opts.reuse_workspaces),
             opts,
             cancel,
+            trace: TraceHandle::disabled(),
         }
+    }
+
+    /// Attach a trace handle to this context (and its oracle, so
+    /// DP-layer phases share the sink without signature changes).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.oracle.set_trace(trace.clone());
+        self.trace = trace;
     }
 
     /// The instance this context solves.
@@ -215,6 +229,11 @@ pub struct RacerReport {
     /// [`CancelCause`] name (`"deadline"`, `"work-cap"`, `"outraced"`,
     /// …) it stopped for.
     pub cancelled: Option<String>,
+    /// Committed improvement rounds inside this racer (0 for one-shot
+    /// racers).
+    pub rounds: usize,
+    /// Candidate attempts the racer evaluated (0 for one-shot racers).
+    pub attempts: usize,
     /// Wall-clock seconds the racer ran.
     pub wall_secs: f64,
 }

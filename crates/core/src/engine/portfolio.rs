@@ -265,7 +265,14 @@ impl Solver for Portfolio {
         // registry position below, so the result is identical for
         // every routing table (and equal to a sequential
         // registry-order race).
-        let routed = self.router.route(inst, &opts);
+        let (routed, rule, feats) = self.router.route_explain(inst, &opts);
+        ctx.trace.instant(
+            "route_features",
+            rule,
+            feats.total_regions() as i64,
+            feats.sigma_entries as i64,
+        );
+        ctx.trace.instant("routed", routed, 0, 0);
         let routed_by = racers
             .iter()
             .any(|m| m.spec.name == routed)
@@ -290,11 +297,19 @@ impl Solver for Portfolio {
         let board = &board;
         let tokens_ref = &tokens;
         let racers_ref = &racers;
+        let trace = ctx.trace.clone();
         let dispatched = par_map_ordered(order.clone(), move |idx: usize| {
             let member = racers_ref[idx];
+            // Each racer gets its own timeline lane (track 0 is the
+            // engine): a portfolio Chrome trace renders as parallel
+            // racer rows with spawn → retire/finish visible per lane.
+            let rt = trace.with_track(idx as u16 + 1);
+            rt.instant("spawn", member.spec.name, idx as i64, 0);
+            let mut racer_span = rt.span_labeled("racer", member.spec.name);
             let t0 = Instant::now();
             let token = tokens_ref[idx].clone();
             let mut sub = SolveCtx::with_cancel(inst, opts, token.clone());
+            sub.set_trace(rt.clone());
             let out = member.solver.solve(inst, &mut sub);
             let wall = t0.elapsed().as_secs_f64();
             // Capture the cancel cause at the moment the racer exits:
@@ -306,9 +321,21 @@ impl Solver for Portfolio {
             let cause = out
                 .cancelled
                 .then(|| token.cause().unwrap_or(CancelCause::Requested).name());
-            if !out.cancelled {
-                board.complete(idx, out.matches.total_score());
+            let score = out.matches.total_score();
+            if let Some(cause) = cause {
+                rt.instant("cancel", cause, score, 0);
             }
+            if !out.cancelled {
+                board.complete(idx, score);
+                if score >= board.upper_bound {
+                    // The marker that explains later racers' "outraced"
+                    // cancels: this racer hit the provable bound (a0 =
+                    // score, a1 = bound).
+                    rt.instant("bound_retire", member.spec.name, score, board.upper_bound);
+                }
+            }
+            racer_span.set_args(score, out.attempts as i64);
+            drop(racer_span);
             (out, cause, sub.oracle.stats.snapshot(), wall)
         });
         // Dispatch order was the router's; winner selection runs in
@@ -334,6 +361,8 @@ impl Solver for Portfolio {
                 name: racers[idx].spec.name.to_owned(),
                 score: out.matches.total_score(),
                 cancelled: cause.map(str::to_owned),
+                rounds: out.rounds,
+                attempts: out.attempts,
                 wall_secs: wall,
             });
             // Cancelled racers still compete with their best-so-far

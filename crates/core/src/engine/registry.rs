@@ -6,7 +6,7 @@
 use super::solvers::{BorderMatching, Chain, Exact, FourApprox, Greedy, Improve, OneCsr};
 use super::{
     CancelToken, EngineError, EngineOptions, Portfolio, SolveCtx, SolveOutcome, SolveReport,
-    SolveRun, Solver,
+    SolveRun, Solver, TraceHandle,
 };
 use crate::MethodSet;
 use fragalign_align::DpWorkspace;
@@ -219,6 +219,23 @@ impl SolverRegistry {
         ws: &mut DpWorkspace,
         cancel: CancelToken,
     ) -> Result<SolveRun, EngineError> {
+        self.solve_traced(name, inst, opts, ws, cancel, TraceHandle::disabled())
+    }
+
+    /// [`SolverRegistry::solve_cancellable`] recording phase/racer
+    /// spans through `trace`. Tracing is observational only: the
+    /// solve's result and report counters are bit-identical whether
+    /// the handle is enabled or disabled (the trace suite enforces
+    /// this).
+    pub fn solve_traced(
+        &self,
+        name: &str,
+        inst: &Instance,
+        opts: EngineOptions,
+        ws: &mut DpWorkspace,
+        cancel: CancelToken,
+        trace: TraceHandle,
+    ) -> Result<SolveRun, EngineError> {
         let spec = self.spec(name)?;
         let solver = spec.build();
         solver
@@ -228,9 +245,13 @@ impl SolverRegistry {
                 reason,
             })?;
         let mut ctx = SolveCtx::with_cancel(inst, opts, cancel);
+        if trace.is_enabled() {
+            ctx.set_trace(trace);
+        }
         if opts.reuse_workspaces {
             ctx.oracle.adopt_workspace(std::mem::take(ws));
         }
+        let mut solve_span = ctx.trace.span_labeled("solve", spec.name);
         let start = Instant::now();
         let out = if opts.threads > 0 {
             let solver = &solver;
@@ -240,6 +261,8 @@ impl SolverRegistry {
             solver.solve(inst, &mut ctx)
         };
         let wall_secs = start.elapsed().as_secs_f64();
+        solve_span.set_args(out.matches.total_score(), out.attempts as i64);
+        drop(solve_span);
         if opts.reuse_workspaces {
             *ws = ctx.oracle.reclaim_workspace();
         }

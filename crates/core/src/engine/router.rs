@@ -204,6 +204,18 @@ impl Router {
     /// fallback (`csr` in the shipped table) supports every instance,
     /// so routing always succeeds.
     pub fn route(&self, inst: &Instance, opts: &EngineOptions) -> &'static str {
+        self.route_explain(inst, opts).0
+    }
+
+    /// [`Router::route`] plus the evidence: the matched rule's label
+    /// (`"fallback"` when no rule fired) and the features the decision
+    /// was made on. The trace layer emits these so a routed solve
+    /// shows *why* it was routed, not just where.
+    pub fn route_explain(
+        &self,
+        inst: &Instance,
+        opts: &EngineOptions,
+    ) -> (&'static str, &'static str, InstanceFeatures) {
         let f = InstanceFeatures::of(inst);
         let reg = SolverRegistry::global();
         for rule in &self.rules {
@@ -212,11 +224,11 @@ impl Router {
             }
             if let Ok(spec) = reg.spec(rule.solver) {
                 if spec.build().supports(inst, opts).is_ok() {
-                    return rule.solver;
+                    return (rule.solver, rule.label, f);
                 }
             }
         }
-        self.fallback
+        (self.fallback, "fallback", f)
     }
 }
 
@@ -298,7 +310,16 @@ impl Default for Auto {
 
 impl Solver for Auto {
     fn solve(&self, inst: &Instance, ctx: &mut SolveCtx<'_>) -> SolveOutcome {
-        let choice = self.router.route(inst, &ctx.opts);
+        let (choice, rule, feats) = self.router.route_explain(inst, &ctx.opts);
+        // Two markers: the features the decision saw, and the matched
+        // rule → solver. `args` carry the router's main size axes.
+        ctx.trace.instant(
+            "route_features",
+            rule,
+            feats.total_regions() as i64,
+            feats.sigma_entries as i64,
+        );
+        ctx.trace.instant("routed", choice, 0, 0);
         let spec = SolverRegistry::global()
             .spec(choice)
             .expect("router tables only name registered solvers");

@@ -56,6 +56,7 @@ impl Solver for FourApprox {
         if ctx.cancel.is_cancelled() {
             return preempted();
         }
+        let _sp = ctx.trace.span_labeled("phase", "factor4");
         SolveOutcome::from_matches(crate::solve_four_approx_with_oracle(&ctx.oracle))
     }
 }
@@ -68,6 +69,7 @@ impl Solver for Greedy {
         if ctx.cancel.is_cancelled() {
             return preempted();
         }
+        let _sp = ctx.trace.span_labeled("phase", "greedy");
         SolveOutcome::from_matches(crate::solve_greedy_with_oracle(&ctx.oracle))
     }
 }
@@ -80,6 +82,7 @@ impl Solver for BorderMatching {
         if ctx.cancel.is_cancelled() {
             return preempted();
         }
+        let _sp = ctx.trace.span_labeled("phase", "border-matching");
         SolveOutcome::from_matches(crate::border_matching_2approx_with_oracle(&ctx.oracle))
     }
 }
@@ -104,6 +107,7 @@ impl Solver for OneCsr {
         if ctx.cancel.is_cancelled() {
             return preempted();
         }
+        let _sp = ctx.trace.span_labeled("phase", "one-csr");
         SolveOutcome::from_matches(crate::solve_one_csr_with_oracle(&ctx.oracle))
     }
 }
@@ -137,6 +141,7 @@ impl Solver for Exact {
         if ctx.cancel.is_cancelled() {
             return preempted();
         }
+        let _sp = ctx.trace.span_labeled("phase", "exact-search");
         let sol = crate::solve_exact(inst, ctx.opts.exact_limits);
         SolveOutcome::from_matches(crate::exact::exact_matches(inst, &sol))
     }

@@ -135,11 +135,17 @@ pub fn improve_with_oracle_ctl(
     let mut attempts_evaluated = 0;
     let mut cancelled = false;
 
+    // The oracle carries the trace handle, so the round loop spans
+    // without a signature change; each committed round records its
+    // gain and attempt count in the span args.
+    let trace = oracle.trace().clone();
+
     while rounds < max_rounds {
         if ctl.is_cancelled() {
             cancelled = true;
             break;
         }
+        let mut round_span = trace.span("improve_round");
         let candidates = enumerate_attempts(oracle, &current, config.methods, budget);
         attempts_evaluated += candidates.len();
         ctl.charge(candidates.len() as u64);
@@ -172,6 +178,11 @@ pub fn improve_with_oracle_ctl(
             candidates.iter().enumerate().filter_map(evaluate).next()
         };
 
+        round_span.set_args(
+            best.as_ref().map_or(0, |(gain, _, _)| *gain),
+            candidates.len() as i64,
+        );
+        drop(round_span);
         let Some((_, idx, next)) = best else { break };
         if cfg!(debug_assertions) {
             if let Err(e) = check_consistency(inst, &next) {

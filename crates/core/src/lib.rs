@@ -33,16 +33,21 @@ pub mod one_csr;
 pub mod stats;
 pub mod ucsr;
 
+/// The tracing layer, re-exported whole so downstream crates use
+/// `fragalign_core::obs::{TraceSink, TraceHandle, ...}` without a
+/// direct `fragalign-obs` dependency.
+pub use fragalign_obs as obs;
+
 pub use batch::{
-    solve_batch, solve_batch_reports, solve_single, solve_single_report, BatchOptions,
-    BatchSolution,
+    solve_batch, solve_batch_reports, solve_single, solve_single_report, solve_single_traced,
+    BatchOptions, BatchSolution,
 };
 pub use border_matching::{border_matching_2approx, border_matching_2approx_with_oracle};
 pub use cancel::{CancelCause, CancelToken};
 pub use engine::{
     Auto, EngineError, EngineOptions, InstanceFeatures, Portfolio, PortfolioConfig, RacerBudget,
     RacerReport, Router, RouterRule, SolveCtx, SolveOutcome, SolveReport, SolveRun, Solver,
-    SolverRegistry, SolverSpec,
+    SolverRegistry, SolverSpec, TraceHandle, TraceLog, TraceSink,
 };
 pub use exact::{exact_matches, solve_exact, ExactLimits};
 pub use four_approx::{solve_four_approx, solve_four_approx_with_oracle};

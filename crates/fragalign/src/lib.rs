@@ -26,6 +26,9 @@
 //!   algorithm, the 3 + ε improvement algorithms, exact search, the
 //!   UCSR/CSoP reductions, and the solver engine (registry, uniform
 //!   telemetry, racing portfolio meta-solver, batch pipeline);
+//! * [`obs`] — the zero-dependency tracing layer: a lock-free span
+//!   sink, RAII span guards, and Chrome trace-event export, threaded
+//!   through every solver, the portfolio racers, and the service;
 //! * [`sim`] — a fragmented-genome simulator with ground truth;
 //! * [`par`] — parallel sweep utilities and speedup measurement;
 //! * [`serve`] — the concurrent HTTP alignment service: worker pool
@@ -53,6 +56,7 @@
 
 pub use fragalign_align as align;
 pub use fragalign_core as core;
+pub use fragalign_core::obs;
 pub use fragalign_graph as graph;
 pub use fragalign_isp as isp;
 pub use fragalign_matching as matching;
@@ -67,11 +71,11 @@ pub mod prelude {
     pub use fragalign_core::{
         border_improve, border_matching_2approx, csr_improve, full_improve, solve_batch,
         solve_batch_reports, solve_exact, solve_four_approx, solve_greedy, solve_one_csr,
-        solve_single, solve_single_report, Auto, BatchOptions, BatchSolution, CancelCause,
-        CancelToken, EngineError, EngineOptions, ExactLimits, ImproveConfig, ImproveResult,
-        InstanceFeatures, MethodSet, Portfolio, PortfolioConfig, RacerBudget, RacerReport, Router,
-        RouterRule, SolveCtx, SolveOutcome, SolveReport, SolveRun, Solver, SolverRegistry,
-        SolverSpec,
+        solve_single, solve_single_report, solve_single_traced, Auto, BatchOptions, BatchSolution,
+        CancelCause, CancelToken, EngineError, EngineOptions, ExactLimits, ImproveConfig,
+        ImproveResult, InstanceFeatures, MethodSet, Portfolio, PortfolioConfig, RacerBudget,
+        RacerReport, Router, RouterRule, SolveCtx, SolveOutcome, SolveReport, SolveRun, Solver,
+        SolverRegistry, SolverSpec, TraceHandle, TraceLog, TraceSink,
     };
     pub use fragalign_model::{
         check_consistency, FragId, Fragment, Instance, InstanceBuilder, LayoutBuilder, Match,

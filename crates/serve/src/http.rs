@@ -12,13 +12,19 @@ use std::io::{Read, Write};
 /// Hard cap on the request head (request line + headers).
 const MAX_HEAD_BYTES: usize = 32 * 1024;
 
-/// A parsed request: method, path, lower-cased headers, UTF-8 body.
+/// A parsed request: method, path, query, lower-cased headers, UTF-8
+/// body.
 #[derive(Clone, Debug)]
 pub struct Request {
     /// Upper-case method token (`GET`, `POST`, …).
     pub method: String,
-    /// Request target as sent (query strings are not interpreted).
+    /// Request target up to (excluding) any `?` — the route key.
     pub path: String,
+    /// Everything after the first `?` of the target (`""` when the
+    /// target carried no query). Split but not percent-decoded: the
+    /// service's knobs (`trace=1`, `format=prometheus`) are plain
+    /// tokens.
+    pub query: String,
     /// Header `(name, value)` pairs; names lower-cased at parse time.
     pub headers: Vec<(String, String)>,
     /// The request body, decoded as UTF-8 (JSON is UTF-8 by spec).
@@ -33,6 +39,17 @@ impl Request {
             .iter()
             .find(|(n, _)| *n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of query parameter `name` (`?a=1&b` gives
+    /// `param("a") == Some("1")`, `param("b") == Some("")`).
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query
+            .split('&')
+            .filter(|p| !p.is_empty())
+            .map(|p| p.split_once('=').unwrap_or((p, "")))
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v)
     }
 }
 
@@ -130,9 +147,14 @@ pub fn read_request<S: Read + Write>(
         headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
     }
 
+    let (path, query) = match path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (path, ""),
+    };
     let request = Request {
         method: method.to_string(),
         path: path.to_string(),
+        query: query.to_string(),
         headers,
         body: String::new(),
     };
@@ -225,8 +247,20 @@ pub fn write_response(
     extra: &[(&str, &str)],
     body: &str,
 ) -> std::io::Result<()> {
+    write_response_typed(stream, status, "application/json", extra, body)
+}
+
+/// [`write_response`] with an explicit `Content-Type` (the Prometheus
+/// exposition is `text/plain`).
+pub fn write_response_typed(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         reason(status),
         body.len()
     );
@@ -286,6 +320,23 @@ mod tests {
         assert_eq!(req.path, "/v1/solve");
         assert_eq!(req.header("HOST"), Some("x"));
         assert_eq!(req.body, "{\"a\":1}");
+    }
+
+    #[test]
+    fn splits_query_from_path() {
+        let mut pipe = Pipe::new("GET /metrics?format=prometheus&x HTTP/1.1\r\nHost: a\r\n\r\n");
+        let req = read_request(&mut pipe, 1024).unwrap();
+        assert_eq!(req.path, "/metrics");
+        assert_eq!(req.query, "format=prometheus&x");
+        assert_eq!(req.param("format"), Some("prometheus"));
+        assert_eq!(req.param("x"), Some(""));
+        assert_eq!(req.param("missing"), None);
+
+        let mut pipe = Pipe::new("GET /healthz HTTP/1.1\r\n\r\n");
+        let req = read_request(&mut pipe, 1024).unwrap();
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.query, "");
+        assert_eq!(req.param("trace"), None);
     }
 
     #[test]

@@ -26,8 +26,9 @@ use crate::http::{self, Request, RequestError};
 use crate::metrics::Telemetry;
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use fragalign_align::DpWorkspace;
+use fragalign_core::engine::{TraceHandle, TraceSink};
 use fragalign_core::{
-    solve_single_report, BatchOptions, EngineError, EngineOptions, SolveReport, SolverRegistry,
+    solve_single_traced, BatchOptions, EngineError, EngineOptions, SolveReport, SolverRegistry,
 };
 use fragalign_model::{Instance, MatchSet, Score};
 use serde::{Serialize, Value};
@@ -262,6 +263,11 @@ fn worker_loop(rx: Receiver<Job>, state: Arc<ServeState>) {
     while let Ok(mut job) = rx.recv() {
         state.telemetry.note_dequeued();
         state.telemetry.note_busy(true);
+        // Queue wait ends here; everything after is service time. Total
+        // latency (wait + service) stays in the original histogram so
+        // existing p99 numbers keep their meaning.
+        state.telemetry.record_queue_wait(job.enqueued.elapsed());
+        let service_started = Instant::now();
         // Contain panics: a request that trips a solver bug must cost
         // that request a 500, not the pool a worker (N such requests
         // would otherwise silently wedge the whole service).
@@ -280,6 +286,7 @@ fn worker_loop(rx: Receiver<Job>, state: Arc<ServeState>) {
             // mid-surgery; replace it rather than trust it.
             ws = DpWorkspace::new();
         }
+        state.telemetry.record_service(service_started.elapsed());
         state.telemetry.record_latency(job.enqueued.elapsed());
         state.telemetry.note_busy(false);
     }
@@ -315,14 +322,21 @@ fn handle_connection(job: &mut Job, state: &ServeState, ws: &mut DpWorkspace) {
         Some(marker) => vec![("X-Fragalign-Cache", *marker)],
         None => Vec::new(),
     };
-    let _ = http::write_response(&mut job.stream, reply.status, &extra, &reply.body);
+    let _ = http::write_response_typed(
+        &mut job.stream,
+        reply.status,
+        reply.content_type,
+        &extra,
+        &reply.body,
+    );
 }
 
-/// A routed response: status, body, and for `/v1/solve` whether the
-/// cache answered.
+/// A routed response: status, body, content type, and for `/v1/solve`
+/// whether the cache answered.
 struct Reply {
     status: u16,
     body: String,
+    content_type: &'static str,
     cache_marker: Option<&'static str>,
 }
 
@@ -331,6 +345,7 @@ impl Reply {
         Reply {
             status,
             body,
+            content_type: "application/json",
             cache_marker: None,
         }
     }
@@ -343,7 +358,7 @@ impl Reply {
 fn route(request: &Request, state: &ServeState, ws: &mut DpWorkspace) -> Reply {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => handle_healthz(state),
-        ("GET", "/metrics") => handle_metrics(state),
+        ("GET", "/metrics") => handle_metrics(request, state),
         ("GET", "/v1/solvers") => handle_solvers(),
         ("POST", "/v1/solve") => handle_solve(request, state, ws),
         ("POST", "/v1/batch") => handle_batch(request, state),
@@ -389,11 +404,26 @@ fn handle_healthz(state: &ServeState) -> Reply {
     )
 }
 
-fn handle_metrics(state: &ServeState) -> Reply {
-    Reply::json(
-        200,
-        serde_json::to_string_pretty(&state.metrics()).expect("metrics serialises"),
-    )
+fn handle_metrics(request: &Request, state: &ServeState) -> Reply {
+    match request.param("format") {
+        // Prometheus text exposition 0.0.4, for scrape targets; the
+        // JSON document stays the default for humans and tests.
+        Some("prometheus") => Reply {
+            status: 200,
+            body: state.telemetry.prometheus(
+                state.workers,
+                state.queue_capacity,
+                state.cache.stats(),
+            ),
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            cache_marker: None,
+        },
+        Some(other) => Reply::error(400, &format!("unknown format {other:?} (try prometheus)")),
+        None => Reply::json(
+            200,
+            serde_json::to_string_pretty(&state.metrics()).expect("metrics serialises"),
+        ),
+    }
 }
 
 /// One `/v1/solvers` row, straight from the registry.
@@ -454,6 +484,11 @@ fn handle_solve(request: &Request, state: &ServeState, ws: &mut DpWorkspace) -> 
     // run", not "bodies that mentioned its name".
     state.telemetry.record_solve(parsed.position);
 
+    // `?trace=1` turns on span recording for this one request. Traced
+    // responses embed a timeline, so they bypass the cache in both
+    // directions: a cached plain body has no trace to return, and a
+    // traced body must not be served to plain requests.
+    let traced = request.param("trace") == Some("1");
     // Canonicalise through the parsed instance so client formatting
     // (whitespace, pretty-printing) cannot split cache entries.
     let canonical = serde_json::to_string(&inst).expect("instances serialise");
@@ -462,31 +497,63 @@ fn handle_solve(request: &Request, state: &ServeState, ws: &mut DpWorkspace) -> 
         parsed.solver,
         options_tag(&parsed.engine)
     ));
-    if let Some(body) = state.cache.get(key) {
-        return Reply {
-            status: 200,
-            body: body.to_string(),
-            cache_marker: Some("hit"),
-        };
+    if !traced {
+        if let Some(body) = state.cache.get(key) {
+            return Reply {
+                status: 200,
+                body: body.to_string(),
+                content_type: "application/json",
+                cache_marker: Some("hit"),
+            };
+        }
     }
     let opts = BatchOptions {
         solver: parsed.solver.clone(),
         engine: parsed.engine,
     };
-    match solve_single_report(&inst, &opts, ws) {
+    let sink = traced.then(TraceSink::new);
+    let trace = sink
+        .as_ref()
+        .map_or_else(TraceHandle::disabled, |s| TraceHandle::new(Arc::clone(s)));
+    let solve_started = Instant::now();
+    match solve_single_traced(&inst, &opts, ws, trace) {
         Ok((solution, report)) => {
-            let body = serde_json::to_string(&SolveResponse {
+            state
+                .telemetry
+                .record_solve_latency(parsed.position, solve_started.elapsed());
+            let mut body = serde_json::to_string(&SolveResponse {
                 solver: parsed.solver,
                 score: solution.score,
                 matches: solution.matches,
                 report,
             })
             .expect("solve response serialises");
-            state.cache.insert(key, Arc::from(body.as_str()));
-            Reply {
-                status: 200,
-                body,
-                cache_marker: Some("miss"),
+            match sink {
+                None => {
+                    state.cache.insert(key, Arc::from(body.as_str()));
+                    Reply {
+                        status: 200,
+                        body,
+                        content_type: "application/json",
+                        cache_marker: Some("miss"),
+                    }
+                }
+                Some(sink) => {
+                    // Splice the Chrome trace document into the
+                    // response object: `{...}` → `{...,"trace":{...}}`.
+                    let log = sink.drain();
+                    state.telemetry.record_traced(log.dropped);
+                    body.pop();
+                    body.push_str(",\"trace\":");
+                    body.push_str(&log.to_chrome_json());
+                    body.push('}');
+                    Reply {
+                        status: 200,
+                        body,
+                        content_type: "application/json",
+                        cache_marker: Some("bypass"),
+                    }
+                }
             }
         }
         Err(err) => engine_error_reply(err),
@@ -811,6 +878,74 @@ mod tests {
         assert_eq!(first.body, second.body);
         let stats = server.state().cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
+        server.shutdown();
+    }
+
+    #[test]
+    fn prometheus_metrics_format() {
+        let server = test_server();
+        let inst = serde_json::to_string(&paper_example()).unwrap();
+        let body = format!("{{\"instance\":{inst},\"solver\":\"greedy\"}}");
+        let solved = client::post(server.addr(), "/v1/solve", &body).unwrap();
+        assert_eq!(solved.status, 200, "{}", solved.body);
+        let resp = client::get(server.addr(), "/metrics?format=prometheus").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.header("content-type"),
+            Some("text/plain; version=0.0.4; charset=utf-8")
+        );
+        for needle in [
+            "# TYPE fragalign_requests_total counter",
+            "fragalign_solve_requests_total{solver=\"greedy\"} 1",
+            "fragalign_solve_duration_seconds_bucket{solver=\"greedy\",le=\"+Inf\"} 1",
+            "fragalign_queue_wait_seconds_count 2",
+            "fragalign_service_seconds_count 1",
+            "fragalign_cache_evictions_total 0",
+            "fragalign_trace_events_dropped_total 0",
+        ] {
+            assert!(
+                resp.body.contains(needle),
+                "missing {needle}\n{}",
+                resp.body
+            );
+        }
+        let bad = client::get(server.addr(), "/metrics?format=xml").unwrap();
+        assert_eq!(bad.status, 400);
+        server.shutdown();
+    }
+
+    #[test]
+    fn traced_solve_embeds_timeline_and_bypasses_cache() {
+        let server = test_server();
+        let inst = serde_json::to_string(&paper_example()).unwrap();
+        let body = format!("{{\"instance\":{inst},\"solver\":\"csr\"}}");
+        // Warm the cache with a plain solve, then trace the same
+        // request: the traced reply must not be the cached body.
+        let plain = client::post(server.addr(), "/v1/solve", &body).unwrap();
+        assert_eq!(plain.header("x-fragalign-cache"), Some("miss"));
+        let traced = client::post(server.addr(), "/v1/solve?trace=1", &body).unwrap();
+        assert_eq!(traced.status, 200, "{}", traced.body);
+        assert_eq!(traced.header("x-fragalign-cache"), Some("bypass"));
+        assert!(traced.body.contains("\"trace\":{"), "{}", traced.body);
+        assert!(
+            traced.body.contains("\"name\":\"solve:csr\""),
+            "{}",
+            traced.body
+        );
+        // Identical solve result, tracing aside.
+        let score = |b: &str| {
+            b.split("\"score\":")
+                .nth(1)
+                .and_then(|s| s.split(',').next())
+                .map(str::to_string)
+        };
+        assert_eq!(score(&plain.body), score(&traced.body));
+        // A traced body never lands in the cache: the next plain
+        // request is still answered by the original cached entry.
+        let again = client::post(server.addr(), "/v1/solve", &body).unwrap();
+        assert_eq!(again.header("x-fragalign-cache"), Some("hit"));
+        assert_eq!(again.body, plain.body);
+        assert_eq!(server.state().metrics().traced_requests, 1);
         server.shutdown();
     }
 

@@ -168,8 +168,10 @@ proptest! {
         );
         let req = parse(raw.as_bytes(), chunk, 4096).expect("valid request parses");
         prop_assert_eq!(&req.method, "POST");
-        prop_assert_eq!(req.path, format!("/v1/solve?tag={tag}"));
+        prop_assert_eq!(&req.path, "/v1/solve");
+        prop_assert_eq!(req.query, format!("tag={tag}"));
         let value = tag.to_string();
+        prop_assert_eq!(req.param("tag"), Some(value.as_str()));
         prop_assert_eq!(req.header("x-fuzz-tag"), Some(value.as_str()));
         prop_assert_eq!(req.header("X-FUZZ-TAG"), Some(value.as_str()));
         prop_assert_eq!(req.body, body);
