@@ -19,6 +19,14 @@
 //! `X-Fragalign-Cache` header; the hit/miss latency split is the
 //! cache's measured win (the acceptance bar is hits ≥ 5× faster than
 //! misses on this repeat-heavy workload).
+//!
+//! A second phase replays an identical hot-cache request sequence
+//! under three connection disciplines — close-per-request,
+//! keep-alive, pipelined — with bit-identical responses asserted
+//! across arms. The acceptance bar (full runs only) is keep-alive
+//! ≥ 2× close-per-request: the event-loop redesign makes persistent
+//! connections nearly free, so per-request connect/teardown becomes
+//! the dominant cost of the close discipline.
 
 use fragalign::model::Instance;
 use fragalign::serve::{client, ServeConfig, Server};
@@ -77,6 +85,17 @@ impl Latency {
     }
 }
 
+/// One connection-discipline arm of the hot-cache comparison: the
+/// same request sequence driven close-per-request, keep-alive, or
+/// pipelined.
+#[derive(Serialize)]
+struct ConnectionArm {
+    mode: String,
+    requests: usize,
+    wall_secs: f64,
+    requests_per_sec: f64,
+}
+
 #[derive(Serialize)]
 struct Report {
     config: Config,
@@ -91,8 +110,29 @@ struct Report {
     hit_speedup_mean: f64,
     /// Same ratio at the median.
     hit_speedup_p50: f64,
+    /// The hot-cache connection-discipline comparison (one client,
+    /// identical request sequence per arm).
+    connection_arms: Vec<ConnectionArm>,
+    /// keep-alive req/s over close-per-request req/s.
+    keepalive_speedup: f64,
+    /// pipelined req/s over close-per-request req/s.
+    pipelined_speedup: f64,
     /// The server's own `/metrics` document at the end of the run.
     server_metrics: fragalign::serve::metrics::MetricsSnapshot,
+}
+
+/// Drive `sequence` through `exchange` once, timing the whole arm.
+fn run_arm(mode: &str, requests: usize, exchange: impl FnOnce() -> usize) -> ConnectionArm {
+    let t0 = Instant::now();
+    let answered = exchange();
+    let wall_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(answered, requests, "{mode}: arm lost responses");
+    ConnectionArm {
+        mode: mode.to_string(),
+        requests,
+        wall_secs,
+        requests_per_sec: requests as f64 / wall_secs.max(1e-9),
+    }
 }
 
 fn main() {
@@ -205,8 +245,78 @@ fn main() {
     let misses = Latency::from_micros(miss_micros);
     let hit_speedup_mean = misses.mean_ms / hits.mean_ms.max(1e-9);
     let hit_speedup_p50 = misses.p50_ms / hits.p50_ms.max(1e-9);
+
+    // Phase 2: connection-discipline comparison on a fully warm cache
+    // (every pool body was solved above), one client, identical
+    // request sequence per arm, so the only variable is how many
+    // sockets the requests ride on. The close arm pays a fresh
+    // connect + teardown per request; keep-alive pays one; pipelining
+    // additionally overlaps request writes with response reads.
+    let arm_requests = if smoke { 60 } else { 600 };
+    let probe: Vec<&String> = (0..arm_requests)
+        .map(|i| &bodies[i % bodies.len()])
+        .collect();
+    for body in bodies.iter() {
+        // Ensure genuinely warm: the random phase may have missed some.
+        let resp = client::post(addr, "/v1/solve", body).expect("warm-up solve");
+        assert_eq!(resp.status, 200, "{}", resp.body);
+    }
+    let mut reference_bodies: Vec<String> = Vec::new();
+    let close_arm = run_arm("close", arm_requests, || {
+        for body in &probe {
+            let resp = client::post(addr, "/v1/solve", body).expect("close-arm solve");
+            assert_eq!(resp.status, 200, "{}", resp.body);
+            reference_bodies.push(resp.body);
+        }
+        reference_bodies.len()
+    });
+    let keepalive_arm = run_arm("keep-alive", arm_requests, || {
+        let mut conn = client::Connection::open(addr).expect("keep-alive connect");
+        let mut answered = 0;
+        for (body, expected) in probe.iter().zip(&reference_bodies) {
+            let resp = conn
+                .request("POST", "/v1/solve", Some(body))
+                .expect("keep-alive solve");
+            assert_eq!(resp.status, 200, "{}", resp.body);
+            assert_eq!(
+                &resp.body, expected,
+                "keep-alive response diverged from close-mode response"
+            );
+            answered += 1;
+        }
+        answered
+    });
+    let pipelined_arm = run_arm("pipelined", arm_requests, || {
+        let mut conn = client::Connection::open(addr).expect("pipelined connect");
+        let mut answered = 0;
+        for batch in probe.chunks(8) {
+            for body in batch {
+                conn.send("POST", "/v1/solve", Some(body))
+                    .expect("pipelined send");
+            }
+            for i in 0..batch.len() {
+                let resp = conn.recv().expect("pipelined recv");
+                assert_eq!(resp.status, 200, "{}", resp.body);
+                assert_eq!(
+                    &resp.body,
+                    &reference_bodies[answered + i],
+                    "pipelined response out of order or diverged"
+                );
+            }
+            answered += batch.len();
+        }
+        answered
+    });
+    let keepalive_speedup = keepalive_arm.requests_per_sec / close_arm.requests_per_sec.max(1e-9);
+    let pipelined_speedup = pipelined_arm.requests_per_sec / close_arm.requests_per_sec.max(1e-9);
+    let connection_arms = vec![close_arm, keepalive_arm, pipelined_arm];
+
     let server_metrics = server.state().metrics();
     server.shutdown();
+    assert!(
+        server_metrics.keepalive_reuse > 0,
+        "the persistent arms must register keep-alive reuse"
+    );
 
     assert!(
         server_metrics.rejected_503 == 0,
@@ -240,6 +350,9 @@ fn main() {
         misses,
         hit_speedup_mean,
         hit_speedup_p50,
+        connection_arms,
+        keepalive_speedup,
+        pipelined_speedup,
         server_metrics,
     };
 
@@ -260,15 +373,31 @@ fn main() {
         report.hit_speedup_p50
     );
 
+    for arm in &report.connection_arms {
+        println!(
+            "connection arm {:>10}: {} requests in {:.3}s = {:.0} req/s",
+            arm.mode, arm.requests, arm.wall_secs, arm.requests_per_sec
+        );
+    }
+    println!(
+        "persistent connections: keep-alive {:.1}x, pipelined {:.1}x over close-per-request",
+        report.keepalive_speedup, report.pipelined_speedup
+    );
+
     if !smoke {
-        // The acceptance bar for the repeat-heavy workload. Smoke runs
-        // (CI) skip the assert: tiny instances make misses cheap and
-        // shared runners make timing noisy, and the smoke run's job is
-        // to prove the harness, not the ratio.
+        // The acceptance bars. Smoke runs (CI) skip the asserts: tiny
+        // instances make misses cheap and shared runners make timing
+        // noisy, and the smoke run's job is to prove the harness, not
+        // the ratios.
         assert!(
             report.hit_speedup_mean >= 5.0,
             "cache hits must be ≥5x faster than misses (got {:.2}x)",
             report.hit_speedup_mean
+        );
+        assert!(
+            report.keepalive_speedup >= 2.0,
+            "keep-alive must be ≥2x close-per-request on a hot cache (got {:.2}x)",
+            report.keepalive_speedup
         );
     }
 

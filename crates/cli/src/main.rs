@@ -4,6 +4,7 @@
 //! fragalign solve  [--algo NAME] [--scaling] [--threads N] [--report json] [--trace out.json] <instance.json|->
 //! fragalign solve  --batch [--algo NAME] [--scaling] [--threads N] [--report json] <dir|instances.jsonl>
 //! fragalign serve  [--addr A] [--workers N] [--queue-depth N] [--cache-mb N] [--default-solver NAME]
+//!                  [--max-conns N] [--idle-timeout MS] [--admission on|off] [--trace-sample N]
 //! fragalign gen    [--channel C] [--regions N] [--seed S] [channel knobs...]
 //! fragalign demo
 //! fragalign solvers
@@ -26,9 +27,14 @@
 //!   solves them all through the batch pipeline (one summary line per
 //!   instance instead of full layouts).
 //! * `serve` runs the concurrent HTTP alignment service
-//!   (`fragalign-serve`): a fixed worker pool behind a bounded queue
-//!   (503 when full), the sharded result cache, and the JSON
-//!   endpoints listed in its startup banner. SIGINT/ctrl-c drains
+//!   (`fragalign-serve`): a poll(2)-driven event loop feeding a fixed
+//!   worker pool through a bounded queue (503 when full), HTTP/1.1
+//!   keep-alive and pipelining, load-aware admission control
+//!   (`--admission off` restores solve-as-asked), the sharded result
+//!   cache, and the JSON endpoints listed in its startup banner.
+//!   `--max-conns`/`--idle-timeout` bound concurrent sockets and evict
+//!   idle ones; `--trace-sample N` records every Nth solve into the
+//!   ring served at `GET /debug/trace`. SIGINT/ctrl-c drains
 //!   in-flight requests before exiting.
 //! * `gen` emits a synthetic instance as JSON (pipe into `solve`).
 //!   `--channel` picks the workload: `clean` (the default simulator),
@@ -60,7 +66,7 @@ fn algo_names() -> String {
 fn usage() -> ExitCode {
     let names = algo_names();
     eprintln!(
-        "usage:\n  fragalign solve [--algo {names}] [--scaling] [--threads N] [--report json] [--trace out.json] <instance.json|->\n  fragalign solve --batch [--algo {names}] [--scaling] [--threads N] [--report json] <dir|instances.jsonl>\n  fragalign serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--cache-mb N] [--default-solver {names}]\n  fragalign gen [--channel clean|torn|soup|mega|singletons|desert] [--regions N] [--seed S]\n                [--h-frags N] [--m-frags N] [--noise X]           (clean; noise also soup)\n                [--tear-rate X] [--drop-rate X] [--dup-rate X]    (torn)\n                [--read-len N] [--coverage X] [--sub-rate X]      (soup)\n  fragalign demo\n  fragalign solvers"
+        "usage:\n  fragalign solve [--algo {names}] [--scaling] [--threads N] [--report json] [--trace out.json] <instance.json|->\n  fragalign solve --batch [--algo {names}] [--scaling] [--threads N] [--report json] <dir|instances.jsonl>\n  fragalign serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--cache-mb N] [--default-solver {names}]\n                  [--max-conns N] [--idle-timeout MS] [--admission on|off] [--trace-sample N]\n  fragalign gen [--channel clean|torn|soup|mega|singletons|desert] [--regions N] [--seed S]\n                [--h-frags N] [--m-frags N] [--noise X]           (clean; noise also soup)\n                [--tear-rate X] [--drop-rate X] [--dup-rate X]    (torn)\n                [--read-len N] [--coverage X] [--sub-rate X]      (soup)\n  fragalign demo\n  fragalign solvers"
     );
     ExitCode::from(2)
 }
@@ -363,6 +369,23 @@ fn serve_cmd(args: &[String]) -> ExitCode {
                 Some(v) => cfg.default_solver = v.clone(),
                 None => return usage(),
             },
+            "--max-conns" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.max_conns = v,
+                None => return usage(),
+            },
+            "--idle-timeout" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.idle_timeout_ms = v,
+                None => return usage(),
+            },
+            "--admission" => match it.next().map(|v| v.as_str()) {
+                Some("on") => cfg.admission.enabled = true,
+                Some("off") => cfg.admission.enabled = false,
+                _ => return usage(),
+            },
+            "--trace-sample" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.trace_sample = v,
+                None => return usage(),
+            },
             _ => return usage(),
         }
     }
@@ -384,6 +407,21 @@ fn serve_cmd(args: &[String]) -> ExitCode {
         banner_cfg.cache_mb,
         banner_cfg.cache_shards,
         banner_cfg.default_solver
+    );
+    println!(
+        "  max conns {} | idle timeout {} ms | admission {} | trace sample {}",
+        banner_cfg.max_conns.max(1),
+        banner_cfg.idle_timeout_ms.max(1),
+        if banner_cfg.admission.enabled {
+            "on"
+        } else {
+            "off"
+        },
+        if banner_cfg.trace_sample > 0 {
+            format!("1-in-{}", banner_cfg.trace_sample)
+        } else {
+            "off".to_string()
+        }
     );
     println!(
         "  endpoints: POST /v1/solve, POST /v1/batch, GET /v1/solvers, GET /healthz, GET /metrics"

@@ -230,6 +230,23 @@ impl Router {
         }
         (self.fallback, "fallback", f)
     }
+
+    /// The cheap tier an overloaded server degrades `f` to: `chain`
+    /// when there is sparse σ structure to anchor on (the
+    /// anchor-chaining tier is near-linear and scores far above
+    /// `greedy` once instances carry enough regions to chain), and
+    /// `greedy` otherwise — both support every instance, so the pick
+    /// never needs a fallback. This is a policy hook for the serving
+    /// layer's admission control, deliberately next to the routing
+    /// table so the "which solver under which conditions" knowledge
+    /// stays in one file.
+    pub fn degraded_pick(&self, f: &InstanceFeatures) -> &'static str {
+        if f.sigma_entries > 0 && f.total_regions() >= 64 {
+            "chain"
+        } else {
+            "greedy"
+        }
+    }
 }
 
 impl Default for Router {
@@ -373,6 +390,35 @@ mod tests {
             router.route_features(&InstanceFeatures::of(&inst)),
             "one-csr"
         );
+    }
+
+    #[test]
+    fn degraded_pick_prefers_chain_on_big_sparse_instances() {
+        let router = Router::default();
+        let mut f = InstanceFeatures {
+            h_frags: 6,
+            m_frags: 6,
+            h_regions: 60,
+            m_regions: 60,
+            max_frag_len: 12,
+            sigma_entries: 200,
+            sigma_density: 0.05,
+            mass_skew: 1.5,
+        };
+        assert_eq!(router.degraded_pick(&f), "chain");
+        // No σ entries: nothing to anchor a chain on.
+        f.sigma_entries = 0;
+        assert_eq!(router.degraded_pick(&f), "greedy");
+        // Too small to be worth chaining.
+        f.sigma_entries = 10;
+        f.h_regions = 20;
+        f.m_regions = 20;
+        assert_eq!(router.degraded_pick(&f), "greedy");
+        // Both tiers must stay registered — the admission layer
+        // depends on them accepting every instance.
+        for tier in ["chain", "greedy"] {
+            assert!(SolverRegistry::global().spec(tier).is_ok());
+        }
     }
 
     #[test]

@@ -189,6 +189,19 @@ impl ResultCache {
         }
     }
 
+    /// Like [`get`](Self::get), but absence is not counted as a miss:
+    /// the event loop probes speculatively before dispatching to a
+    /// worker, and the worker's own `get` will record the miss for
+    /// exactly one count per request.
+    pub fn peek(&self, key: Fingerprint) -> Option<Arc<str>> {
+        let mut shard = self.shard(key).lock();
+        let at = shard.index.get(&key).copied()?;
+        shard.unlink(at);
+        shard.push_front(at);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(Arc::clone(&shard.slots[at].body))
+    }
+
     /// Insert (or refresh) `key → body`, then evict from the shard's
     /// LRU tail until the shard is back under budget. A body too large
     /// for a whole shard is not stored at all — caching it would only

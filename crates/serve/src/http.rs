@@ -1,16 +1,22 @@
 //! Minimal HTTP/1.1 framing: request parsing and response writing.
 //!
 //! Scope is exactly what the service needs — `GET`/`POST` with
-//! `Content-Length` bodies, one request per connection, `Connection:
-//! close` on every response. Chunked transfer encoding is refused
-//! with `501`, and `Expect: 100-continue` (which `curl` sends for
-//! large instance uploads) is honoured so command-line sessions work
-//! out of the box.
+//! `Content-Length` bodies. Since the event-driven rewrite the parser
+//! is buffer-based: [`try_parse`] inspects whatever bytes have
+//! arrived so far and either asks for more ([`Parse::Incomplete`]) or
+//! yields one request plus the number of bytes it consumed
+//! ([`Parse::Ready`]), so a connection buffer can carry leftover
+//! pipelined bytes forward to the next request. Keep-alive follows
+//! HTTP/1.1 semantics (persistent by default, `Connection: close`
+//! honoured both ways, HTTP/1.0 closes unless `keep-alive` is asked
+//! for). Chunked transfer encoding is refused with `501`, and
+//! `Expect: 100-continue` (which `curl` sends for large instance
+//! uploads) is honoured so command-line sessions work out of the box.
 
 use std::io::{Read, Write};
 
 /// Hard cap on the request head (request line + headers).
-const MAX_HEAD_BYTES: usize = 32 * 1024;
+pub const MAX_HEAD_BYTES: usize = 32 * 1024;
 
 /// A parsed request: method, path, query, lower-cased headers, UTF-8
 /// body.
@@ -29,6 +35,14 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The request body, decoded as UTF-8 (JSON is UTF-8 by spec).
     pub body: String,
+    /// Whether the connection persists after this exchange: HTTP/1.1
+    /// defaults to `true`, HTTP/1.0 to `false`, and a `Connection`
+    /// header token (`close` / `keep-alive`) overrides either way.
+    pub keep_alive: bool,
+    /// The request carried `Expect: 100-continue` with a non-empty
+    /// body, so an interim `100 Continue` is owed before (or with)
+    /// the final response.
+    pub expect_continue: bool,
 }
 
 impl Request {
@@ -77,31 +91,40 @@ impl From<std::io::Error> for RequestError {
     }
 }
 
-/// Read and parse one request from `stream`, answering `Expect:
-/// 100-continue` inline (the stream must be writable for that).
-pub fn read_request<S: Read + Write>(
-    stream: &mut S,
-    max_body: usize,
-) -> Result<Request, RequestError> {
-    // Accumulate until the blank line that ends the head.
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let head_end = loop {
-        if let Some(pos) = find_head_end(&buf) {
-            break pos;
-        }
+/// What [`try_parse`] made of the buffer so far.
+#[derive(Debug)]
+pub enum Parse {
+    /// Not enough bytes for a full request yet; read more and retry.
+    Incomplete {
+        /// The head is complete and announced `Expect: 100-continue`,
+        /// but the body has not fully arrived — the server should send
+        /// the interim `100 Continue` now (once) to unblock the client.
+        needs_continue: bool,
+    },
+    /// One full request parsed.
+    Ready {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the buffer this request consumed; everything past
+        /// `consumed` belongs to the next (pipelined) request.
+        consumed: usize,
+    },
+}
+
+/// Parse one request from the front of `buf` without consuming it.
+/// Errors are terminal for the connection: the caller answers with
+/// the mapped status and closes, because after a framing error the
+/// byte stream can no longer be trusted to delimit requests.
+pub fn try_parse(buf: &[u8], max_body: usize) -> Result<Parse, RequestError> {
+    let Some(head_end) = find_head_end(buf) else {
         if buf.len() > MAX_HEAD_BYTES {
             return Err(RequestError::Malformed(format!(
                 "request head exceeds {MAX_HEAD_BYTES} bytes"
             )));
         }
-        let mut chunk = [0u8; 4096];
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Err(RequestError::Malformed(
-                "connection closed before the request head completed".into(),
-            ));
-        }
-        buf.extend_from_slice(&chunk[..n]);
+        return Ok(Parse::Incomplete {
+            needs_continue: false,
+        });
     };
 
     let head = std::str::from_utf8(&buf[..head_end])
@@ -151,13 +174,29 @@ pub fn read_request<S: Read + Write>(
         Some((p, q)) => (p, q),
         None => (path, ""),
     };
-    let request = Request {
+    let mut request = Request {
         method: method.to_string(),
         path: path.to_string(),
         query: query.to_string(),
         headers,
         body: String::new(),
+        keep_alive: version != "HTTP/1.0",
+        expect_continue: false,
     };
+    // A `Connection` header overrides the version default either way;
+    // the value is a comma-separated token list (`keep-alive, TE`).
+    let mut keep_alive = request.keep_alive;
+    if let Some(conn) = request.header("connection") {
+        for token in conn.split(',') {
+            let token = token.trim();
+            if token.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if token.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        }
+    }
+    request.keep_alive = keep_alive;
 
     if request
         .header("transfer-encoding")
@@ -194,29 +233,65 @@ pub fn read_request<S: Read + Write>(
     if content_length > max_body {
         return Err(RequestError::BodyTooLarge { limit: max_body });
     }
-    if content_length > 0
+    request.expect_continue = content_length > 0
         && request
             .header("expect")
-            .is_some_and(|v| v.to_ascii_lowercase().contains("100-continue"))
-    {
-        stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
-        stream.flush()?;
-    }
+            .is_some_and(|v| v.to_ascii_lowercase().contains("100-continue"));
 
-    // The body: whatever followed the head in the buffer, then the rest.
-    let mut body = buf[head_end + 4..].to_vec();
-    if body.len() > content_length {
-        return Err(RequestError::Malformed(
-            "request body longer than Content-Length".into(),
-        ));
+    let body_start = head_end + 4;
+    if buf.len() - body_start < content_length {
+        return Ok(Parse::Incomplete {
+            needs_continue: request.expect_continue,
+        });
     }
-    let already = body.len();
-    body.resize(content_length, 0);
-    stream.read_exact(&mut body[already..])?;
-    let body = String::from_utf8(body)
+    // Bytes past the body belong to the next pipelined request — the
+    // caller keeps them in its buffer.
+    let consumed = body_start + content_length;
+    request.body = String::from_utf8(buf[body_start..consumed].to_vec())
         .map_err(|_| RequestError::Malformed("request body is not UTF-8".into()))?;
+    Ok(Parse::Ready { request, consumed })
+}
 
-    Ok(Request { body, ..request })
+/// Read and parse one request from `stream`, answering `Expect:
+/// 100-continue` inline (the stream must be writable for that). The
+/// blocking convenience over [`try_parse`] — used by tests and the
+/// one-shot client path; the server's event loop parses buffers
+/// directly.
+pub fn read_request<S: Read + Write>(
+    stream: &mut S,
+    max_body: usize,
+) -> Result<Request, RequestError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut sent_continue = false;
+    loop {
+        match try_parse(&buf, max_body)? {
+            Parse::Ready { request, .. } => {
+                // The historical contract: the interim 100 goes out
+                // even when the body was already buffered, so clients
+                // that wait on it never stall.
+                if request.expect_continue && !sent_continue {
+                    stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
+                    stream.flush()?;
+                }
+                return Ok(request);
+            }
+            Parse::Incomplete { needs_continue } => {
+                if needs_continue && !sent_continue {
+                    stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
+                    stream.flush()?;
+                    sent_continue = true;
+                }
+                let mut chunk = [0u8; 4096];
+                let n = stream.read(&mut chunk)?;
+                if n == 0 {
+                    return Err(RequestError::Malformed(
+                        "connection closed before the request completed".into(),
+                    ));
+                }
+                buf.extend_from_slice(&chunk[..n]);
+            }
+        }
+    }
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -238,9 +313,37 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Write a complete JSON response: status line, standard headers
-/// (`Content-Type: application/json`, `Content-Length`, `Connection:
-/// close`), any `extra` headers, then `body`.
+/// Render a complete response to bytes: status line, standard headers
+/// (`Content-Type`, `Content-Length`, `Connection` per `keep_alive`),
+/// any `extra` headers, then `body`. The event loop queues these into
+/// per-connection write buffers.
+pub fn render_response(
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, &str)],
+    body: &str,
+    keep_alive: bool,
+) -> Vec<u8> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    let mut out = head.into_bytes();
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+/// Write a complete JSON response with `Connection: close` — the
+/// one-shot convenience for paths that end the connection anyway.
 pub fn write_response(
     stream: &mut impl Write,
     status: u16,
@@ -259,20 +362,27 @@ pub fn write_response_typed(
     extra: &[(&str, &str)],
     body: &str,
 ) -> std::io::Result<()> {
-    let mut head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
-        reason(status),
-        body.len()
-    );
-    for (name, value) in extra {
-        head.push_str(name);
-        head.push_str(": ");
-        head.push_str(value);
-        head.push_str("\r\n");
-    }
-    head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    stream.write_all(&render_response(status, content_type, extra, body, false))?;
+    stream.flush()
+}
+
+/// Write a complete response honouring `keep_alive` — what workers
+/// use so persistent connections advertise `Connection: keep-alive`.
+pub fn write_response_conn(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, &str)],
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    stream.write_all(&render_response(
+        status,
+        content_type,
+        extra,
+        body,
+        keep_alive,
+    ))?;
     stream.flush()
 }
 
@@ -320,6 +430,7 @@ mod tests {
         assert_eq!(req.path, "/v1/solve");
         assert_eq!(req.header("HOST"), Some("x"));
         assert_eq!(req.body, "{\"a\":1}");
+        assert!(req.keep_alive, "HTTP/1.1 persists by default");
     }
 
     #[test]
@@ -337,6 +448,63 @@ mod tests {
         assert_eq!(req.path, "/healthz");
         assert_eq!(req.query, "");
         assert_eq!(req.param("trace"), None);
+    }
+
+    #[test]
+    fn connection_semantics_follow_version_and_header() {
+        let parse = |raw: &str| match try_parse(raw.as_bytes(), 1024).unwrap() {
+            Parse::Ready { request, .. } => request,
+            other => panic!("expected Ready, got {other:?}"),
+        };
+        assert!(parse("GET / HTTP/1.1\r\n\r\n").keep_alive);
+        assert!(!parse("GET / HTTP/1.0\r\n\r\n").keep_alive);
+        assert!(!parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive);
+        assert!(parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").keep_alive);
+        assert!(!parse("GET / HTTP/1.1\r\nConnection: TE, Close\r\n\r\n").keep_alive);
+    }
+
+    #[test]
+    fn pipelined_requests_consume_exactly_their_bytes() {
+        let raw = b"POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcGET /b HTTP/1.1\r\n\r\n";
+        let Parse::Ready { request, consumed } = try_parse(raw, 1024).unwrap() else {
+            panic!("first request should parse");
+        };
+        assert_eq!(request.path, "/a");
+        assert_eq!(request.body, "abc");
+        let Parse::Ready {
+            request,
+            consumed: c2,
+        } = try_parse(&raw[consumed..], 1024).unwrap()
+        else {
+            panic!("second request should parse");
+        };
+        assert_eq!(request.path, "/b");
+        assert_eq!(consumed + c2, raw.len());
+    }
+
+    #[test]
+    fn incomplete_buffers_ask_for_more() {
+        assert!(matches!(
+            try_parse(b"GET / HTT", 1024),
+            Ok(Parse::Incomplete {
+                needs_continue: false
+            })
+        ));
+        assert!(matches!(
+            try_parse(b"POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nab", 1024),
+            Ok(Parse::Incomplete {
+                needs_continue: false
+            })
+        ));
+        assert!(matches!(
+            try_parse(
+                b"POST / HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 5\r\n\r\n",
+                1024
+            ),
+            Ok(Parse::Incomplete {
+                needs_continue: true
+            })
+        ));
     }
 
     #[test]
@@ -448,5 +616,19 @@ mod tests {
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains("Retry-After: 1\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"error\":\"busy\"}"));
+    }
+
+    #[test]
+    fn keep_alive_responses_differ_only_in_connection_header() {
+        let open =
+            String::from_utf8(render_response(200, "application/json", &[], "{}", true)).unwrap();
+        let closed =
+            String::from_utf8(render_response(200, "application/json", &[], "{}", false)).unwrap();
+        assert!(open.contains("Connection: keep-alive\r\n"));
+        assert!(closed.contains("Connection: close\r\n"));
+        assert_eq!(
+            open.replace("Connection: keep-alive", "Connection: close"),
+            closed
+        );
     }
 }

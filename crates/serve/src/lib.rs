@@ -12,13 +12,22 @@
 //! (the build container has no crate registry, see `shims/README.md`),
 //! so the whole stack is hand-rolled over `std::net`:
 //!
-//! * [`server`] — an HTTP/1.1 server over `std::net::TcpListener`
-//!   with a fixed worker pool fed through a bounded crossbeam channel.
-//!   The bounded queue is the backpressure valve: when it is full the
-//!   acceptor answers `503 Service Unavailable` immediately instead
-//!   of letting latency grow without bound. Unlike the sequential
-//!   rayon shim, the crossbeam shim is genuinely concurrent, so the
-//!   worker pool is this workspace's first real parallelism win.
+//! * [`server`] — an HTTP/1.1 server with a readiness-polled accept
+//!   and read path: a single event-loop thread owns every idle or
+//!   half-read connection through a hand-rolled [`poll`]\(2) binding,
+//!   and a connection only occupies one of the fixed worker threads
+//!   while a fully-parsed request is being solved. Keep-alive and
+//!   pipelined connections return to the event loop between requests.
+//!   The bounded crossbeam job queue is still the backpressure valve:
+//!   when it is full the server answers `503 Service Unavailable`
+//!   immediately instead of letting latency grow without bound, and
+//!   above a configurable load watermark the [`admission`] policy
+//!   degrades big instances to cheap portfolio tiers before it comes
+//!   to that.
+//! * [`poll`] — the `poll(2)` FFI binding and a tiny `Poller` wrapper
+//!   (same no-new-deps discipline as the CLI's signal binding);
+//! * [`admission`] — the two-watermark, portfolio-aware admission
+//!   policy behind `X-Fragalign-Degraded`;
 //! * [`cache`] — a sharded, byte-budgeted LRU over finished response
 //!   bodies, keyed by a 128-bit fingerprint of (solver, options,
 //!   canonical instance JSON). Repeat queries skip the DP entirely;
@@ -45,14 +54,17 @@
 //! (the cache stores the serialized body, wall-clock report included),
 //! so caching is observable but never changes results.
 
+pub mod admission;
 pub mod cache;
 pub mod client;
 pub mod http;
 pub mod metrics;
+pub mod poll;
 pub mod server;
 
+pub use admission::{AdmissionConfig, AdmissionDecision, AdmissionPolicy};
 pub use cache::{CacheStats, ResultCache};
-pub use client::{get, post, Response};
+pub use client::{get, post, Connection, Response};
 pub use http::Request;
 pub use metrics::Telemetry;
 pub use server::{ServeConfig, Server};

@@ -148,6 +148,17 @@ pub struct Telemetry {
     /// Trace events lost to ring overwrite across all traced requests
     /// (the obs layer's drop-oldest policy, made visible).
     trace_events_dropped: AtomicU64,
+    /// Connections the event loop ever accepted.
+    connections_accepted: AtomicU64,
+    /// Connections currently alive (idle, reading, or being served).
+    connections_open: AtomicUsize,
+    /// Requests served on an already-used connection (request ≥ 2 on
+    /// its keep-alive connection).
+    keepalive_reuse: AtomicU64,
+    /// Solve requests rerouted to a cheap tier by admission control.
+    admission_degraded: AtomicU64,
+    /// Plain requests traced by the 1-in-N sampler (`--trace-sample`).
+    sampled_traces: AtomicU64,
 }
 
 impl Telemetry {
@@ -178,7 +189,43 @@ impl Telemetry {
                 .collect(),
             traced_requests: AtomicU64::new(0),
             trace_events_dropped: AtomicU64::new(0),
+            connections_accepted: AtomicU64::new(0),
+            connections_open: AtomicUsize::new(0),
+            keepalive_reuse: AtomicU64::new(0),
+            admission_degraded: AtomicU64::new(0),
+            sampled_traces: AtomicU64::new(0),
         }
+    }
+
+    /// The event loop accepted a connection (it is now open).
+    pub fn note_conn_opened(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+        self.connections_open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection closed (any path: served, idle-timed-out, error).
+    pub fn note_conn_closed(&self) {
+        self.connections_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Connections currently alive.
+    pub fn connections_open(&self) -> usize {
+        self.connections_open.load(Ordering::Relaxed)
+    }
+
+    /// A request arrived on an already-used keep-alive connection.
+    pub fn record_keepalive_reuse(&self) {
+        self.keepalive_reuse.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Admission control rerouted a solve to a cheap tier.
+    pub fn record_degraded(&self) {
+        self.admission_degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The 1-in-N sampler traced a plain request.
+    pub fn record_sampled(&self) {
+        self.sampled_traces.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A connection entered the worker queue.
@@ -297,6 +344,11 @@ impl Telemetry {
             service: LatencySnapshot::of(&self.service),
             traced_requests: self.traced_requests.load(Ordering::Relaxed),
             trace_events_dropped: self.trace_events_dropped.load(Ordering::Relaxed),
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_open: self.connections_open(),
+            keepalive_reuse: self.keepalive_reuse.load(Ordering::Relaxed),
+            admission_degraded: self.admission_degraded.load(Ordering::Relaxed),
+            sampled_traces: self.sampled_traces.load(Ordering::Relaxed),
             queue: QueueSnapshot {
                 depth: self.queue_depth(),
                 capacity: queue_capacity,
@@ -372,6 +424,36 @@ impl Telemetry {
             "fragalign_trace_events_dropped_total",
             "Trace events lost to the ring's drop-oldest overwrite.",
             self.trace_events_dropped.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "fragalign_sampled_traces_total",
+            "Plain requests traced by the 1-in-N sampler.",
+            self.sampled_traces.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "fragalign_connections_accepted_total",
+            "Connections accepted by the event loop.",
+            self.connections_accepted.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
+            "fragalign_connections_open",
+            "Connections currently alive (idle, reading, or served).",
+            self.connections_open() as f64,
+        );
+        counter(
+            &mut out,
+            "fragalign_keepalive_reuse_total",
+            "Requests served on an already-used keep-alive connection.",
+            self.keepalive_reuse.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "fragalign_admission_degraded_total",
+            "Solve requests rerouted to a cheap tier under load.",
+            self.admission_degraded.load(Ordering::Relaxed),
         );
         out.push_str(
             "# HELP fragalign_solve_requests_total Solve requests per registered solver.\n\
@@ -567,6 +649,16 @@ pub struct MetricsSnapshot {
     pub traced_requests: u64,
     /// Trace events lost to the ring's drop-oldest overwrite.
     pub trace_events_dropped: u64,
+    /// Connections the event loop ever accepted.
+    pub connections_accepted: u64,
+    /// Connections currently alive (idle, reading, or being served).
+    pub connections_open: usize,
+    /// Requests served on an already-used keep-alive connection.
+    pub keepalive_reuse: u64,
+    /// Solve requests rerouted to a cheap tier by admission control.
+    pub admission_degraded: u64,
+    /// Plain requests traced by the 1-in-N sampler.
+    pub sampled_traces: u64,
     /// Worker-queue occupancy.
     pub queue: QueueSnapshot,
     /// Result-cache counters.
@@ -650,11 +742,22 @@ mod tests {
         t.record_service(Duration::from_millis(2));
         t.record_solve_latency(0, Duration::from_millis(2));
         t.record_traced(5);
+        t.note_conn_opened();
+        t.note_conn_opened();
+        t.note_conn_closed();
+        t.record_keepalive_reuse();
+        t.record_degraded();
+        t.record_sampled();
         let text = t.prometheus(4, 64, crate::ResultCache::new(2, 1024).stats());
         for needle in [
             "fragalign_requests_total 1",
             "fragalign_traced_requests_total 1",
             "fragalign_trace_events_dropped_total 5",
+            "fragalign_connections_accepted_total 2",
+            "fragalign_connections_open 1",
+            "fragalign_keepalive_reuse_total 1",
+            "fragalign_admission_degraded_total 1",
+            "fragalign_sampled_traces_total 1",
             "fragalign_solve_requests_total{solver=\"csr\"} 1",
             "fragalign_cache_evictions_total 0",
             "# TYPE fragalign_request_duration_seconds histogram",
@@ -678,8 +781,17 @@ mod tests {
         t.record_batch();
         t.record_latency(Duration::from_millis(3));
         t.note_queued();
+        t.note_conn_opened();
+        t.record_keepalive_reuse();
+        t.record_degraded();
+        t.record_sampled();
         let snap = t.snapshot(4, 64, crate::ResultCache::new(2, 1024).stats());
         assert_eq!(snap.requests_total, 2);
+        assert_eq!(snap.connections_accepted, 1);
+        assert_eq!(snap.connections_open, 1);
+        assert_eq!(snap.keepalive_reuse, 1);
+        assert_eq!(snap.admission_degraded, 1);
+        assert_eq!(snap.sampled_traces, 1);
         assert_eq!(snap.client_errors_4xx, 1);
         assert_eq!(snap.rejected_503, 1);
         assert_eq!(snap.solve_requests[0].requests, 2);

@@ -1,0 +1,283 @@
+//! A hand-rolled `poll(2)` readiness binding — the event loop's only
+//! system dependency beyond std.
+//!
+//! Same no-new-deps discipline as the CLI's `signal(2)` binding: std
+//! already links libc on every supported platform, so a one-line
+//! `extern "C"` declaration gives us level-triggered readiness
+//! without the `libc` crate, let alone mio or tokio. The surface is
+//! deliberately tiny — an interest list rebuilt every iteration and a
+//! blocking wait — because the server polls a few thousand fds at
+//! most and rebuild cost is dwarfed by a single syscall.
+//!
+//! On non-unix targets there is no `poll(2)`; the fallback sleeps
+//! briefly and reports every registered fd ready. That degrades the
+//! event loop to a ~2 ms spin — correct (all loop I/O is nonblocking
+//! and handles `WouldBlock`) but wasteful, which is exactly the
+//! honesty rule the shims follow: degrade loudly in docs, never
+//! silently change semantics.
+
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+/// A raw file descriptor as `poll(2)` sees it. On non-unix targets
+/// the value is a placeholder — the fallback never dereferences it.
+pub type Fd = i32;
+
+/// The descriptor behind a listener, for [`Poller::register`].
+#[cfg(unix)]
+pub fn listener_fd(l: &TcpListener) -> Fd {
+    use std::os::unix::io::AsRawFd;
+    l.as_raw_fd()
+}
+
+/// The descriptor behind a stream, for [`Poller::register`].
+#[cfg(unix)]
+pub fn stream_fd(s: &TcpStream) -> Fd {
+    use std::os::unix::io::AsRawFd;
+    s.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+pub fn listener_fd(_l: &TcpListener) -> Fd {
+    0
+}
+
+#[cfg(not(unix))]
+pub fn stream_fd(_s: &TcpStream) -> Fd {
+    0
+}
+
+#[cfg(unix)]
+mod sys {
+    use super::Fd;
+
+    /// `struct pollfd` from `<poll.h>`; layout is identical on every
+    /// unix std supports (two shorts after an int).
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: Fd,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    /// `nfds_t`: `unsigned long` on Linux, `unsigned int` on the BSDs
+    /// and macOS.
+    #[cfg(target_os = "linux")]
+    pub type NfdsT = u64;
+    #[cfg(not(target_os = "linux"))]
+    pub type NfdsT = u32;
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+
+    extern "C" {
+        pub fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: i32) -> i32;
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    use super::Fd;
+
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: Fd,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+}
+
+/// A reusable interest list over `poll(2)`. The event loop clears it,
+/// registers every live fd, waits, then reads per-slot readiness by
+/// the index `register` returned.
+pub struct Poller {
+    fds: Vec<sys::PollFd>,
+}
+
+impl Poller {
+    /// An empty interest list.
+    pub fn new() -> Self {
+        Poller { fds: Vec::new() }
+    }
+
+    /// Drop all registered interest (start of an event-loop turn).
+    pub fn clear(&mut self) {
+        self.fds.clear();
+    }
+
+    /// Register `fd` with read and/or write interest; returns the
+    /// slot index for [`Poller::readable`]/[`Poller::writable`] after
+    /// the wait.
+    pub fn register(&mut self, fd: Fd, read: bool, write: bool) -> usize {
+        let mut events = 0i16;
+        if read {
+            events |= sys::POLLIN;
+        }
+        if write {
+            events |= sys::POLLOUT;
+        }
+        self.fds.push(sys::PollFd {
+            fd,
+            events,
+            revents: 0,
+        });
+        self.fds.len() - 1
+    }
+
+    /// Block until at least one registered fd is ready or `timeout`
+    /// elapses (`None` blocks forever). Returns the ready count; 0 on
+    /// timeout or an interrupting signal (the loop just turns again).
+    #[cfg(unix)]
+    pub fn wait(&mut self, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            // +999_999 ns rounds up so a 1 ns deadline is not a busy
+            // 0 ms spin.
+            Some(d) => d
+                .as_millis()
+                .saturating_add(u128::from(d.subsec_nanos() % 1_000_000 != 0))
+                .min(i32::MAX as u128) as i32,
+        };
+        let rc = unsafe {
+            sys::poll(
+                self.fds.as_mut_ptr(),
+                self.fds.len() as sys::NfdsT,
+                timeout_ms,
+            )
+        };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            // A signal (ctrl-c during shutdown) woke the wait; report
+            // nothing ready and let the loop re-check its flags.
+            return Ok(0);
+        }
+        Err(err)
+    }
+
+    /// Fallback wait: sleep briefly, then report every slot ready.
+    /// All loop I/O is nonblocking, so spurious readiness only costs
+    /// a `WouldBlock` per fd.
+    #[cfg(not(unix))]
+    pub fn wait(&mut self, timeout: Option<Duration>) -> io::Result<usize> {
+        let nap = timeout
+            .unwrap_or(Duration::from_millis(2))
+            .min(Duration::from_millis(2));
+        std::thread::sleep(nap);
+        for slot in &mut self.fds {
+            slot.revents = slot.events;
+        }
+        Ok(self.fds.len())
+    }
+
+    /// Whether slot `i` is readable — `POLLERR`/`POLLHUP` count, so a
+    /// dead socket surfaces through the next `read` instead of being
+    /// polled forever.
+    pub fn readable(&self, i: usize) -> bool {
+        self.fds[i].revents & (sys::POLLIN | sys::POLLERR | sys::POLLHUP) != 0
+    }
+
+    /// Whether slot `i` is writable (or errored — same rationale).
+    pub fn writable(&self, i: usize) -> bool {
+        self.fds[i].revents & (sys::POLLOUT | sys::POLLERR | sys::POLLHUP) != 0
+    }
+}
+
+impl Default for Poller {
+    fn default() -> Self {
+        Poller::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+
+    #[test]
+    fn reports_a_connectable_listener_readable() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut poller = Poller::new();
+
+        // Nothing pending: a short wait times out with nothing ready.
+        poller.clear();
+        let slot = poller.register(listener_fd(&listener), true, false);
+        let n = poller.wait(Some(Duration::from_millis(10))).unwrap();
+        #[cfg(unix)]
+        {
+            assert_eq!(n, 0);
+            assert!(!poller.readable(slot));
+        }
+        #[cfg(not(unix))]
+        let _ = (n, slot);
+
+        // A pending connection flips the listener readable.
+        let client = TcpStream::connect(addr).unwrap();
+        poller.clear();
+        let slot = poller.register(listener_fd(&listener), true, false);
+        let n = poller.wait(Some(Duration::from_millis(2000))).unwrap();
+        assert!(n >= 1);
+        assert!(poller.readable(slot));
+        drop(client);
+    }
+
+    #[test]
+    fn reports_stream_readability_on_data_and_eof() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+
+        let mut poller = Poller::new();
+        poller.clear();
+        let slot = poller.register(stream_fd(&server_side), true, false);
+        #[cfg(unix)]
+        assert_eq!(poller.wait(Some(Duration::from_millis(10))).unwrap(), 0);
+
+        client.write_all(b"x").unwrap();
+        client.flush().unwrap();
+        poller.clear();
+        let slot2 = poller.register(stream_fd(&server_side), true, false);
+        assert!(poller.wait(Some(Duration::from_millis(2000))).unwrap() >= 1);
+        assert!(poller.readable(slot2));
+        let mut byte = [0u8; 8];
+        let mut s = &server_side;
+        assert_eq!(s.read(&mut byte).unwrap(), 1);
+
+        // EOF is also readability (read returns Ok(0)).
+        drop(client);
+        poller.clear();
+        let slot3 = poller.register(stream_fd(&server_side), true, false);
+        assert!(poller.wait(Some(Duration::from_millis(2000))).unwrap() >= 1);
+        assert!(poller.readable(slot3));
+        assert_eq!(s.read(&mut byte).unwrap(), 0);
+        let _ = slot;
+    }
+
+    #[test]
+    fn write_interest_reports_writable_sockets() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        client.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new();
+        poller.clear();
+        let slot = poller.register(stream_fd(&client), false, true);
+        assert!(poller.wait(Some(Duration::from_millis(2000))).unwrap() >= 1);
+        assert!(poller.writable(slot));
+    }
+}

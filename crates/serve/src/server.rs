@@ -1,41 +1,64 @@
-//! The service: a TCP acceptor, a bounded connection queue, and a
-//! fixed worker pool, with the sharded result cache in front of the
-//! solver engine.
+//! The service: an event-driven connection layer over a fixed worker
+//! pool, with load-aware admission control and the sharded result
+//! cache in front of the solver engine.
 //!
 //! ## Concurrency model
 //!
-//! One acceptor thread blocks in `accept` and *tries* to enqueue each
-//! connection into a `crossbeam::channel::bounded` queue. `try_send`
-//! is the backpressure valve: when every worker is busy and the queue
-//! is at capacity, the acceptor answers `503 Service Unavailable`
-//! immediately — the client learns to back off in microseconds
-//! instead of waiting in an unbounded line. Workers block in `recv`,
-//! so an idle pool costs nothing.
+//! One event-loop thread owns the nonblocking listener, a `poll(2)`
+//! interest list (see [`crate::poll`]), and every connection that is
+//! idle, mid-read, or mid-write. Connections carry their own read and
+//! write buffers; the loop feeds bytes through [`http::try_parse`]
+//! until a full request materialises, then hands the *connection plus
+//! parsed request* to the bounded worker queue. A connection
+//! therefore occupies a worker thread only while a fully-parsed
+//! request is being solved — thousands of idle keep-alive connections
+//! cost zero threads, and a slowloris client dribbling header bytes
+//! costs one buffer and an idle timer, never a worker.
+//!
+//! After a worker writes its response on a keep-alive connection, the
+//! connection travels back to the loop over an in-process return
+//! queue (plus one wakeup byte on a loopback socket pair, since
+//! `poll` cannot watch an mpsc channel), bringing any pipelined
+//! leftover bytes with it so the next request parses without another
+//! read.
+//!
+//! Backpressure has three stages instead of the old cliff: below the
+//! degrade watermark everything is solved as asked; above it, big
+//! instances are rerouted to cheap tiers by [`AdmissionPolicy`] (the
+//! response says so in `X-Fragalign-Degraded`); above the hard
+//! watermark — or when the queue itself is full — the loop answers
+//! `503` in microseconds without touching a worker.
 //!
 //! Each worker owns one [`DpWorkspace`] for its whole lifetime — the
 //! same shared-nothing reuse discipline as the batch pipeline, so two
 //! concurrent requests never share a DP buffer and results are
 //! bit-identical to a direct [`solve_single_report`] call. The result
 //! cache above the workers is the only cross-request state, and it
-//! stores finished response bodies keyed by (solver, options,
-//! canonical instance) — solvers are deterministic, so a hit is
-//! byte-identical to the miss that populated it.
+//! stores finished response bodies keyed by (solver actually run,
+//! options, canonical instance) — degraded responses are keyed under
+//! the cheap tier that produced them, so a cache entry always equals
+//! a direct solve by its key's solver.
+//!
+//! [`solve_single_report`]: fragalign_core::solve_single_report
 
+use crate::admission::{AdmissionConfig, AdmissionDecision, AdmissionPolicy};
 use crate::cache::{self, ResultCache};
-use crate::http::{self, Request, RequestError};
+use crate::http::{self, Parse, Request, RequestError};
 use crate::metrics::Telemetry;
+use crate::poll::{self, Poller};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use fragalign_align::DpWorkspace;
-use fragalign_core::engine::{TraceHandle, TraceSink};
+use fragalign_core::engine::{InstanceFeatures, TraceHandle, TraceSink};
 use fragalign_core::{
     solve_single_traced, BatchOptions, EngineError, EngineOptions, SolveReport, SolverRegistry,
 };
 use fragalign_model::{Instance, MatchSet, Score};
 use serde::{Serialize, Value};
-use std::io;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -46,7 +69,7 @@ pub struct ServeConfig {
     pub addr: String,
     /// Worker-pool size (each worker owns a warm DP workspace).
     pub workers: usize,
-    /// Bounded connection-queue capacity; beyond it the acceptor
+    /// Bounded request-queue capacity; beyond it the event loop
     /// answers 503.
     pub queue_depth: usize,
     /// Result-cache budget in MiB (0 disables caching).
@@ -57,14 +80,27 @@ pub struct ServeConfig {
     pub default_solver: String,
     /// Largest accepted request body.
     pub max_body_bytes: usize,
-    /// Per-connection socket read/write timeout, seconds — a stalled
-    /// client can hold a worker at most this long.
+    /// Per-connection socket read/write timeout, seconds — applies to
+    /// the worker's blocking response write, so a stalled client can
+    /// hold a worker at most this long.
     pub io_timeout_secs: u64,
+    /// Most connections the event loop will hold open at once; past
+    /// it new connections get an immediate 503.
+    pub max_conns: usize,
+    /// Idle keep-alive connections are closed after this long with no
+    /// bytes in either direction (the slowloris defense).
+    pub idle_timeout_ms: u64,
+    /// The admission-control watermarks.
+    pub admission: AdmissionConfig,
+    /// Trace one in this many plain solves into a shared sink served
+    /// at `GET /debug/trace` (0 disables sampling).
+    pub trace_sample: u64,
 }
 
 impl Default for ServeConfig {
     /// Loopback, 4 workers, queue of 64, 32 MiB cache over 16 shards,
-    /// the shape-routing `auto` solver by default.
+    /// the shape-routing `auto` solver, 1024 connections, 30 s idle
+    /// timeout, admission on at the default watermarks, sampling off.
     fn default() -> Self {
         ServeConfig {
             addr: "127.0.0.1:0".to_string(),
@@ -75,11 +111,48 @@ impl Default for ServeConfig {
             default_solver: "auto".to_string(),
             max_body_bytes: 16 * 1024 * 1024,
             io_timeout_secs: 10,
+            max_conns: 1024,
+            idle_timeout_ms: 30_000,
+            admission: AdmissionConfig::default(),
+            trace_sample: 0,
         }
     }
 }
 
-/// State shared by the acceptor and every worker. Tests and the
+/// The 1-in-N sampler: a shared sink plus the tick counter that
+/// decides which plain solves get a recording handle.
+struct Sampler {
+    /// The active sink. `GET /debug/trace` swaps in a fresh ring and
+    /// snapshots the old one, so each drain returns only spans
+    /// recorded since the previous drain (a solve racing the swap may
+    /// land its spans in the retired ring and go unreported — fine
+    /// for a debug endpoint).
+    sink: Mutex<Arc<TraceSink>>,
+    every: u64,
+    ticks: AtomicU64,
+}
+
+impl Sampler {
+    /// Whether this tick's request is the 1-in-N one.
+    fn fires(&self) -> bool {
+        self.ticks
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(self.every)
+    }
+
+    /// A clone of the currently active sink.
+    fn current(&self) -> Arc<TraceSink> {
+        Arc::clone(&self.sink.lock().expect("sampler lock poisoned"))
+    }
+
+    /// Swap in a fresh ring and return the retired one for draining.
+    fn rotate(&self) -> Arc<TraceSink> {
+        let mut slot = self.sink.lock().expect("sampler lock poisoned");
+        std::mem::replace(&mut slot, TraceSink::new())
+    }
+}
+
+/// State shared by the event loop and every worker. Tests and the
 /// `exp_service` load generator read the gauges through
 /// [`Server::state`].
 pub struct ServeState {
@@ -91,12 +164,98 @@ pub struct ServeState {
     queue_capacity: usize,
     workers: usize,
     max_body_bytes: usize,
+    admission: AdmissionPolicy,
+    sampler: Option<Sampler>,
 }
 
-/// One accepted connection, stamped when it entered the queue so
-/// recorded latency includes queue wait.
-struct Job {
+/// Decrements the open-connections gauge when its connection dies,
+/// whichever thread drops it.
+struct OpenConn(Arc<ServeState>);
+
+impl Drop for OpenConn {
+    fn drop(&mut self) {
+        self.0.telemetry.note_conn_closed();
+    }
+}
+
+/// One live connection: the socket plus its read buffer (bytes not
+/// yet parsed, including pipelined leftover), write buffer (responses
+/// the loop queued itself), and liveness bookkeeping.
+struct Conn {
     stream: TcpStream,
+    /// Unparsed inbound bytes; the front is always a request boundary.
+    buf: Vec<u8>,
+    /// Outbound bytes the loop owes the socket (error responses,
+    /// interim 100s); flushed nonblockingly as the socket drains.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Close once `out` is fully flushed (framing is broken or the
+    /// request asked for it).
+    close_after_write: bool,
+    /// An interim `100 Continue` has been queued for the request
+    /// currently being read.
+    sent_continue: bool,
+    last_activity: Instant,
+    born: Instant,
+    /// Requests fully parsed off this connection so far.
+    served: u64,
+    /// Whether this connection's lifetime is traced by the sampler.
+    sampled: bool,
+    _open: OpenConn,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, state: &Arc<ServeState>, sampled: bool) -> Conn {
+        let now = Instant::now();
+        Conn {
+            stream,
+            buf: Vec::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            close_after_write: false,
+            sent_continue: false,
+            last_activity: now,
+            born: now,
+            served: 0,
+            sampled,
+            _open: OpenConn(Arc::clone(state)),
+        }
+    }
+
+    fn has_pending_out(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+
+    /// Queue a complete response for the loop to flush; `keep_alive`
+    /// false also marks the connection to close after the flush.
+    fn queue_response(
+        &mut self,
+        status: u16,
+        extra: &[(&str, &str)],
+        body: &str,
+        keep_alive: bool,
+    ) {
+        self.out.extend_from_slice(&http::render_response(
+            status,
+            "application/json",
+            extra,
+            body,
+            keep_alive,
+        ));
+        if !keep_alive {
+            self.close_after_write = true;
+        }
+    }
+}
+
+/// One parsed request travelling to a worker, carrying its connection
+/// and the queue load observed at enqueue time (so the admission
+/// decision is reproducible from the stamped value, not a re-read of
+/// a moving gauge).
+struct Job {
+    conn: Conn,
+    request: Request,
+    load: f64,
     enqueued: Instant,
 }
 
@@ -106,12 +265,12 @@ pub struct Server {
     addr: SocketAddr,
     state: Arc<ServeState>,
     shutdown: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
+    events: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Bind `cfg.addr`, spawn the acceptor and worker pool, and
+    /// Bind `cfg.addr`, spawn the event loop and worker pool, and
     /// return the running server. Fails fast on an unbindable address
     /// or an unregistered default solver.
     pub fn start(cfg: ServeConfig) -> io::Result<Server> {
@@ -128,35 +287,53 @@ impl Server {
             queue_capacity: cfg.queue_depth.max(1),
             workers,
             max_body_bytes: cfg.max_body_bytes,
+            admission: AdmissionPolicy::new(cfg.admission.clone()),
+            sampler: (cfg.trace_sample > 0).then(|| Sampler {
+                sink: Mutex::new(TraceSink::new()),
+                every: cfg.trace_sample,
+                ticks: AtomicU64::new(0),
+            }),
         });
         let shutdown = Arc::new(AtomicBool::new(false));
         let (tx, rx) = channel::bounded::<Job>(state.queue_capacity);
+        let (ret_tx, ret_rx) = mpsc::channel::<Conn>();
+        let (wake_writer, wake_reader) = wake_pair()?;
         let io_timeout = Duration::from_secs(cfg.io_timeout_secs.max(1));
 
         let worker_handles: Vec<JoinHandle<()>> = (0..workers)
             .map(|i| {
                 let rx: Receiver<Job> = rx.clone();
+                let ret_tx = ret_tx.clone();
+                let wake = wake_writer.try_clone().expect("clone wake socket");
                 let state = Arc::clone(&state);
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(rx, state))
+                    .spawn(move || worker_loop(rx, ret_tx, wake, state))
                     .expect("spawn worker thread")
             })
             .collect();
-        let acceptor = {
+        drop(ret_tx);
+        let events = {
             let state = Arc::clone(&state);
             let shutdown = Arc::clone(&shutdown);
+            let knobs = LoopKnobs {
+                max_conns: cfg.max_conns.max(1),
+                idle_timeout: Duration::from_millis(cfg.idle_timeout_ms.max(1)),
+                io_timeout,
+            };
             std::thread::Builder::new()
-                .name("serve-acceptor".to_string())
-                .spawn(move || accept_loop(listener, tx, state, shutdown, io_timeout))
-                .expect("spawn acceptor thread")
+                .name("serve-events".to_string())
+                .spawn(move || {
+                    event_loop(listener, tx, ret_rx, wake_reader, state, shutdown, knobs)
+                })
+                .expect("spawn event-loop thread")
         };
 
         Ok(Server {
             addr,
             state,
             shutdown,
-            acceptor: Some(acceptor),
+            events: Some(events),
             workers: worker_handles,
         })
     }
@@ -178,15 +355,15 @@ impl Server {
     }
 
     fn stop(&mut self) {
-        let Some(acceptor) = self.acceptor.take() else {
+        let Some(events) = self.events.take() else {
             return;
         };
         self.shutdown.store(true, Ordering::SeqCst);
-        // Wake the acceptor out of its blocking accept; it re-checks
-        // the flag on every connection.
+        // Wake the loop out of its poll promptly; it re-checks the
+        // flag every turn anyway (the wait is capped).
         let _ = TcpStream::connect(self.addr);
-        let _ = acceptor.join();
-        // The acceptor dropped the sender, so workers drain whatever
+        let _ = events.join();
+        // The loop dropped the job sender, so workers drain whatever
         // is queued and then see a disconnected channel.
         for handle in self.workers.drain(..) {
             let _ = handle.join();
@@ -208,57 +385,369 @@ impl ServeState {
     }
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    tx: Sender<Job>,
-    state: Arc<ServeState>,
-    shutdown: Arc<AtomicBool>,
-    io_timeout: Duration,
-) {
-    for conn in listener.incoming() {
-        if shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let stream = match conn {
-            Ok(s) => s,
-            Err(_) => continue, // transient accept failure
-        };
-        // Cap how long a silent client can hold a worker, and disable
-        // Nagle so small JSON responses are not delayed.
-        let _ = stream.set_read_timeout(Some(io_timeout));
-        let _ = stream.set_write_timeout(Some(io_timeout));
-        let _ = stream.set_nodelay(true);
-        state.telemetry.note_queued();
-        match tx.try_send(Job {
-            stream,
-            enqueued: Instant::now(),
-        }) {
-            Ok(()) => {}
-            Err(TrySendError::Full(mut job)) => {
-                state.telemetry.note_dequeued();
-                state.telemetry.record_rejected();
-                let body = error_object(
-                    "server busy: worker queue is full, retry shortly",
-                    &[("queue_capacity", Value::Int(state.queue_capacity as i64))],
-                );
-                // Write the rejection off-thread: a rejected client
-                // that never reads would otherwise stall the accept
-                // loop for the whole write timeout — precisely during
-                // overload, when accepts must stay cheap. The thread
-                // lives at most one io_timeout.
-                std::thread::spawn(move || {
-                    let _ =
-                        http::write_response(&mut job.stream, 503, &[("Retry-After", "1")], &body);
-                    let _ = job.stream.shutdown(Shutdown::Write);
-                });
-            }
-            Err(TrySendError::Disconnected(_)) => break,
-        }
-    }
-    // Dropping `tx` here lets the workers drain and exit.
+/// A loopback socket pair: workers write a byte to the writer to wake
+/// the event loop's poll after pushing a returned connection. (The
+/// portable stand-in for `pipe(2)`/eventfd — no extra binding needed.)
+fn wake_pair() -> io::Result<(TcpStream, TcpStream)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let writer = TcpStream::connect(listener.local_addr()?)?;
+    let (reader, _) = listener.accept()?;
+    // Nonblocking on both ends: a full wake buffer just means the
+    // loop has plenty of reasons to wake already.
+    writer.set_nonblocking(true)?;
+    reader.set_nonblocking(true)?;
+    writer.set_nodelay(true)?;
+    Ok((writer, reader))
 }
 
-fn worker_loop(rx: Receiver<Job>, state: Arc<ServeState>) {
+/// The event loop's fixed knobs.
+struct LoopKnobs {
+    max_conns: usize,
+    idle_timeout: Duration,
+    io_timeout: Duration,
+}
+
+/// What one pump of a connection decided.
+enum Pump {
+    /// Nothing to do yet (waiting for bytes or socket writability).
+    Keep,
+    /// The connection is dead or finished; close it.
+    Close,
+    /// A full request parsed; dispatch connection + request.
+    Dispatch(Box<Request>),
+}
+
+fn event_loop(
+    listener: TcpListener,
+    tx: Sender<Job>,
+    ret_rx: mpsc::Receiver<Conn>,
+    wake_reader: TcpStream,
+    state: Arc<ServeState>,
+    shutdown: Arc<AtomicBool>,
+    knobs: LoopKnobs,
+) {
+    listener
+        .set_nonblocking(true)
+        .expect("listener nonblocking");
+    let mut poller = Poller::new();
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut accepted: u64 = 0;
+    let mut prep_memo = PrepMemoCache::new();
+    // Reads stop at this buffer size; the kernel's TCP window takes
+    // over as backpressure for clients that pipeline faster than the
+    // service drains.
+    let read_cap = state.max_body_bytes + http::MAX_HEAD_BYTES + 4096;
+
+    while !shutdown.load(Ordering::SeqCst) {
+        poller.clear();
+        let listener_slot = poller.register(poll::listener_fd(&listener), true, false);
+        let wake_slot = poller.register(poll::stream_fd(&wake_reader), true, false);
+        let base = 2;
+        let polled = conns.len();
+        for conn in &conns {
+            poller.register(poll::stream_fd(&conn.stream), true, conn.has_pending_out());
+        }
+        // Wake by the nearest idle deadline, capped so shutdown and
+        // returned-connection checks never starve.
+        let now = Instant::now();
+        let mut timeout = Duration::from_millis(100);
+        for conn in &conns {
+            timeout = timeout
+                .min((conn.last_activity + knobs.idle_timeout).saturating_duration_since(now));
+        }
+        if poller.wait(Some(timeout)).is_err() {
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        }
+        let now = Instant::now();
+
+        // Drain wake bytes (their only meaning is "check the return
+        // queue", which we do unconditionally below).
+        if poller.readable(wake_slot) {
+            let mut bin = [0u8; 64];
+            while matches!((&wake_reader).read(&mut bin), Ok(n) if n > 0) {}
+        }
+
+        // Returned keep-alive connections re-enter the poll set; they
+        // are past `polled`, so they get pumped unconditionally this
+        // turn — any pipelined leftover parses immediately.
+        while let Ok(mut conn) = ret_rx.try_recv() {
+            if conn.stream.set_nonblocking(true).is_err() {
+                close_conn(conn, &state);
+                continue;
+            }
+            conn.last_activity = now;
+            conns.push(conn);
+        }
+
+        if poller.readable(listener_slot) {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(true);
+                        let _ = stream.set_nodelay(true);
+                        // Timeouts only bind in blocking mode, i.e.
+                        // the worker's response write.
+                        let _ = stream.set_read_timeout(Some(knobs.io_timeout));
+                        let _ = stream.set_write_timeout(Some(knobs.io_timeout));
+                        state.telemetry.note_conn_opened();
+                        let sampled = state
+                            .sampler
+                            .as_ref()
+                            .is_some_and(|s| accepted.is_multiple_of(s.every));
+                        accepted += 1;
+                        let mut conn = Conn::new(stream, &state, sampled);
+                        if conns.len() >= knobs.max_conns {
+                            state.telemetry.record_rejected();
+                            state.telemetry.record_response(503);
+                            let body = error_object(
+                                "server busy: connection limit reached, retry shortly",
+                                &[("max_conns", Value::Int(knobs.max_conns as i64))],
+                            );
+                            conn.queue_response(503, &[("Retry-After", "1")], &body, false);
+                        }
+                        conns.push(conn);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+        }
+
+        // Pump back-to-front so swap_remove only disturbs indices we
+        // have already visited; slots base+i stay aligned for i <
+        // polled. Each connection may serve several requests per turn
+        // (pipelined cache hits and loop-answered 503s never leave
+        // the loop), bounded for fairness; a connection with a
+        // complete request still buffered stays `ready` via its
+        // non-empty buffer, so the cap never strands parsed bytes.
+        const MAX_REQUESTS_PER_TURN: usize = 64;
+        let mut i = conns.len();
+        while i > 0 {
+            i -= 1;
+            let ready = i >= polled
+                || !conns[i].buf.is_empty()
+                || poller.readable(base + i)
+                || (conns[i].has_pending_out() && poller.writable(base + i));
+            if !ready {
+                if now.saturating_duration_since(conns[i].last_activity) >= knobs.idle_timeout {
+                    let conn = conns.swap_remove(i);
+                    close_conn(conn, &state);
+                }
+                continue;
+            }
+            for _ in 0..MAX_REQUESTS_PER_TURN {
+                match pump_conn(&mut conns[i], &state, now, read_cap) {
+                    Pump::Keep => break,
+                    Pump::Close => {
+                        let conn = conns.swap_remove(i);
+                        close_conn(conn, &state);
+                        break;
+                    }
+                    Pump::Dispatch(request) => {
+                        let load =
+                            state.telemetry.queue_depth() as f64 / state.queue_capacity as f64;
+                        if state.admission.should_reject(load) {
+                            state.telemetry.record_rejected();
+                            state.telemetry.record_response(503);
+                            let keep = request.keep_alive;
+                            let body = error_object(
+                                "server busy: past the hard admission watermark, retry shortly",
+                                &[("queue_capacity", Value::Int(state.queue_capacity as i64))],
+                            );
+                            conns[i].queue_response(503, &[("Retry-After", "1")], &body, keep);
+                            continue;
+                        }
+                        // Cache hits (the hot path by construction —
+                        // the cache exists because traffic repeats)
+                        // are answered right here; only work that
+                        // needs a solver costs a queue slot and a
+                        // worker wakeup.
+                        let t0 = Instant::now();
+                        if let Some(reply) = try_inline_hit(&request, &state, load, &mut prep_memo)
+                        {
+                            state.telemetry.record_response(reply.status);
+                            state.telemetry.record_service(t0.elapsed());
+                            state.telemetry.record_latency(t0.elapsed());
+                            let mut extra: Vec<(&str, &str)> = Vec::new();
+                            if let Some(marker) = reply.cache_marker {
+                                extra.push(("X-Fragalign-Cache", marker));
+                            }
+                            if let Some(tier) = reply.degraded {
+                                extra.push(("X-Fragalign-Degraded", tier));
+                            }
+                            conns[i].queue_response(
+                                reply.status,
+                                &extra,
+                                &reply.body,
+                                request.keep_alive,
+                            );
+                            continue;
+                        }
+                        state.telemetry.note_queued();
+                        let conn = conns.swap_remove(i);
+                        match tx.try_send(Job {
+                            conn,
+                            request: *request,
+                            load,
+                            enqueued: Instant::now(),
+                        }) {
+                            Ok(()) => {}
+                            Err(TrySendError::Full(job)) => {
+                                state.telemetry.note_dequeued();
+                                state.telemetry.record_rejected();
+                                state.telemetry.record_response(503);
+                                let mut conn = job.conn;
+                                let keep = job.request.keep_alive;
+                                let body = error_object(
+                                    "server busy: worker queue is full, retry shortly",
+                                    &[("queue_capacity", Value::Int(state.queue_capacity as i64))],
+                                );
+                                conn.queue_response(503, &[("Retry-After", "1")], &body, keep);
+                                conns.push(conn);
+                            }
+                            Err(TrySendError::Disconnected(job)) => {
+                                close_conn(job.conn, &state);
+                                return;
+                            }
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    // Dropping `tx` lets the workers drain and exit; dropping the
+    // conns vec closes every remaining socket.
+    for conn in conns.drain(..) {
+        close_conn(conn, &state);
+    }
+}
+
+/// Flush, read, and parse one connection as far as nonblocking I/O
+/// allows. At most one request is dispatched per pump — in-order
+/// pipelining falls out of the connection travelling with its request
+/// and only rejoining the loop after the response is written.
+fn pump_conn(conn: &mut Conn, state: &ServeState, now: Instant, read_cap: usize) -> Pump {
+    // Phase 1: drain the loop's own pending output.
+    while conn.has_pending_out() {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => return Pump::Close,
+            Ok(n) => {
+                conn.out_pos += n;
+                conn.last_activity = now;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Pump::Keep,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Pump::Close,
+        }
+    }
+    if !conn.out.is_empty() {
+        conn.out.clear();
+        conn.out_pos = 0;
+        if conn.close_after_write {
+            return Pump::Close;
+        }
+    }
+
+    // Phase 2: read whatever has arrived.
+    let mut peer_eof = false;
+    loop {
+        if conn.buf.len() >= read_cap {
+            break;
+        }
+        let mut chunk = [0u8; 16 * 1024];
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                peer_eof = true;
+                break;
+            }
+            Ok(n) => {
+                conn.buf.extend_from_slice(&chunk[..n]);
+                conn.last_activity = now;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Pump::Close,
+        }
+    }
+
+    // Phase 3: try to produce one request.
+    match http::try_parse(&conn.buf, state.max_body_bytes) {
+        Ok(Parse::Ready {
+            mut request,
+            consumed,
+        }) => {
+            conn.buf.drain(..consumed);
+            conn.served += 1;
+            if conn.served >= 2 {
+                state.telemetry.record_keepalive_reuse();
+            }
+            if peer_eof {
+                // The client half-closed after sending; answer, then
+                // close — there is no next request.
+                request.keep_alive = false;
+            }
+            if request.expect_continue && !conn.sent_continue {
+                // The interim 100 precedes the final response; the
+                // worker flushes `out` before writing its reply.
+                conn.out.extend_from_slice(b"HTTP/1.1 100 Continue\r\n\r\n");
+            }
+            conn.sent_continue = false;
+            Pump::Dispatch(Box::new(request))
+        }
+        Ok(Parse::Incomplete { needs_continue }) => {
+            if peer_eof {
+                // Torn request: nobody left to answer.
+                return Pump::Close;
+            }
+            if needs_continue && !conn.sent_continue && conn.out.is_empty() {
+                conn.out.extend_from_slice(b"HTTP/1.1 100 Continue\r\n\r\n");
+                conn.sent_continue = true;
+            }
+            Pump::Keep
+        }
+        Err(err) => {
+            let (status, body) = match err {
+                RequestError::Io(_) => return Pump::Close,
+                RequestError::Malformed(msg) => (400, error_object(&msg, &[])),
+                RequestError::Unimplemented(msg) => (501, error_object(&msg, &[])),
+                RequestError::BodyTooLarge { limit } => (
+                    413,
+                    error_object(&format!("request body exceeds the {limit}-byte limit"), &[]),
+                ),
+            };
+            state.telemetry.record_response(status);
+            // After a framing error the byte stream can no longer be
+            // trusted to delimit requests: answer and close.
+            conn.queue_response(status, &[], &body, false);
+            Pump::Keep
+        }
+    }
+}
+
+/// Close a connection, emitting its lifetime instant into the sampled
+/// sink when this connection drew the sampling ticket.
+fn close_conn(conn: Conn, state: &ServeState) {
+    if conn.sampled {
+        if let Some(sampler) = &state.sampler {
+            TraceHandle::new(sampler.current()).instant(
+                "connection",
+                "closed",
+                conn.served as i64,
+                conn.born.elapsed().as_micros() as i64,
+            );
+        }
+    }
+    // Dropping `conn` closes the socket and decrements the gauge.
+}
+
+fn worker_loop(
+    rx: Receiver<Job>,
+    ret_tx: mpsc::Sender<Conn>,
+    wake: TcpStream,
+    state: Arc<ServeState>,
+) {
     let mut ws = DpWorkspace::new();
     while let Ok(mut job) = rx.recv() {
         state.telemetry.note_dequeued();
@@ -268,76 +757,91 @@ fn worker_loop(rx: Receiver<Job>, state: Arc<ServeState>) {
         // existing p99 numbers keep their meaning.
         state.telemetry.record_queue_wait(job.enqueued.elapsed());
         let service_started = Instant::now();
+        // Blocking mode for the response write; the socket timeouts
+        // set at accept bound how long a stalled client costs.
+        let _ = job.conn.stream.set_nonblocking(false);
         // Contain panics: a request that trips a solver bug must cost
         // that request a 500, not the pool a worker (N such requests
         // would otherwise silently wedge the whole service).
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            handle_connection(&mut job, &state, &mut ws)
+            handle_request(&mut job, &state, &mut ws)
         }));
-        if outcome.is_err() {
-            state.telemetry.record_response(500);
-            let _ = http::write_response(
-                &mut job.stream,
-                500,
-                &[],
-                &error_object("internal error: request handler panicked", &[]),
-            );
-            // The unwound handler may have left the scratch workspace
-            // mid-surgery; replace it rather than trust it.
-            ws = DpWorkspace::new();
-        }
+        let keep = match outcome {
+            Ok(keep) => keep,
+            Err(_) => {
+                state.telemetry.record_response(500);
+                let _ = http::write_response(
+                    &mut job.conn.stream,
+                    500,
+                    &[],
+                    &error_object("internal error: request handler panicked", &[]),
+                );
+                // The unwound handler may have left the scratch
+                // workspace mid-surgery; replace it rather than trust
+                // it.
+                ws = DpWorkspace::new();
+                false
+            }
+        };
         state.telemetry.record_service(service_started.elapsed());
         state.telemetry.record_latency(job.enqueued.elapsed());
         state.telemetry.note_busy(false);
+        if keep {
+            if ret_tx.send(job.conn).is_ok() {
+                // One byte wakes the loop's poll; WouldBlock means it
+                // is drowning in wakeups already.
+                let _ = (&wake).write(&[1]);
+            }
+        } else {
+            close_conn(job.conn, &state);
+        }
     }
 }
 
-/// Read one request, route it, write one response, close. Socket
-/// errors are swallowed — the client is gone and there is nobody to
-/// tell.
-fn handle_connection(job: &mut Job, state: &ServeState, ws: &mut DpWorkspace) {
-    let request = match http::read_request(&mut job.stream, state.max_body_bytes) {
-        Ok(r) => r,
-        Err(RequestError::Io(_)) => return,
-        Err(RequestError::Malformed(msg)) => {
-            state.telemetry.record_response(400);
-            let _ = http::write_response(&mut job.stream, 400, &[], &error_object(&msg, &[]));
-            return;
+/// Route one parsed request and write the response. Returns whether
+/// the connection survives (keep-alive and the write succeeded).
+/// Socket errors are swallowed — the client is gone and there is
+/// nobody to tell.
+fn handle_request(job: &mut Job, state: &ServeState, ws: &mut DpWorkspace) -> bool {
+    // Any interim 100 the loop queued goes out first.
+    if job.conn.has_pending_out() {
+        let pending = job.conn.out[job.conn.out_pos..].to_vec();
+        if job.conn.stream.write_all(&pending).is_err() {
+            return false;
         }
-        Err(RequestError::Unimplemented(msg)) => {
-            state.telemetry.record_response(501);
-            let _ = http::write_response(&mut job.stream, 501, &[], &error_object(&msg, &[]));
-            return;
-        }
-        Err(RequestError::BodyTooLarge { limit }) => {
-            state.telemetry.record_response(413);
-            let msg = format!("request body exceeds the {limit}-byte limit");
-            let _ = http::write_response(&mut job.stream, 413, &[], &error_object(&msg, &[]));
-            return;
-        }
-    };
-    let reply = route(&request, state, ws);
+        job.conn.out.clear();
+        job.conn.out_pos = 0;
+    }
+    let reply = route(&job.request, state, ws, job.load);
     state.telemetry.record_response(reply.status);
-    let extra: Vec<(&str, &str)> = match &reply.cache_marker {
-        Some(marker) => vec![("X-Fragalign-Cache", *marker)],
-        None => Vec::new(),
-    };
-    let _ = http::write_response_typed(
-        &mut job.stream,
+    let mut extra: Vec<(&str, &str)> = Vec::new();
+    if let Some(marker) = reply.cache_marker {
+        extra.push(("X-Fragalign-Cache", marker));
+    }
+    if let Some(tier) = reply.degraded {
+        extra.push(("X-Fragalign-Degraded", tier));
+    }
+    let keep_alive = job.request.keep_alive;
+    let wrote = http::write_response_conn(
+        &mut job.conn.stream,
         reply.status,
         reply.content_type,
         &extra,
         &reply.body,
-    );
+        keep_alive,
+    )
+    .is_ok();
+    wrote && keep_alive
 }
 
 /// A routed response: status, body, content type, and for `/v1/solve`
-/// whether the cache answered.
+/// whether the cache answered and whether admission degraded it.
 struct Reply {
     status: u16,
     body: String,
     content_type: &'static str,
     cache_marker: Option<&'static str>,
+    degraded: Option<&'static str>,
 }
 
 impl Reply {
@@ -347,6 +851,7 @@ impl Reply {
             body,
             content_type: "application/json",
             cache_marker: None,
+            degraded: None,
         }
     }
 
@@ -355,14 +860,15 @@ impl Reply {
     }
 }
 
-fn route(request: &Request, state: &ServeState, ws: &mut DpWorkspace) -> Reply {
+fn route(request: &Request, state: &ServeState, ws: &mut DpWorkspace, load: f64) -> Reply {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => handle_healthz(state),
         ("GET", "/metrics") => handle_metrics(request, state),
         ("GET", "/v1/solvers") => handle_solvers(),
-        ("POST", "/v1/solve") => handle_solve(request, state, ws),
+        ("GET", "/debug/trace") => handle_debug_trace(state),
+        ("POST", "/v1/solve") => handle_solve(request, state, ws, load),
         ("POST", "/v1/batch") => handle_batch(request, state),
-        (_, "/healthz" | "/metrics" | "/v1/solvers") => {
+        (_, "/healthz" | "/metrics" | "/v1/solvers" | "/debug/trace") => {
             Reply::error(405, "use GET on this endpoint")
         }
         (_, "/v1/solve" | "/v1/batch") => Reply::error(405, "use POST on this endpoint"),
@@ -379,6 +885,7 @@ fn route(request: &Request, state: &ServeState, ws: &mut DpWorkspace) -> Reply {
                             "GET /v1/solvers",
                             "GET /healthz",
                             "GET /metrics",
+                            "GET /debug/trace",
                         ]
                         .iter()
                         .map(|e| Value::Str((*e).to_string()))
@@ -417,12 +924,27 @@ fn handle_metrics(request: &Request, state: &ServeState) -> Reply {
             ),
             content_type: "text/plain; version=0.0.4; charset=utf-8",
             cache_marker: None,
+            degraded: None,
         },
         Some(other) => Reply::error(400, &format!("unknown format {other:?} (try prometheus)")),
         None => Reply::json(
             200,
             serde_json::to_string_pretty(&state.metrics()).expect("metrics serialises"),
         ),
+    }
+}
+
+/// Drain the 1-in-N sampled sink as a Chrome trace document.
+fn handle_debug_trace(state: &ServeState) -> Reply {
+    match &state.sampler {
+        None => Reply::error(
+            400,
+            "trace sampling is disabled (start the server with --trace-sample N)",
+        ),
+        Some(sampler) => {
+            let log = sampler.rotate().drain();
+            Reply::json(200, log.to_chrome_json())
+        }
     }
 }
 
@@ -461,8 +983,227 @@ struct SolveResponse {
     report: SolveReport,
 }
 
-fn handle_solve(request: &Request, state: &ServeState, ws: &mut DpWorkspace) -> Reply {
-    let parsed = match parse_solve_request(&request.body, state, &["instance"]) {
+/// Everything `/v1/solve` resolves before touching the cache or a
+/// worker: the decoded instance, the admission-resolved solver, and
+/// the canonical cache key. Side-effect free (no telemetry), so the
+/// event loop can run it speculatively for the inline hit path and
+/// the worker can run it again on a miss without double-counting.
+struct SolvePrep {
+    inst: Instance,
+    engine: EngineOptions,
+    solver: String,
+    position: usize,
+    degraded: Option<&'static str>,
+    key: cache::Fingerprint,
+    /// The solver the client asked for (pre-admission), plus the key
+    /// ingredients — kept so the event loop can memoise the expensive
+    /// parse work by raw body (see [`PrepMemo`]).
+    requested: String,
+    requested_position: usize,
+    options_tag: String,
+    canonical: String,
+}
+
+fn prepare_solve(
+    request: &Request,
+    state: &ServeState,
+    load: f64,
+) -> Result<SolvePrep, ParseRejection> {
+    let parsed = parse_solve_request(&request.body, state, &["instance"])?;
+    let inst_value = parsed
+        .doc
+        .get("instance")
+        .expect("checked by parse_solve_request");
+    let inst = match decode_instance(inst_value) {
+        Ok(inst) => inst,
+        Err(msg) => return Err(Reply::error(400, &msg).into()),
+    };
+    // Admission control: above the degrade watermark, big instances
+    // run a cheap tier instead of what they asked for. The substitute
+    // solver flows through everything downstream — per-solver
+    // counters, the cache key, the response's `solver` field — so a
+    // degraded response is indistinguishable from having asked for
+    // the cheap tier, except for the X-Fragalign-Degraded header.
+    let decision = state.admission.decide(
+        load,
+        &InstanceFeatures::of(&inst),
+        inst.score_upper_bound(),
+        &parsed.solver,
+    );
+    let (solver, position, degraded) = match decision {
+        AdmissionDecision::Admit => (parsed.solver.clone(), parsed.position, None),
+        AdmissionDecision::Degrade(tier) => {
+            let position = SolverRegistry::global()
+                .position(tier)
+                .expect("degraded tiers are registered");
+            (tier.to_string(), position, Some(tier))
+        }
+    };
+    // Canonicalise through the parsed instance so client formatting
+    // (whitespace, pretty-printing) cannot split cache entries.
+    let canonical = serde_json::to_string(&inst).expect("instances serialise");
+    let tag = options_tag(&parsed.engine);
+    let key = cache::fingerprint(&format!("{solver}\n{tag}\n{canonical}"));
+    Ok(SolvePrep {
+        inst,
+        engine: parsed.engine,
+        solver,
+        position,
+        degraded,
+        key,
+        requested: parsed.solver,
+        requested_position: parsed.position,
+        options_tag: tag,
+        canonical,
+    })
+}
+
+/// The load-independent fruits of preparing one `/v1/solve` body,
+/// memoised by the event loop keyed on the raw body's fingerprint.
+/// Repeat bodies — the cache-hit hot path by construction — skip the
+/// JSON decode, instance validation, and canonical re-serialisation
+/// that otherwise dominate a hit's service time. Admission stays
+/// load-dependent, so only its per-body inputs (shape features, score
+/// bound, requested solver) are stored and the decision itself is
+/// re-run on every request; both possible cache keys are precomputed
+/// because the degraded tier is a pure function of the features.
+struct PrepMemo {
+    features: InstanceFeatures,
+    bound: Score,
+    /// The solver the client asked for (the admission decision input).
+    solver: String,
+    position: usize,
+    /// Cache key when admitted as requested.
+    admit_key: cache::Fingerprint,
+    /// `(tier, registry position, cache key)` when degradable at all;
+    /// `None` for bodies no load level would ever degrade.
+    degrade: Option<(&'static str, usize, cache::Fingerprint)>,
+}
+
+impl PrepMemo {
+    fn of(state: &ServeState, prep: &SolvePrep) -> Self {
+        let features = InstanceFeatures::of(&prep.inst);
+        let bound = prep.inst.score_upper_bound();
+        let admit_key = cache::fingerprint(&format!(
+            "{}\n{}\n{}",
+            prep.requested, prep.options_tag, prep.canonical
+        ));
+        // Whether this body can ever degrade — and to which tier — is
+        // load-independent; probing the policy at infinite load
+        // extracts it once.
+        let degrade = match state
+            .admission
+            .decide(f64::INFINITY, &features, bound, &prep.requested)
+        {
+            AdmissionDecision::Admit => None,
+            AdmissionDecision::Degrade(tier) => {
+                let position = SolverRegistry::global()
+                    .position(tier)
+                    .expect("degraded tiers are registered");
+                let key = cache::fingerprint(&format!(
+                    "{tier}\n{}\n{}",
+                    prep.options_tag, prep.canonical
+                ));
+                Some((tier, position, key))
+            }
+        };
+        PrepMemo {
+            features,
+            bound,
+            solver: prep.requested.clone(),
+            position: prep.requested_position,
+            admit_key,
+            degrade,
+        }
+    }
+}
+
+/// Cap on memoised bodies; past it the memo is cleared wholesale —
+/// entries are cheap to rebuild and the hot set is tiny, so tracking
+/// recency would cost more than the occasional cold restart.
+const PREP_MEMO_CAP: usize = 4096;
+
+/// The event loop's single-threaded body→prep memo (no locks — only
+/// the loop thread touches it).
+struct PrepMemoCache {
+    map: HashMap<cache::Fingerprint, PrepMemo>,
+}
+
+impl PrepMemoCache {
+    fn new() -> Self {
+        PrepMemoCache {
+            map: HashMap::new(),
+        }
+    }
+
+    fn insert(&mut self, key: cache::Fingerprint, memo: PrepMemo) {
+        if self.map.len() >= PREP_MEMO_CAP {
+            self.map.clear();
+        }
+        self.map.insert(key, memo);
+    }
+}
+
+/// The event loop's speculative fast path: answer a plain `/v1/solve`
+/// cache hit without occupying a worker. Returns `None` for anything
+/// that needs one — a miss, a traced request, or a body that fails
+/// validation (the worker re-runs the parse and owns the error reply
+/// and its telemetry). A served hit records the same counters the
+/// worker's hit path would. Known bodies resolve through `memo`
+/// without touching JSON at all.
+fn try_inline_hit(
+    request: &Request,
+    state: &ServeState,
+    load: f64,
+    memo: &mut PrepMemoCache,
+) -> Option<Reply> {
+    if request.method != "POST"
+        || request.path != "/v1/solve"
+        || request.param("trace") == Some("1")
+    {
+        return None;
+    }
+    let raw = cache::fingerprint(&request.body);
+    let (position, degraded, key) = match memo.map.get(&raw) {
+        Some(m) => match state
+            .admission
+            .decide(load, &m.features, m.bound, &m.solver)
+        {
+            AdmissionDecision::Admit => (m.position, None, m.admit_key),
+            AdmissionDecision::Degrade(tier) => {
+                let (memo_tier, position, key) = m.degrade?;
+                if memo_tier != tier {
+                    // The policy disagreed with the memo (cannot
+                    // happen while the config is fixed; be safe and
+                    // let the worker re-derive everything).
+                    return None;
+                }
+                (position, Some(tier), key)
+            }
+        },
+        None => {
+            let prep = prepare_solve(request, state, load).ok()?;
+            let entry = PrepMemo::of(state, &prep);
+            memo.insert(raw, entry);
+            (prep.position, prep.degraded, prep.key)
+        }
+    };
+    let body = state.cache.peek(key)?;
+    if degraded.is_some() {
+        state.telemetry.record_degraded();
+    }
+    state.telemetry.record_solve(position);
+    Some(Reply {
+        status: 200,
+        body: body.to_string(),
+        content_type: "application/json",
+        cache_marker: Some("hit"),
+        degraded,
+    })
+}
+
+fn handle_solve(request: &Request, state: &ServeState, ws: &mut DpWorkspace, load: f64) -> Reply {
+    let prep = match prepare_solve(request, state, load) {
         Ok(p) => p,
         Err(rejection) => {
             if rejection.unknown_solver {
@@ -471,32 +1212,28 @@ fn handle_solve(request: &Request, state: &ServeState, ws: &mut DpWorkspace) -> 
             return rejection.reply;
         }
     };
-    let inst_value = parsed
-        .doc
-        .get("instance")
-        .expect("checked by parse_solve_request");
-    let inst = match decode_instance(inst_value) {
-        Ok(inst) => inst,
-        Err(msg) => return Reply::error(400, &msg),
-    };
+    let SolvePrep {
+        inst,
+        engine,
+        solver,
+        position,
+        degraded,
+        key,
+        ..
+    } = prep;
+    if degraded.is_some() {
+        state.telemetry.record_degraded();
+    }
     // Count only fully-validated solve traffic, so `/metrics` per-
     // solver numbers mean "solves this solver was actually asked to
     // run", not "bodies that mentioned its name".
-    state.telemetry.record_solve(parsed.position);
+    state.telemetry.record_solve(position);
 
     // `?trace=1` turns on span recording for this one request. Traced
     // responses embed a timeline, so they bypass the cache in both
     // directions: a cached plain body has no trace to return, and a
     // traced body must not be served to plain requests.
     let traced = request.param("trace") == Some("1");
-    // Canonicalise through the parsed instance so client formatting
-    // (whitespace, pretty-printing) cannot split cache entries.
-    let canonical = serde_json::to_string(&inst).expect("instances serialise");
-    let key = cache::fingerprint(&format!(
-        "{}\n{}\n{canonical}",
-        parsed.solver,
-        options_tag(&parsed.engine)
-    ));
     if !traced {
         if let Some(body) = state.cache.get(key) {
             return Reply {
@@ -504,25 +1241,36 @@ fn handle_solve(request: &Request, state: &ServeState, ws: &mut DpWorkspace) -> 
                 body: body.to_string(),
                 content_type: "application/json",
                 cache_marker: Some("hit"),
+                degraded,
             };
         }
     }
     let opts = BatchOptions {
-        solver: parsed.solver.clone(),
-        engine: parsed.engine,
+        solver: solver.clone(),
+        engine,
     };
     let sink = traced.then(TraceSink::new);
-    let trace = sink
-        .as_ref()
-        .map_or_else(TraceHandle::disabled, |s| TraceHandle::new(Arc::clone(s)));
+    // The 1-in-N sampler ticks on actual solves (cache hits have no
+    // spans to record). A sampled solve records into the shared sink
+    // served at /debug/trace; tracing is inert on results, so the
+    // body is still cached as usual.
+    let sampled = !traced && state.sampler.as_ref().is_some_and(|s| s.fires());
+    let trace = match (&sink, &state.sampler) {
+        (Some(s), _) => TraceHandle::new(Arc::clone(s)),
+        (None, Some(sampler)) if sampled => TraceHandle::new(sampler.current()),
+        _ => TraceHandle::disabled(),
+    };
+    if sampled {
+        state.telemetry.record_sampled();
+    }
     let solve_started = Instant::now();
     match solve_single_traced(&inst, &opts, ws, trace) {
         Ok((solution, report)) => {
             state
                 .telemetry
-                .record_solve_latency(parsed.position, solve_started.elapsed());
+                .record_solve_latency(position, solve_started.elapsed());
             let mut body = serde_json::to_string(&SolveResponse {
-                solver: parsed.solver,
+                solver,
                 score: solution.score,
                 matches: solution.matches,
                 report,
@@ -536,6 +1284,7 @@ fn handle_solve(request: &Request, state: &ServeState, ws: &mut DpWorkspace) -> 
                         body,
                         content_type: "application/json",
                         cache_marker: Some("miss"),
+                        degraded,
                     }
                 }
                 Some(sink) => {
@@ -552,6 +1301,7 @@ fn handle_solve(request: &Request, state: &ServeState, ws: &mut DpWorkspace) -> 
                         body,
                         content_type: "application/json",
                         cache_marker: Some("bypass"),
+                        degraded,
                     }
                 }
             }
@@ -844,7 +1594,15 @@ mod tests {
         assert!(health.body.contains("\"status\":\"ok\""));
         let metrics = client::get(server.addr(), "/metrics").unwrap();
         assert_eq!(metrics.status, 200);
-        for field in ["uptime_secs", "solve_requests", "p99_ms", "hit_rate"] {
+        for field in [
+            "uptime_secs",
+            "solve_requests",
+            "p99_ms",
+            "hit_rate",
+            "connections_accepted",
+            "keepalive_reuse",
+            "admission_degraded",
+        ] {
             assert!(metrics.body.contains(field), "missing {field}");
         }
         server.shutdown();
@@ -902,6 +1660,9 @@ mod tests {
             "fragalign_service_seconds_count 1",
             "fragalign_cache_evictions_total 0",
             "fragalign_trace_events_dropped_total 0",
+            "fragalign_connections_accepted_total 2",
+            "# TYPE fragalign_connections_open gauge",
+            "fragalign_admission_degraded_total 0",
         ] {
             assert!(
                 resp.body.contains(needle),
@@ -946,6 +1707,51 @@ mod tests {
         assert_eq!(again.header("x-fragalign-cache"), Some("hit"));
         assert_eq!(again.body, plain.body);
         assert_eq!(server.state().metrics().traced_requests, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn sampled_tracing_records_and_drains_at_debug_trace() {
+        let server = Server::start(ServeConfig {
+            workers: 2,
+            queue_depth: 8,
+            trace_sample: 1,
+            ..ServeConfig::default()
+        })
+        .expect("server starts");
+        let inst = serde_json::to_string(&paper_example()).unwrap();
+        let body = format!("{{\"instance\":{inst},\"solver\":\"csr\"}}");
+        // A sampled solve still caches and returns a plain body.
+        let first = client::post(server.addr(), "/v1/solve", &body).unwrap();
+        assert_eq!(first.status, 200, "{}", first.body);
+        assert_eq!(first.header("x-fragalign-cache"), Some("miss"));
+        assert!(!first.body.contains("\"trace\":{"), "{}", first.body);
+        assert_eq!(server.state().metrics().sampled_traces, 1);
+        // A cache hit does not tick the sampler (nothing solved).
+        let hit = client::post(server.addr(), "/v1/solve", &body).unwrap();
+        assert_eq!(hit.header("x-fragalign-cache"), Some("hit"));
+        assert_eq!(hit.body, first.body);
+        assert_eq!(server.state().metrics().sampled_traces, 1);
+        // The sampled spans drain as a Chrome trace document.
+        let trace = client::get(server.addr(), "/debug/trace").unwrap();
+        assert_eq!(trace.status, 200);
+        assert!(
+            trace.body.contains("\"name\":\"solve:csr\""),
+            "{}",
+            trace.body
+        );
+        // Draining empties the sink.
+        let empty = client::get(server.addr(), "/debug/trace").unwrap();
+        assert!(!empty.body.contains("solve:csr"), "{}", empty.body);
+        server.shutdown();
+    }
+
+    #[test]
+    fn debug_trace_is_a_400_when_sampling_is_off() {
+        let server = test_server();
+        let resp = client::get(server.addr(), "/debug/trace").unwrap();
+        assert_eq!(resp.status, 400);
+        assert!(resp.body.contains("--trace-sample"), "{}", resp.body);
         server.shutdown();
     }
 

@@ -2,10 +2,13 @@
 //! bytes, truncations of valid requests, pathological read chunkings
 //! and single-byte mutations must never panic; any failure must land
 //! in one of the typed [`RequestError`] categories the server maps to
-//! 4xx/5xx responses; and well-formed requests must parse to the same
-//! request no matter how the socket splits the bytes.
+//! 4xx/5xx responses; well-formed requests must parse to the same
+//! request no matter how the socket splits the bytes; and pipelined
+//! request streams must come apart at exactly their framing
+//! boundaries with keep-alive semantics intact, whatever the
+//! chunking.
 
-use fragalign_serve::http::{read_request, Request, RequestError};
+use fragalign_serve::http::{read_request, try_parse, Parse, Request, RequestError};
 use proptest::collection::vec;
 use proptest::prelude::*;
 use std::io::{Read, Write};
@@ -66,6 +69,29 @@ fn valid_post(body: &str) -> (Vec<u8>, usize) {
     let mut bytes = head.into_bytes();
     bytes.extend_from_slice(body.as_bytes());
     (bytes, needed)
+}
+
+/// Feed `bytes` into an incremental-parse buffer `chunk` bytes at a
+/// time, draining every complete request as it becomes parseable —
+/// exactly the event loop's read path. Returns the parsed requests
+/// and whatever leftover bytes never completed a request.
+fn parse_stream(bytes: &[u8], chunk: usize, max_body: usize) -> (Vec<Request>, Vec<u8>) {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut out = Vec::new();
+    for piece in bytes.chunks(chunk.max(1)) {
+        buf.extend_from_slice(piece);
+        loop {
+            match try_parse(&buf, max_body) {
+                Ok(Parse::Ready { request, consumed }) => {
+                    buf.drain(..consumed);
+                    out.push(request);
+                }
+                Ok(Parse::Incomplete { .. }) => break,
+                Err(e) => panic!("a well-formed stream must stay parseable: {e:?}"),
+            }
+        }
+    }
+    (out, buf)
 }
 
 proptest! {
@@ -175,6 +201,72 @@ proptest! {
         prop_assert_eq!(req.header("x-fuzz-tag"), Some(value.as_str()));
         prop_assert_eq!(req.header("X-FUZZ-TAG"), Some(value.as_str()));
         prop_assert_eq!(req.body, body);
+    }
+
+    /// A pipeline of valid requests comes apart at exactly its framing
+    /// boundaries — every body recovered verbatim, in order, with no
+    /// leftover — no matter where the chunking splits the stream
+    /// (including mid-CRLF and across request boundaries).
+    #[test]
+    fn pipelined_streams_split_anywhere(
+        bodies in vec(vec(32u8..127, 0..40), 1..6),
+        chunk in 1usize..9,
+    ) {
+        let mut stream = Vec::new();
+        let texts: Vec<String> = bodies
+            .iter()
+            .map(|b| b.iter().map(|&c| c as char).collect())
+            .collect();
+        for body in &texts {
+            stream.extend_from_slice(valid_post(body).0.as_slice());
+        }
+        let (requests, leftover) = parse_stream(&stream, chunk, 4096);
+        prop_assert_eq!(requests.len(), texts.len(), "lost or invented a request");
+        prop_assert!(leftover.is_empty(), "bytes left behind: {:?}", leftover);
+        for (req, body) in requests.iter().zip(&texts) {
+            prop_assert_eq!(&req.method, "POST");
+            prop_assert_eq!(&req.body, body);
+            prop_assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        }
+    }
+
+    /// Keep-alive semantics: the HTTP version sets the default and a
+    /// `Connection` token list overrides it, in either casing, with
+    /// unrelated tokens ignored — and a `Connection: close` anywhere
+    /// in a pipeline only marks its own request.
+    #[test]
+    fn connection_semantics_hold_in_pipelines(
+        v11 in any::<bool>(),
+        header_idx in 0usize..5,
+        upper in any::<bool>(),
+        chunk in 1usize..9,
+    ) {
+        let version = if v11 { "HTTP/1.1" } else { "HTTP/1.0" };
+        let values = ["close", "keep-alive", "TE, close", "keep-alive, TE"];
+        // Index 4 means "no Connection header at all".
+        let header = (header_idx < values.len()).then_some(header_idx);
+        let conn_line = match header {
+            None => String::new(),
+            Some(i) => {
+                let v = if upper { values[i].to_ascii_uppercase() } else { values[i].to_string() };
+                format!("Connection: {v}\r\n")
+            }
+        };
+        let expected = match header {
+            None => v11,
+            Some(i) => !values[i].contains("close"),
+        };
+        let first = format!("GET /healthz {version}\r\n{conn_line}\r\n");
+        // A second, plain HTTP/1.1 request rides behind the first.
+        let (second, _) = valid_post("tail");
+        let mut stream = first.into_bytes();
+        stream.extend_from_slice(&second);
+        let (requests, leftover) = parse_stream(&stream, chunk, 4096);
+        prop_assert_eq!(requests.len(), 2);
+        prop_assert!(leftover.is_empty());
+        prop_assert_eq!(requests[0].keep_alive, expected, "first request's keep-alive");
+        prop_assert!(requests[1].keep_alive, "the tail request is its own framing unit");
+        prop_assert_eq!(&requests[1].body, "tail");
     }
 
     /// `Content-Length` beyond the cap is always the typed 413 error,

@@ -283,6 +283,12 @@ fn seeded_telemetry() -> Telemetry {
     t.record_latency(Duration::from_micros(2_500));
     t.record_queue_wait(Duration::from_micros(100));
     t.record_service(Duration::from_micros(2_400));
+    t.note_conn_opened();
+    t.note_conn_opened();
+    t.note_conn_closed();
+    t.record_keepalive_reuse();
+    t.record_degraded();
+    t.record_sampled();
     t
 }
 
@@ -339,6 +345,14 @@ fn every_telemetry_counter_appears_in_both_exports() {
             "trace_events_dropped",
             "fragalign_trace_events_dropped_total",
         ),
+        ("sampled_traces", "fragalign_sampled_traces_total"),
+        (
+            "connections_accepted",
+            "fragalign_connections_accepted_total",
+        ),
+        ("connections_open", "fragalign_connections_open"),
+        ("keepalive_reuse", "fragalign_keepalive_reuse_total"),
+        ("admission_degraded", "fragalign_admission_degraded_total"),
         ("queue", "fragalign_queue_depth"),
         ("cache", "fragalign_cache_hits_total"),
     ];

@@ -6,8 +6,15 @@
 //!   may change a solution;
 //! * hit and miss paths return byte-identical bodies, and instance
 //!   formatting (pretty vs compact) cannot split cache entries;
-//! * a full worker queue answers `503` immediately — backpressure
-//!   must reject, never hang;
+//! * half-written requests cost no worker thread — the event loop
+//!   holds them — and the admission watermarks behave: past
+//!   `reject_at` every request 503s immediately, past `degrade_at`
+//!   big instances are rerouted to a cheap tier with
+//!   `X-Fragalign-Degraded` and a body identical to asking for that
+//!   tier directly;
+//! * keep-alive connections serve many requests on one socket (and
+//!   the reuse counters say so), pipelined requests answer in send
+//!   order, and idle sockets are evicted after `idle_timeout_ms`;
 //! * the `/v1/solve` wire format is pinned by a golden snapshot
 //!   (wall-clock normalised), so accidental format drift is caught
 //!   before clients are.
@@ -16,7 +23,7 @@ use fragalign::align::DpWorkspace;
 use fragalign::core::{solve_single_report, BatchOptions};
 use fragalign::model::instance::paper_example;
 use fragalign::model::Instance;
-use fragalign::serve::{client, ServeConfig, Server};
+use fragalign::serve::{client, AdmissionConfig, ServeConfig, Server};
 use fragalign::sim::gen_batch;
 use fragalign::sim::SimConfig;
 use serde::Value;
@@ -218,7 +225,11 @@ fn omitting_the_solver_field_routes_through_auto() {
 }
 
 #[test]
-fn full_queue_answers_503_and_never_hangs() {
+fn half_written_requests_cost_no_worker() {
+    // Under the old thread-per-request design, a request whose body
+    // never arrives pinned a worker for the whole io timeout — four
+    // of them against one worker would wedge the service. With the
+    // readiness-polled read path they only hold event-loop buffers.
     let server = Server::start(ServeConfig {
         workers: 1,
         queue_depth: 1,
@@ -228,54 +239,232 @@ fn full_queue_answers_503_and_never_hangs() {
     let addr = server.addr();
     let state = server.state();
 
-    // Occupy the only worker: a request whose body never arrives. The
-    // worker blocks reading it (until the io timeout, far beyond this
-    // test's lifetime).
-    let mut parked = client::connect_and_send(
-        addr,
-        b"POST /v1/solve HTTP/1.1\r\nHost: t\r\nContent-Length: 10\r\n\r\n",
-    )
-    .expect("park a half-written request");
-    wait_until("the worker to pick up the parked request", || {
-        state.telemetry.busy_workers() == 1
+    let mut parked: Vec<_> = (0..4)
+        .map(|_| {
+            client::connect_and_send(
+                addr,
+                b"POST /v1/solve HTTP/1.1\r\nHost: t\r\nContent-Length: 10\r\n\r\n",
+            )
+            .expect("park a half-written request")
+        })
+        .collect();
+    wait_until("the parked connections to register", || {
+        state.metrics().connections_open >= 4
     });
+    assert_eq!(state.telemetry.busy_workers(), 0);
+    assert_eq!(state.telemetry.queue_depth(), 0);
 
-    // Fill the queue's single slot with a real request; it will wait.
-    let queued = std::thread::spawn(move || client::get(addr, "/healthz").expect("queued request"));
-    wait_until("the queue slot to fill", || {
-        state.telemetry.queue_depth() == 1
-    });
+    // The lone worker is free, so a real request answers immediately.
+    let t0 = Instant::now();
+    let health = client::request(addr, "GET", "/healthz", None, Duration::from_secs(5))
+        .expect("healthz answers despite parked requests");
+    assert_eq!(health.status, 200, "{}", health.body);
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "healthz took {:?} behind parked requests",
+        t0.elapsed()
+    );
 
-    // Worker busy + queue full: the next connection must be turned
-    // away immediately with 503, not parked.
+    // Completing a parked body drains it normally (junk bytes → 400).
+    use std::io::{Read, Write};
+    let stream = parked.last_mut().unwrap();
+    stream.write_all(b"0123456789").expect("finish parked body");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("parked response");
+    let parked_reply = String::from_utf8(raw).expect("utf-8 response");
+    assert!(
+        parked_reply.starts_with("HTTP/1.1 400"),
+        "ten junk bytes are not JSON: {parked_reply}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn hard_admission_watermark_503s_and_never_hangs() {
+    // `reject_at: 0.0` puts every request past the hard watermark:
+    // the event loop must answer 503 itself, without a worker.
+    let server = Server::start(ServeConfig {
+        admission: AdmissionConfig {
+            reject_at: 0.0,
+            ..AdmissionConfig::default()
+        },
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
     let t0 = Instant::now();
     let rejected = client::request(addr, "GET", "/healthz", None, Duration::from_secs(5))
         .expect("rejected request still gets a response");
     assert_eq!(rejected.status, 503, "{}", rejected.body);
     assert_eq!(rejected.header("retry-after"), Some("1"));
-    assert!(rejected.body.contains("queue"), "{}", rejected.body);
+    assert!(rejected.body.contains("watermark"), "{}", rejected.body);
     assert!(
         t0.elapsed() < Duration::from_secs(5),
-        "503 took {:?} — backpressure must not block",
+        "503 took {:?} — the hard watermark must not block",
         t0.elapsed()
     );
     assert_eq!(server.state().metrics().rejected_503, 1);
+    server.shutdown();
+}
 
-    // Unpark the worker; the queued request then drains normally.
-    use std::io::Write;
-    parked.write_all(b"0123456789").expect("finish parked body");
-    let parked_reply = {
-        use std::io::Read;
-        let mut raw = Vec::new();
-        parked.read_to_end(&mut raw).expect("parked response");
-        String::from_utf8(raw).expect("utf-8 response")
-    };
+#[test]
+fn degrade_watermark_reroutes_big_instances_with_header() {
+    // `degrade_at: 0.0` makes every request "loaded"; a big instance
+    // asking for a DP solver is rerouted to the router's cheap tier.
+    let inst = &gen_batch(
+        &SimConfig {
+            regions: 80,
+            h_frags: 6,
+            m_frags: 6,
+            loss_rate: 0.1,
+            shuffles: 3,
+            spurious: 4,
+            seed: 1221,
+            ..SimConfig::default()
+        },
+        1,
+    )[0]
+    .instance;
     assert!(
-        parked_reply.starts_with("HTTP/1.1 400"),
-        "ten junk bytes are not JSON: {parked_reply}"
+        inst.score_upper_bound() >= 500,
+        "test instance too small to trigger degradation"
     );
-    let queued_reply = queued.join().expect("queued client thread");
-    assert_eq!(queued_reply.status, 200);
+    let server = Server::start(ServeConfig {
+        admission: AdmissionConfig {
+            degrade_at: 0.0,
+            reject_at: 10.0,
+            ..AdmissionConfig::default()
+        },
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
+    let resp = client::post(addr, "/v1/solve", &solve_body(inst, "csr")).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let tier = resp
+        .header("x-fragalign-degraded")
+        .expect("degraded response must carry X-Fragalign-Degraded");
+    assert!(
+        ["greedy", "chain"].contains(&tier),
+        "unexpected cheap tier {tier:?}"
+    );
+    // The degraded body is a faithful cheap-tier solve.
+    let mut ws = DpWorkspace::new();
+    let (expected, _) = solve_single_report(inst, &BatchOptions::new(tier), &mut ws)
+        .expect("direct cheap-tier solve succeeds");
+    let doc: Value = serde_json::from_str(&resp.body).expect("response parses");
+    assert_eq!(doc.get("score"), Some(&Value::Int(expected.score)));
+    assert_eq!(
+        doc.get("matches"),
+        Some(&serde_json::to_value(&expected.matches).unwrap()),
+        "degraded matches diverged from a direct {tier} solve"
+    );
+    assert_eq!(
+        doc.get("solver"),
+        Some(&Value::Str(tier.to_string())),
+        "degraded response must report the solver actually used"
+    );
+    assert_eq!(server.state().metrics().admission_degraded, 1);
+
+    // The result was cached under the tier actually used: asking for
+    // that tier directly is a hit with an identical body (and no
+    // degraded marker — the client got what it asked for).
+    let tier = tier.to_string();
+    let direct = client::post(addr, "/v1/solve", &solve_body(inst, &tier)).unwrap();
+    assert_eq!(direct.header("x-fragalign-cache"), Some("hit"));
+    assert_eq!(direct.header("x-fragalign-degraded"), None);
+    assert_eq!(direct.body, resp.body);
+
+    // Small instances pass through untouched at any load.
+    let small = &sim_instances(1, 7)[0];
+    let passed = client::post(addr, "/v1/solve", &solve_body(small, "csr")).unwrap();
+    assert_eq!(passed.status, 200, "{}", passed.body);
+    assert_eq!(passed.header("x-fragalign-degraded"), None);
+    let doc: Value = serde_json::from_str(&passed.body).unwrap();
+    assert_eq!(doc.get("solver"), Some(&Value::Str("csr".into())));
+    server.shutdown();
+}
+
+#[test]
+fn keepalive_connections_are_reused_and_counted() {
+    let server = Server::start(ServeConfig::default()).expect("server starts");
+    let addr = server.addr();
+    let mut conn = client::Connection::open(addr).expect("connect");
+
+    let health = conn.request("GET", "/healthz", None).expect("healthz");
+    assert_eq!(health.status, 200, "{}", health.body);
+    assert_eq!(health.header("connection"), Some("keep-alive"));
+    let solvers = conn.request("GET", "/v1/solvers", None).expect("solvers");
+    assert_eq!(solvers.status, 200);
+    assert!(solvers.body.contains("\"name\": \"csr\""));
+
+    let snap = server.state().metrics();
+    assert_eq!(
+        snap.connections_accepted, 1,
+        "both requests must share one connection"
+    );
+    assert!(snap.keepalive_reuse >= 1, "reuse counter never moved");
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_answer_in_order() {
+    let server = Server::start(ServeConfig::default()).expect("server starts");
+    let addr = server.addr();
+    let inst = &sim_instances(1, 55)[0];
+    let mut conn = client::Connection::open(addr).expect("connect");
+
+    conn.send("GET", "/healthz", None).expect("send 1");
+    conn.send("POST", "/v1/solve", Some(&solve_body(inst, "greedy")))
+        .expect("send 2");
+    conn.send("GET", "/v1/solvers", None).expect("send 3");
+    assert_eq!(conn.in_flight(), 3);
+
+    let first = conn.recv().expect("healthz answers first");
+    assert_eq!(first.status, 200);
+    assert!(first.body.contains("\"status\":\"ok\""), "{}", first.body);
+    let second = conn.recv().expect("solve answers second");
+    assert_eq!(second.status, 200);
+    assert!(second.body.contains("\"score\""), "{}", second.body);
+    let third = conn.recv().expect("solvers answers third");
+    assert_eq!(third.status, 200);
+    assert!(third.body.contains("\"name\": \"csr\""), "{}", third.body);
+    assert_eq!(conn.in_flight(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn idle_connections_are_dropped_after_the_timeout() {
+    let server = Server::start(ServeConfig {
+        idle_timeout_ms: 150,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+    let state = server.state();
+
+    use std::io::Read;
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("set timeout");
+    wait_until("the idle connection to register", || {
+        state.metrics().connections_open >= 1
+    });
+    let t0 = Instant::now();
+    let mut byte = [0u8; 1];
+    let n = stream.read(&mut byte).expect("read until server closes");
+    assert_eq!(n, 0, "server must close the idle connection, not write");
+    assert!(
+        t0.elapsed() >= Duration::from_millis(50),
+        "closed suspiciously fast ({:?}) — not an idle eviction",
+        t0.elapsed()
+    );
+    wait_until("the gauge to drop", || {
+        state.metrics().connections_open == 0
+    });
     server.shutdown();
 }
 
